@@ -1,0 +1,197 @@
+"""Ablations of the §3.3-§3.4 design choices (beyond the paper's figures).
+
+Four studies on a representative subset of the suite:
+
+* level-set reordering on/off (the Figure 3 reorder);
+* DCSR squares on/off (the hypersparse storage);
+* adaptive kernel selection vs every fixed SpTRSV kernel;
+* recursion-depth sweep around the §3.4 rule's choice.
+"""
+
+import numpy as np
+
+from repro.core.planner import choose_depth
+from repro.core.solver import RecursiveBlockSolver
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.matrices.suite import scaled_suite
+
+from conftest import publish
+
+DEV = TITAN_RTX_SCALED
+
+#: suite members covering distinct structure classes
+SUBSET = (
+    "kkt_wide_a",
+    "kkt_mid_b",
+    "stokes_deep_a",
+    "circuit_powerlaw_1",
+    "powerlayer_wide",
+    "grid2d_220x160",
+)
+
+
+def _subset(scale=0.5):
+    return [
+        (s.name, s.build()) for s in scaled_suite(scale) if s.name in SUBSET
+    ]
+
+
+def _solve_time(L, **kw):
+    prepared = RecursiveBlockSolver(device=DEV, **kw).prepare(L)
+    _, rep = prepared.solve(np.ones(L.n_rows))
+    return rep.time_s
+
+
+def test_ablation_reorder(benchmark):
+    mats = _subset()
+
+    def run():
+        rows = []
+        for name, L in mats:
+            t_on = _solve_time(L, reorder=True)
+            t_off = _solve_time(L, reorder=False)
+            rows.append((name, t_on, t_off, t_off / t_on))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: level-set reordering (Figure 3)"]
+    lines.append(f"  {'matrix':22s} {'reorder on':>12s} {'off':>12s} {'off/on':>8s}")
+    for name, t_on, t_off, ratio in rows:
+        lines.append(f"  {name:22s} {t_on*1e3:10.3f}ms {t_off*1e3:10.3f}ms {ratio:7.2f}x")
+    publish("ablation_reorder", "\n".join(lines))
+    # The reorder must help on average and never hurt badly.
+    ratios = [r[3] for r in rows]
+    assert np.exp(np.mean(np.log(ratios))) > 0.95
+    assert max(ratios) > 1.0
+
+
+def test_ablation_dcsr(benchmark):
+    mats = _subset()
+
+    def run():
+        rows = []
+        for name, L in mats:
+            t_on = _solve_time(L, use_dcsr=True)
+            t_off = _solve_time(L, use_dcsr=False)
+            rows.append((name, t_on, t_off, t_off / t_on))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: DCSR storage for hypersparse squares (§3.3)"]
+    for name, t_on, t_off, ratio in rows:
+        lines.append(f"  {name:22s} dcsr {t_on*1e3:9.3f}ms csr {t_off*1e3:9.3f}ms  csr/dcsr {ratio:6.2f}x")
+    publish("ablation_dcsr", "\n".join(lines))
+    ratios = [r[3] for r in rows]
+    assert max(ratios) >= 1.0  # DCSR helps somewhere
+    assert min(ratios) > 0.6  # and never costs much
+
+
+def test_ablation_adaptive_vs_fixed(benchmark):
+    mats = _subset()
+
+    def run():
+        rows = []
+        for name, L in mats:
+            adaptive = _solve_time(L)
+            fixed = {
+                k: _solve_time(L, fixed_tri=k)
+                for k in ("levelset", "syncfree", "cusparse")
+            }
+            rows.append((name, adaptive, fixed))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: adaptive kernel selection vs fixed SpTRSV kernels"]
+    for name, adaptive, fixed in rows:
+        cells = " ".join(f"{k}:{v*1e3:8.3f}ms" for k, v in fixed.items())
+        lines.append(f"  {name:22s} adaptive {adaptive*1e3:8.3f}ms | {cells}")
+    publish("ablation_adaptive", "\n".join(lines))
+    # Adaptive must track the best fixed choice within a modest factor on
+    # every matrix (it cannot beat an oracle, but must not be fooled).
+    for name, adaptive, fixed in rows:
+        assert adaptive <= min(fixed.values()) * 1.8, name
+
+
+def test_ablation_level_aligned_splits(benchmark):
+    """Extension: snap splits to level boundaries vs the paper's midpoint."""
+    mats = _subset()
+
+    def run():
+        rows = []
+        for name, L in mats:
+            t_mid = _solve_time(L, align_levels=False)
+            t_aligned = _solve_time(L, align_levels=True)
+            rows.append((name, t_mid, t_aligned, t_mid / t_aligned))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: level-aligned splits vs midpoint splits (extension)"]
+    for name, t_mid, t_al, ratio in rows:
+        lines.append(
+            f"  {name:22s} midpoint {t_mid*1e3:9.3f}ms aligned "
+            f"{t_al*1e3:9.3f}ms  mid/aligned {ratio:6.2f}x"
+        )
+    publish("ablation_aligned_splits", "\n".join(lines))
+    # Alignment must never be catastrophic and should help somewhere.
+    ratios = [r[3] for r in rows]
+    assert min(ratios) > 0.5
+    assert max(ratios) >= 1.0
+
+
+def test_ablation_level_merging(benchmark):
+    """Naumov's small-level merging on the basic level-set kernel."""
+    import numpy as np
+
+    from repro.kernels import LevelSetKernel
+    from repro.matrices.generators import chain_matrix, grid_laplacian_2d
+
+    mats = [
+        ("chain_6k", chain_matrix(6000, rng=np.random.default_rng(0))),
+        ("grid2d_120x90", grid_laplacian_2d(120, 90, rng=np.random.default_rng(1))),
+    ]
+
+    def run():
+        rows = []
+        for name, L in mats:
+            b = np.ones(L.n_rows)
+            _, plain = LevelSetKernel().solve_system(L, b, DEV)
+            _, merged = LevelSetKernel(merge_levels=True).solve_system(L, b, DEV)
+            rows.append((name, plain, merged))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: level-set kernel with merged small levels (Naumov)"]
+    for name, plain, merged in rows:
+        lines.append(
+            f"  {name:16s} plain {plain.time_s*1e3:9.3f}ms "
+            f"({plain.launches} launches) -> merged {merged.time_s*1e3:9.3f}ms "
+            f"({merged.launches} launches)  {plain.time_s/merged.time_s:5.2f}x"
+        )
+    publish("ablation_level_merging", "\n".join(lines))
+    for name, plain, merged in rows:
+        assert merged.time_s <= plain.time_s * 1.01, name
+        assert merged.launches <= plain.launches, name
+
+
+def test_ablation_depth_sweep(benchmark):
+    mats = _subset()
+
+    def run():
+        out = {}
+        for name, L in mats:
+            rule = choose_depth(L.n_rows, DEV)
+            sweep = {}
+            for d in sorted({0, max(0, rule - 2), rule, rule + 2}):
+                sweep[d] = _solve_time(L, depth=d)
+            out[name] = (rule, sweep)
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: recursion depth around the §3.4 rule"]
+    for name, (rule, sweep) in res.items():
+        cells = "  ".join(f"d={d}:{t*1e3:8.3f}ms" for d, t in sweep.items())
+        lines.append(f"  {name:22s} rule={rule}  {cells}")
+    publish("ablation_depth", "\n".join(lines))
+    # The rule's depth is within 2.2x of the best swept depth everywhere.
+    for name, (rule, sweep) in res.items():
+        assert sweep[rule] <= min(sweep.values()) * 2.2, name

@@ -1,0 +1,22 @@
+"""Extension: fused multi-RHS amortization sweep (beyond the paper)."""
+
+from repro.experiments import multirhs
+
+from conftest import publish
+
+
+def test_multirhs_amortization(benchmark):
+    res = benchmark.pedantic(lambda: multirhs.run(), rounds=1, iterations=1)
+    publish("extension_multirhs", multirhs.render(res))
+    for method, series in res.per_rhs_ms.items():
+        # Per-RHS time must be non-increasing in the block width.
+        assert series[-1] <= series[0] * 1.001, method
+    # Level-scheduled methods amortize their per-level overheads strongly;
+    # Sync-free amortizes only its fixed warp costs (its per-edge atomics
+    # scale with the RHS count), so its curve is much flatter.
+    assert res.per_rhs_ms["cusparse"][0] / res.per_rhs_ms["cusparse"][-1] > 3
+    assert (
+        res.per_rhs_ms["recursive-block"][0]
+        / res.per_rhs_ms["recursive-block"][-1]
+        > 3
+    )

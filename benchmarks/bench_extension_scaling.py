@@ -1,0 +1,17 @@
+"""Extension: block advantage vs problem size (beyond the paper)."""
+
+from repro.experiments import scaling
+
+from conftest import publish
+
+
+def test_scaling_study(benchmark):
+    res = benchmark.pedantic(lambda: scaling.run(), rounds=1, iterations=1)
+    publish("extension_scaling", scaling.render(res))
+    blk = res.gflops["recursive-block"]
+    cusp = res.gflops["cusparse"]
+    ratios = [b / c for b, c in zip(blk, cusp)]
+    # The advantage at the largest size exceeds the advantage at the
+    # smallest (the locality argument of §2.2).
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 1.1

@@ -1,0 +1,17 @@
+"""Figure 4 — SpMV-part time of the three block algorithms vs #parts."""
+
+from repro.experiments import fig4
+
+from conftest import publish
+
+
+def test_figure4(benchmark):
+    res = benchmark.pedantic(lambda: fig4.run(scale=1.0), rounds=1, iterations=1)
+    publish("fig4_spmv_blocks", fig4.render(res))
+    # Shape assertions: at the largest part count the column scheme's SpMV
+    # cost is the worst and the recursive scheme is never the worst.
+    for name in res.matrices:
+        series = res.spmv_ms[name]
+        last = {m: series[m][-1] for m in series}
+        assert max(last, key=last.get) == "column-block", name
+        assert last["recursive-block"] <= last["column-block"], name

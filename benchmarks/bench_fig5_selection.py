@@ -1,0 +1,34 @@
+"""Figure 5 — the calibration sweep, heatmaps, and derived thresholds."""
+
+from repro.experiments import fig5
+
+from conftest import publish
+
+
+def test_figure5(benchmark):
+    res = benchmark.pedantic(lambda: fig5.run(n_rows=4096), rounds=1, iterations=1)
+    publish("fig5_selection", fig5.render(res))
+    cal = res.calibration
+    # Qualitative Figure 5(a) structure: level-set shallow, cuSPARSE deep.
+    shallow_ls = sum(
+        cal.best_sptrsv((nr, nl)) == "levelset"
+        for (nr, nl) in cal.sptrsv
+        if nl <= 4
+    )
+    shallow_total = sum(1 for (nr, nl) in cal.sptrsv if nl <= 4)
+    assert shallow_ls > shallow_total / 2
+    deep_cu = sum(
+        cal.best_sptrsv((nr, nl)) == "cusparse"
+        for (nr, nl) in cal.sptrsv
+        if nl >= 256 and nr >= 3
+    )
+    deep_total = sum(1 for (nr, nl) in cal.sptrsv if nl >= 256 and nr >= 3)
+    assert deep_cu > deep_total * 0.7
+    # Figure 5(b): DCSR wins the mostly-empty side.
+    empty_dcsr = sum(
+        cal.best_spmv((nr, er)).endswith("dcsr")
+        for (nr, er) in cal.spmv
+        if er >= 0.8
+    )
+    empty_total = sum(1 for (nr, er) in cal.spmv if er >= 0.8)
+    assert empty_dcsr > empty_total * 0.7

@@ -1,0 +1,32 @@
+"""Figure 6 — suite-wide GFlops and speedups on both GPUs (the headline)."""
+
+from repro.analysis.metrics import geometric_mean, speedup_summary
+from repro.experiments import fig6
+from repro.gpu.device import TITAN_RTX, TITAN_X
+
+from conftest import publish
+
+
+def test_figure6(benchmark):
+    header = (
+        f"Table 3 devices: (1) {TITAN_X}; (2) {TITAN_RTX}; both simulated at "
+        "1/50 dataset scale (see DESIGN.md)."
+    )
+    res = benchmark.pedantic(lambda: fig6.run(scale=0.5), rounds=1, iterations=1)
+    publish("fig6_performance", header + "\n\n" + fig6.render(res))
+    for dev in ("titan_x", "titan_rtx"):
+        vs_cusp = speedup_summary(res.speedups(dev, "cusparse").values())
+        vs_sync = speedup_summary(res.speedups(dev, "syncfree").values())
+        # Paper: 4.72x / 9.95x average, never much slower than baselines.
+        assert vs_cusp["mean"] > 1.5
+        assert vs_sync["mean"] > 2.0
+        assert vs_cusp["min"] > 0.5
+        assert vs_sync["min"] > 0.8
+        assert vs_cusp["max"] > 10  # the mawi-class collapse
+    # Paper: Titan RTX ~40% faster than Titan X overall.
+    ratios = [
+        res.results["titan_rtx"][m]["recursive-block"].gflops
+        / res.results["titan_x"][m]["recursive-block"].gflops
+        for m in res.results["titan_x"]
+    ]
+    assert 1.1 < geometric_mean(ratios) < 1.8

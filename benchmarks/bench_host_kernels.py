@@ -1,0 +1,66 @@
+"""Host-side microbenchmarks (genuine wall-clock, not simulated time).
+
+These measure the *Python implementation's* throughput — the numbers that
+matter for anyone using this package as a CPU reference implementation:
+level-schedule construction, the vectorized level sweep, format
+conversion, and blocked preprocessing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.blocked_matrix import build_improved_recursive_plan
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.kernels import prepare_lower
+from repro.kernels.sweep import build_level_schedule, sweep_solve
+from repro.matrices.generators import layered_random
+
+DEV = TITAN_RTX_SCALED
+
+
+@pytest.fixture(scope="module")
+def big_system():
+    L = layered_random(
+        np.full(40, 1000, dtype=np.int64),
+        nnz_per_row=8.0,
+        rng=np.random.default_rng(0),
+        locality=0.05,
+    )
+    return L, np.ones(L.n_rows)
+
+
+def test_level_schedule_build(benchmark, big_system):
+    L, _ = big_system
+    prep = prepare_lower(L)
+    sched = benchmark(lambda: build_level_schedule(prep))
+    assert sched.n == L.n_rows
+
+
+def test_sweep_solve_throughput(benchmark, big_system):
+    L, b = big_system
+    sched = build_level_schedule(prepare_lower(L))
+    x = benchmark(lambda: sweep_solve(sched, b))
+    assert np.allclose(L.matvec(x), b, atol=1e-8)
+
+
+def test_csr_to_csc_conversion(benchmark, big_system):
+    L, _ = big_system
+    C = benchmark(L.to_csc)
+    assert C.nnz == L.nnz
+
+
+def test_blocked_preprocessing_wall_time(benchmark, big_system):
+    L, _ = big_system
+    blocked = benchmark.pedantic(
+        lambda: build_improved_recursive_plan(L, 3, DEV), rounds=1, iterations=1
+    )
+    assert blocked.plan.n_tri_segments == 8
+
+
+def test_full_prepared_solve_wall_time(benchmark, big_system):
+    from repro.core.solver import RecursiveBlockSolver
+
+    L, b = big_system
+    prepared = RecursiveBlockSolver(device=DEV).prepare(L)
+    x, _ = benchmark(lambda: prepared.solve(b))
+    assert np.allclose(L.matvec(x), b, atol=1e-8)

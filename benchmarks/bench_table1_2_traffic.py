@@ -1,0 +1,21 @@
+"""Tables 1 & 2 — b-update / x-load traffic of the three block schemes."""
+
+from repro.experiments import table1_2
+
+from conftest import publish
+
+
+def test_tables_1_and_2(benchmark):
+    res = benchmark.pedantic(
+        lambda: table1_2.run(n=64, parts=(4, 16)), rounds=1, iterations=1
+    )
+    text = table1_2.render(res)
+    publish("table1_2_traffic", text)
+    # Formula == measurement, exactly, for every scheme and part count.
+    from repro.analysis.traffic import PARTS_GRID
+
+    for m in res.measured_b:
+        for p in res.parts:
+            idx = PARTS_GRID.index(p)
+            assert res.measured_b[m][p] == res.formula_b[m][idx]
+            assert res.measured_x[m][p] == res.formula_x[m][idx]

@@ -1,0 +1,31 @@
+"""Table 4 — the six representative matrices in detail."""
+
+from repro.experiments import table4
+
+from conftest import publish
+
+
+def test_table4(benchmark):
+    res = benchmark.pedantic(lambda: table4.run(scale=1.0), rounds=1, iterations=1)
+    publish("table4_representative", table4.render(res))
+
+    def gf(name, method):
+        return res.rows[name][1][method].gflops
+
+    # The orderings that carry the paper's Table 4 story:
+    # high-parallelism matrices: block fastest.
+    for name in ("nlpkkt200_like", "kkt_power_like"):
+        assert gf(name, "recursive-block") > gf(name, "cusparse")
+        assert gf(name, "recursive-block") > gf(name, "syncfree")
+    # mawi: cuSPARSE collapses on hypersparse rows (paper 72x).
+    assert gf("mawi_like", "recursive-block") > 10 * gf("mawi_like", "cusparse")
+    # vas_stokes: Sync-free collapses on deep chains (paper 61x).
+    assert gf("vas_stokes_like", "recursive-block") > 2 * gf(
+        "vas_stokes_like", "syncfree"
+    )
+    # tmt_sym: near-serial, nobody wins big; block must stay comparable.
+    assert gf("tmt_sym_like", "recursive-block") > 0.6 * gf("tmt_sym_like", "cusparse")
+    # block is never catastrophically slower than the best baseline.
+    for name, (stats, results, paper) in res.rows.items():
+        best = max(gf(name, "cusparse"), gf(name, "syncfree"))
+        assert gf(name, "recursive-block") > 0.5 * best, name

@@ -1,0 +1,25 @@
+"""Table 5 — preprocessing cost and 100/500/1000-iteration amortization."""
+
+from repro.experiments import table5
+
+from conftest import publish
+
+
+def test_table5(benchmark):
+    res = benchmark.pedantic(lambda: table5.run(scale=0.5), rounds=1, iterations=1)
+    publish("table5_preprocessing", table5.render(res))
+    blk = res.averages["recursive-block"]
+    cusp = res.averages["cusparse"]
+    sync = res.averages["syncfree"]
+    # Sync-free preprocessing is by far the cheapest (paper: 2.34ms).
+    assert sync["pre_ms"] < cusp["pre_ms"] / 3
+    assert sync["pre_ms"] < blk["pre_ms"] / 3
+    # Block preprocessing is moderate: single-digit-x of one of its own
+    # solves (paper: 9.16x).
+    ratio = blk["pre_ms"] / blk["solve_ms"]
+    assert 2 < ratio < 40, ratio
+    # And the block algorithm wins every amortized horizon (paper: ~8x at
+    # 1000 iterations).
+    for iters in (100, 500, 1000):
+        assert blk["overall_ms"][iters] < cusp["overall_ms"][iters]
+        assert blk["overall_ms"][iters] < sync["overall_ms"][iters]

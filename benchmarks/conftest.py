@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table/figure of the paper: it runs the
+corresponding ``repro.experiments`` module once inside pytest-benchmark
+(wall time of the harness is what's measured; the *simulated* device
+times are the scientific output) and writes the rendered rows to
+``benchmarks/results/<name>.txt`` while also printing them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""SpTRSV in its natural habitat: ILU(0)-preconditioned CG.
+
+The paper's introduction motivates fast SpTRSV with "accelerating
+convergence of preconditioned sparse iterative solvers": every PCG
+iteration applies ``M^{-1} = U^{-1} L^{-1}`` — two triangular solves.
+This example builds an SPD system, factorizes it with the from-scratch
+ILU(0), runs PCG with the recursive block solver powering both solves,
+and accounts preprocessing amortization exactly like Table 5.
+
+Run:  python examples/ilu_preconditioned_cg.py
+"""
+
+import numpy as np
+
+from repro import CuSparseSolver, RecursiveBlockSolver, TITAN_RTX_SCALED
+from repro.formats import CSRMatrix
+from repro.matrices import grid_laplacian_2d
+from repro.precond import TriangularPreconditioner, ilu0, preconditioned_cg
+
+
+def build_spd(nx: int, ny: int, seed: int = 0) -> tuple[CSRMatrix, np.ndarray]:
+    """A 2D anisotropic diffusion system (SPD, banded)."""
+    L = grid_laplacian_2d(nx, ny, rng=np.random.default_rng(seed))
+    d = L.to_dense()
+    stiff = d + d.T - np.diag(np.diag(d))
+    np.fill_diagonal(stiff, np.abs(stiff).sum(axis=1) + 4.0)
+    A = CSRMatrix.from_dense(stiff)
+    b = np.random.default_rng(seed + 1).standard_normal(A.n_rows)
+    return A, b
+
+
+def main() -> None:
+    A, b = build_spd(48, 40)
+    print(f"SPD system: n={A.n_rows}, nnz={A.nnz}")
+
+    # Plain CG baseline.
+    plain = preconditioned_cg(A, b, None, tol=1e-10, max_iter=4000)
+    print(f"\nplain CG:              {plain.iterations:4d} iterations "
+          f"(converged={plain.converged})")
+
+    # ILU(0) + the paper's recursive block algorithm for both solves.
+    L, U = ilu0(A)
+    print(f"ILU(0): L nnz={L.nnz}, U nnz={U.nnz}")
+
+    for solver_cls in (CuSparseSolver, RecursiveBlockSolver):
+        M = TriangularPreconditioner.build(
+            L, U, device=TITAN_RTX_SCALED, solver_cls=solver_cls
+        )
+        res = preconditioned_cg(A, b, M, tol=1e-10, max_iter=4000)
+        total = M.preprocessing_time_s + res.precond_time_s
+        print(
+            f"ILU(0)-PCG [{solver_cls.method:16s}]: {res.iterations:4d} iterations, "
+            f"simulated preconditioner time: prep {M.preprocessing_time_s*1e3:8.3f} ms "
+            f"+ solves {res.precond_time_s*1e3:8.3f} ms = {total*1e3:8.3f} ms"
+        )
+        resid = np.linalg.norm(A.matvec(res.x) - b) / np.linalg.norm(b)
+        assert res.converged and resid < 1e-9
+
+    print(
+        "\nThe block algorithm pays more preprocessing than cuSPARSE-style "
+        "analysis but wins it back across the iteration count — the Table 5 "
+        "amortization argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""repro — block algorithms for parallel sparse triangular solve.
+
+A from-scratch reproduction of Lu, Niu & Liu, *Efficient Block Algorithms
+for Parallel Sparse Triangular Solve* (ICPP 2020), on a simulated-GPU
+substrate: exact numerics via vectorized NumPy kernels, timing via a
+documented performance model of the paper's two evaluation GPUs.
+
+Quickstart::
+
+    import numpy as np
+    from repro import RecursiveBlockSolver, TITAN_RTX_SCALED
+    from repro.matrices import grid_laplacian_2d
+
+    L = grid_laplacian_2d(100, 80)              # lower-triangular system
+    solver = RecursiveBlockSolver(device=TITAN_RTX_SCALED)
+    prepared = solver.prepare(L)                # Figure 3 preprocessing
+    x, report = prepared.solve(np.ones(L.n_rows))
+    print(report.gflops, report.launches)
+"""
+
+from repro.api import solve_triangular
+from repro.core.adaptive import (
+    AdaptiveSelector,
+    CALIBRATED_THRESHOLDS,
+    PAPER_THRESHOLDS,
+    SelectionThresholds,
+)
+from repro.core.solver import (
+    ColumnBlockSolver,
+    CuSparseSolver,
+    LevelSetSolver,
+    PreparedSolve,
+    RecursiveBlockSolver,
+    RowBlockSolver,
+    SerialSolver,
+    SOLVERS,
+    SyncFreeSolver,
+    TriangularSolver,
+)
+from repro.errors import (
+    NotTriangularError,
+    ReproError,
+    ShapeMismatchError,
+    SingularMatrixError,
+    SparseFormatError,
+)
+from repro.formats import (
+    CSCMatrix,
+    CSRMatrix,
+    DCSRMatrix,
+    lower_triangular_from,
+)
+from repro.formats.triangular import upper_to_lower_mirror
+from repro.gpu.device import (
+    DATASET_SCALE,
+    DeviceModel,
+    TITAN_RTX,
+    TITAN_RTX_SCALED,
+    TITAN_X,
+    TITAN_X_SCALED,
+    known_devices,
+)
+from repro.gpu.report import KernelReport, SolveReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "solve_triangular",
+    # formats
+    "CSRMatrix",
+    "CSCMatrix",
+    "DCSRMatrix",
+    "lower_triangular_from",
+    "upper_to_lower_mirror",
+    # solvers
+    "TriangularSolver",
+    "PreparedSolve",
+    "SerialSolver",
+    "LevelSetSolver",
+    "CuSparseSolver",
+    "SyncFreeSolver",
+    "ColumnBlockSolver",
+    "RowBlockSolver",
+    "RecursiveBlockSolver",
+    "SOLVERS",
+    # adaptive selection
+    "AdaptiveSelector",
+    "SelectionThresholds",
+    "PAPER_THRESHOLDS",
+    "CALIBRATED_THRESHOLDS",
+    # devices / reports
+    "DeviceModel",
+    "TITAN_X",
+    "TITAN_RTX",
+    "TITAN_X_SCALED",
+    "TITAN_RTX_SCALED",
+    "DATASET_SCALE",
+    "known_devices",
+    "KernelReport",
+    "SolveReport",
+    # errors
+    "ReproError",
+    "SparseFormatError",
+    "NotTriangularError",
+    "SingularMatrixError",
+    "ShapeMismatchError",
+]

@@ -1,0 +1,35 @@
+"""Traffic accounting (Tables 1-2) and performance metrics."""
+
+from repro.analysis.traffic import (
+    column_block_b_updates,
+    row_block_b_updates,
+    recursive_block_b_updates,
+    column_block_x_loads,
+    row_block_x_loads,
+    recursive_block_x_loads,
+    table1_rows,
+    table2_rows,
+    measured_traffic,
+)
+from repro.analysis.metrics import (
+    MethodResult,
+    geometric_mean,
+    speedup_summary,
+    quartiles,
+)
+
+__all__ = [
+    "column_block_b_updates",
+    "row_block_b_updates",
+    "recursive_block_b_updates",
+    "column_block_x_loads",
+    "row_block_x_loads",
+    "recursive_block_x_loads",
+    "table1_rows",
+    "table2_rows",
+    "measured_traffic",
+    "MethodResult",
+    "geometric_mean",
+    "speedup_summary",
+    "quartiles",
+]

@@ -1,0 +1,66 @@
+"""Performance-metric helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MethodResult", "geometric_mean", "speedup_summary", "quartiles"]
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """One (matrix, method, device) measurement."""
+
+    matrix: str
+    method: str
+    device: str
+    n: int
+    nnz: int
+    solve_time_s: float
+    preprocess_time_s: float
+    gflops: float
+
+    def amortized(self, iterations: int) -> float:
+        """Table 5's overall time for a preprocessing + N solves run."""
+        return self.preprocess_time_s + iterations * self.solve_time_s
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0:
+        return float("nan")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean needs positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def speedup_summary(speedups) -> dict[str, float]:
+    """Average / best / worst of a set of speedup ratios.
+
+    The paper quotes arithmetic averages ("on average 4.72x") and maxima
+    ("up to 72.03x"); both are reported, plus the geometric mean which is
+    the statistically honest aggregate."""
+    arr = np.asarray(list(speedups), dtype=np.float64)
+    return {
+        "mean": float(arr.mean()),
+        "gmean": geometric_mean(arr),
+        "max": float(arr.max()),
+        "min": float(arr.min()),
+        "count": int(len(arr)),
+    }
+
+
+def quartiles(values) -> dict[str, float]:
+    """Five-number summary for the Figure 7 box plots."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    return {
+        "min": float(arr.min()),
+        "q1": float(q1),
+        "median": float(med),
+        "q3": float(q3),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,107 @@
+"""Tables 1 and 2: right-hand-side updates and solution loads.
+
+The paper quantifies, for a dense triangular matrix split into
+``2^x`` triangular parts, how many vector items each block scheme writes
+to ``b`` (Table 1) and reads from ``x`` in its SpMV parts (Table 2):
+
+=============  =======================  =====================
+method         b items updated          x items loaded
+=============  =======================  =====================
+column block   ``2^(x-1) n + 0.5 n``    ``n - 2^-x n``
+row block      ``2 n - 2^-x n``         ``2^(x-1) n - 0.5 n``
+rec. block     ``0.5 n x + n``          ``0.5 n x``
+=============  =======================  =====================
+
+The b-update count charges every SpMV output row *plus one b access per
+component in the triangular solves* (that's the ``+ n`` / ``+ 0.5n``
+terms); the x-load count charges the x-segments read by SpMV parts only.
+:func:`measured_traffic` extracts the same two numbers from an actual
+:class:`~repro.core.plan.ExecutionPlan`, and the test suite proves the
+closed forms and the measurements agree exactly on dense matrices.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "column_block_b_updates",
+    "row_block_b_updates",
+    "recursive_block_b_updates",
+    "column_block_x_loads",
+    "row_block_x_loads",
+    "recursive_block_x_loads",
+    "table1_rows",
+    "table2_rows",
+    "measured_traffic",
+    "PARTS_GRID",
+]
+
+#: the part counts of Tables 1-2
+PARTS_GRID = (4, 16, 256, 65536)
+
+
+def _x_of(parts: int) -> float:
+    """The tables' ``x`` is ``log2`` of the triangular part count."""
+    if parts < 1 or parts & (parts - 1):
+        raise ValueError("part count must be a positive power of two")
+    return math.log2(parts)
+
+
+def column_block_b_updates(n: float, parts: int) -> float:
+    """Table 1 row 1: ``2^(x-1) n + 0.5 n``."""
+    x = _x_of(parts)
+    return 2.0 ** (x - 1) * n + 0.5 * n
+
+
+def row_block_b_updates(n: float, parts: int) -> float:
+    """Table 1 row 2: ``2 n - 2^-x n``."""
+    x = _x_of(parts)
+    return 2.0 * n - 2.0 ** (-x) * n
+
+
+def recursive_block_b_updates(n: float, parts: int) -> float:
+    """Table 1 row 3: ``0.5 n x + n``."""
+    x = _x_of(parts)
+    return 0.5 * n * x + n
+
+
+def column_block_x_loads(n: float, parts: int) -> float:
+    """Table 2 row 1: ``n - 2^-x n``."""
+    x = _x_of(parts)
+    return n - 2.0 ** (-x) * n
+
+
+def row_block_x_loads(n: float, parts: int) -> float:
+    """Table 2 row 2: ``2^(x-1) n - 0.5 n``."""
+    x = _x_of(parts)
+    return 2.0 ** (x - 1) * n - 0.5 * n
+
+
+def recursive_block_x_loads(n: float, parts: int) -> float:
+    """Table 2 row 3: ``0.5 n x``."""
+    x = _x_of(parts)
+    return 0.5 * n * x
+
+
+def table1_rows(n: float = 1.0) -> list[tuple[str, list[float]]]:
+    """Table 1 in units of ``n`` (default) or absolute items."""
+    return [
+        ("col. block", [column_block_b_updates(n, p) for p in PARTS_GRID]),
+        ("row block", [row_block_b_updates(n, p) for p in PARTS_GRID]),
+        ("rec. block", [recursive_block_b_updates(n, p) for p in PARTS_GRID]),
+    ]
+
+
+def table2_rows(n: float = 1.0) -> list[tuple[str, list[float]]]:
+    """Table 2 in units of ``n`` (default) or absolute items."""
+    return [
+        ("col. block", [column_block_x_loads(n, p) for p in PARTS_GRID]),
+        ("row block", [row_block_x_loads(n, p) for p in PARTS_GRID]),
+        ("rec. block", [recursive_block_x_loads(n, p) for p in PARTS_GRID]),
+    ]
+
+
+def measured_traffic(plan) -> tuple[int, int]:
+    """(b items updated, x items loaded) measured from an actual plan."""
+    return plan.b_items_updated, plan.x_items_loaded

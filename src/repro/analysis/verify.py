@@ -1,0 +1,110 @@
+"""Structural and numerical verification of execution plans.
+
+Production tooling: before trusting a preprocessed plan (freshly built,
+reloaded from disk, or hand-assembled), verify that its segments tile the
+matrix exactly and that a solve actually satisfies the system.  The test
+suite uses these validators as oracles; library users can run them after
+custom plan surgery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.plan import ExecutionPlan, SpMVSegment, TriSegment
+from repro.formats.csr import CSRMatrix
+from repro.gpu.device import DeviceModel
+
+__all__ = ["PlanCheck", "verify_plan", "residual_report", "ResidualReport"]
+
+
+@dataclass
+class PlanCheck:
+    """Outcome of :func:`verify_plan`."""
+
+    ok: bool
+    issues: list = field(default_factory=list)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError("plan verification failed: " + "; ".join(self.issues))
+
+
+def verify_plan(
+    plan: ExecutionPlan,
+    L: CSRMatrix | None = None,
+    device: DeviceModel | None = None,
+) -> PlanCheck:
+    """Check a plan's structural invariants.
+
+    * triangular segments partition ``[0, n)`` in order;
+    * every SpMV segment reads exactly the solution prefix solved before
+      it executes (``col_hi == row_lo`` for recursive plans is *not*
+      required — column/row plans differ — but reads must be solved);
+    * segment nonzeros sum to the matrix's (when ``L`` is given);
+    * if ``L`` and ``device`` are given, one solve is executed and the
+      residual checked against the permutation-corrected system.
+    """
+    issues: list[str] = []
+    covered = 0
+    solved_upto = 0
+    for k, seg in enumerate(plan.segments):
+        if isinstance(seg, TriSegment):
+            if seg.lo != covered:
+                issues.append(
+                    f"segment {k}: triangle starts at {seg.lo}, expected {covered}"
+                )
+            if seg.hi <= seg.lo:
+                issues.append(f"segment {k}: empty triangle [{seg.lo},{seg.hi})")
+            covered = seg.hi
+            solved_upto = seg.hi
+        elif isinstance(seg, SpMVSegment):
+            if seg.col_hi > solved_upto:
+                issues.append(
+                    f"segment {k}: spmv reads x[{seg.col_lo}:{seg.col_hi}] "
+                    f"but only [0,{solved_upto}) is solved"
+                )
+            if seg.row_lo < seg.col_hi:
+                issues.append(
+                    f"segment {k}: spmv writes rows starting at {seg.row_lo} "
+                    f"inside its own column range"
+                )
+            if seg.nnz == 0:
+                issues.append(f"segment {k}: empty spmv block stored")
+        else:  # pragma: no cover - defensive
+            issues.append(f"segment {k}: unknown type {type(seg).__name__}")
+    if covered != plan.n:
+        issues.append(f"triangles cover [0,{covered}) of [0,{plan.n})")
+    if L is not None and plan.total_nnz != L.nnz:
+        issues.append(
+            f"segments hold {plan.total_nnz} nnz, matrix has {L.nnz}"
+        )
+    if L is not None and device is not None and not issues:
+        b = np.ones(plan.n)
+        x, _ = plan.solve(b, device)
+        resid = np.abs(L.matvec(x) - b).max() if plan.n else 0.0
+        if not np.isfinite(resid) or resid > 1e-6:
+            issues.append(f"solve residual {resid:.2e} exceeds 1e-6")
+    return PlanCheck(ok=not issues, issues=issues)
+
+
+@dataclass
+class ResidualReport:
+    """Outcome of :func:`residual_report`."""
+
+    max_abs: float
+    rel_to_b: float
+    ok: bool
+
+
+def residual_report(
+    L: CSRMatrix, x: np.ndarray, b: np.ndarray, tol: float = 1e-8
+) -> ResidualReport:
+    """``|L x - b|`` summary with a pass/fail verdict at ``tol``."""
+    r = np.abs(L.matvec(x) - b)
+    max_abs = float(r.max()) if len(r) else 0.0
+    scale = float(np.abs(b).max()) or 1.0
+    rel = max_abs / scale
+    return ResidualReport(max_abs=max_abs, rel_to_b=rel, ok=rel <= tol)

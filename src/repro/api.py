@@ -1,0 +1,80 @@
+"""One-call convenience API.
+
+For callers who don't need the prepare/solve split (or upper-triangular
+handling) spelled out: pick a method by name, solve, get the solution
+and the simulated report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.solver import SOLVERS
+from repro.errors import NotTriangularError
+from repro.formats.csr import CSRMatrix
+from repro.formats.triangular import (
+    is_lower_triangular,
+    is_upper_triangular,
+    upper_to_lower_mirror,
+)
+from repro.gpu.device import TITAN_RTX_SCALED, DeviceModel
+from repro.gpu.report import SolveReport
+
+__all__ = ["solve_triangular"]
+
+
+def solve_triangular(
+    A: CSRMatrix,
+    b: np.ndarray,
+    *,
+    lower: bool | None = None,
+    method: str = "recursive-block",
+    device: DeviceModel = TITAN_RTX_SCALED,
+    **solver_options,
+) -> tuple[np.ndarray, SolveReport]:
+    """Solve ``A x = b`` for triangular ``A`` with any registered method.
+
+    Parameters
+    ----------
+    A:
+        A lower- or upper-triangular CSR matrix with a non-zero diagonal.
+    b:
+        Right-hand side vector.
+    lower:
+        Orientation; ``None`` (default) auto-detects.  Upper systems are
+        mapped onto equivalent lower ones with the anti-diagonal mirror
+        and solved by the same kernels.
+    method:
+        One of ``repro.SOLVERS`` (default: the paper's recursive block
+        algorithm).
+    device:
+        Simulated device model for the timing report.
+    solver_options:
+        Forwarded to the solver constructor (e.g. ``depth=3``,
+        ``reorder=False``).
+
+    Returns
+    -------
+    (x, report):
+        Exact solution and the simulated :class:`SolveReport`.
+    """
+    if method not in SOLVERS:
+        raise ValueError(f"unknown method {method!r}; choose from {sorted(SOLVERS)}")
+    if lower is None:
+        if is_lower_triangular(A):
+            lower = True
+        elif is_upper_triangular(A):
+            lower = False
+        else:
+            raise NotTriangularError(
+                "matrix is neither lower- nor upper-triangular; use "
+                "repro.lower_triangular_from to prepare it first"
+            )
+    solver = SOLVERS[method](device=device, **solver_options)
+    if lower:
+        return solver.prepare(A).solve(np.asarray(b))
+    L, perm = upper_to_lower_mirror(A.sort_indices())
+    y, report = solver.prepare(L).solve(np.asarray(b)[perm])
+    x = np.empty_like(y)
+    x[perm] = y
+    return x, report

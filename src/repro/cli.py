@@ -1,0 +1,191 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    List the simulated devices, solver methods, and suite matrices.
+``solve``
+    Solve one system (a suite matrix, a generator, or a MatrixMarket
+    file) with one or all methods; print simulated timings and the plan.
+``calibrate``
+    Run the Figure 5 calibration sweep and print heatmaps + thresholds.
+``experiment``
+    Regenerate one of the paper's tables/figures.
+``suite``
+    Print the scaled benchmark suite with structural statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.inspect import describe_plan, level_histogram, spy
+from repro.core.solver import SOLVERS
+from repro.formats.csr import CSRMatrix
+from repro.formats.triangular import lower_triangular_from
+from repro.gpu.device import known_devices
+from repro.graph import parallelism_stats
+from repro.matrices.io import read_matrix_market
+from repro.matrices.representative import representative_matrices
+from repro.matrices.suite import scaled_suite
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_matrix(args) -> tuple[str, CSRMatrix]:
+    """Resolve ``--matrix`` against the suite, representatives, or a file."""
+    name = args.matrix
+    by_name = {s.name: s for s in scaled_suite(args.scale)}
+    by_name.update({s.name: s for s in representative_matrices(args.scale)})
+    if name in by_name:
+        return name, by_name[name].build()
+    try:
+        A = read_matrix_market(name)
+    except (OSError, Exception) as exc:  # noqa: BLE001 - report either way
+        if name not in by_name:
+            raise SystemExit(
+                f"unknown matrix {name!r}: not a suite/representative name "
+                f"and not a readable MatrixMarket file ({exc})"
+            )
+        raise
+    return name, lower_triangular_from(A)
+
+
+def cmd_info(args) -> int:
+    print("devices:")
+    for key, dev in known_devices().items():
+        print(f"  {key:18s} {dev}")
+    print("\nmethods:")
+    for name in SOLVERS:
+        print(f"  {name}")
+    print("\nmatrices: see `python -m repro suite`")
+    return 0
+
+
+def cmd_suite(args) -> int:
+    print(f"{'name':24s} {'group':14s} {'n':>8s} {'nnz':>10s} {'nlevels':>8s}")
+    for spec in scaled_suite(args.scale):
+        L = spec.build()
+        st = parallelism_stats(L)
+        print(
+            f"{spec.name:24s} {spec.group:14s} {L.n_rows:8d} {L.nnz:10d} "
+            f"{st.nlevels:8d}"
+        )
+    return 0
+
+
+def cmd_solve(args) -> int:
+    name, L = _load_matrix(args)
+    device = known_devices()[args.device]
+    b = np.ones(L.n_rows)
+    methods = list(SOLVERS) if args.method == "all" else [args.method]
+    print(f"matrix {name}: n={L.n_rows}, nnz={L.nnz}; device {device.name}")
+    if args.spy:
+        print(spy(L))
+    if args.levels:
+        print(level_histogram(L))
+    for method in methods:
+        if method == "serial" and L.n_rows > 20000:
+            print(f"{method:18s} skipped (reference kernel, matrix too large)")
+            continue
+        solver = SOLVERS[method](device=device)
+        prepared = solver.prepare(L)
+        x, report = prepared.solve(b)
+        resid = float(np.abs(L.matvec(x) - b).max())
+        print(
+            f"{method:18s} prep {prepared.preprocessing_time_s * 1e3:10.4f} ms  "
+            f"solve {report.time_s * 1e3:10.4f} ms  "
+            f"({report.gflops:8.4f} simulated GFlops)  residual {resid:.1e}"
+        )
+        if args.plan and hasattr(prepared, "plan"):
+            print(describe_plan(prepared.plan))
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from repro.core.calibrate import run_calibration
+
+    device = known_devices()[args.device]
+    cal = run_calibration(device, n_rows=args.rows, quick=args.quick)
+    print(cal.ascii_heatmap("sptrsv"))
+    print()
+    print(cal.ascii_heatmap("spmv"))
+    print()
+    print(cal.derive_thresholds())
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import fig4, fig5, fig6, fig7, table1_2, table4, table5
+
+    registry = {
+        "table1_2": lambda: table1_2.render(table1_2.run()),
+        "fig4": lambda: fig4.render(fig4.run(scale=args.scale)),
+        "fig5": lambda: fig5.render(fig5.run(quick=args.quick)),
+        "fig6": lambda: fig6.render(fig6.run(scale=args.scale)),
+        "fig7": lambda: fig7.render(fig7.run(scale=args.scale)),
+        "table4": lambda: table4.render(table4.run(scale=args.scale)),
+        "table5": lambda: table5.render(table5.run(scale=args.scale)),
+    }
+    if args.name not in registry:
+        raise SystemExit(
+            f"unknown experiment {args.name!r}; choose from {sorted(registry)}"
+        )
+    print(registry[args.name]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Block algorithms for parallel sparse triangular solve "
+        "(ICPP 2020 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list devices, methods").set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("suite", help="list the benchmark suite")
+    p.add_argument("--scale", type=float, default=0.2)
+    p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("solve", help="solve one system")
+    p.add_argument("matrix", help="suite/representative name or .mtx path")
+    p.add_argument("--method", default="recursive-block",
+                   choices=list(SOLVERS) + ["all"])
+    p.add_argument("--device", default="titan_rtx_scaled",
+                   choices=list(known_devices()))
+    p.add_argument("--scale", type=float, default=0.2,
+                   help="suite scale when matrix is a generator name")
+    p.add_argument("--plan", action="store_true", help="print the block plan")
+    p.add_argument("--spy", action="store_true", help="ASCII sparsity plot")
+    p.add_argument("--levels", action="store_true", help="level histogram")
+    p.set_defaults(fn=cmd_solve)
+
+    p = sub.add_parser("calibrate", help="run the Figure 5 sweep")
+    p.add_argument("--device", default="titan_rtx_scaled",
+                   choices=list(known_devices()))
+    p.add_argument("--rows", type=int, default=2048)
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(fn=cmd_calibrate)
+
+    p = sub.add_parser("experiment", help="regenerate a table/figure")
+    p.add_argument("name", help="table1_2 | fig4 | fig5 | fig6 | fig7 | "
+                                "table4 | table5")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(fn=cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: block algorithms for parallel SpTRSV.
+
+* :mod:`repro.core.plan` — execution plans (triangular-solve and SpMV
+  segments) shared by all three block algorithms;
+* :mod:`repro.core.adaptive` — Algorithm 7's kernel-selection decision
+  tree with the paper's thresholds;
+* :mod:`repro.core.planner` — segment boundaries and the recursion-depth
+  rule (§3.4 last paragraph);
+* :mod:`repro.core.column_block` / :mod:`repro.core.row_block` /
+  :mod:`repro.core.recursive_block` — Algorithms 4, 5 and 6;
+* :mod:`repro.core.blocked_matrix` — the improved recursive-block data
+  structure of §3.3 (level-set reordering, execution-ordered storage,
+  DCSR squares, separate diagonal);
+* :mod:`repro.core.solver` — the user-facing solver facades;
+* :mod:`repro.core.calibrate` — the Figure 5 calibration sweep.
+"""
+
+from repro.core.adaptive import SelectionThresholds, AdaptiveSelector
+from repro.core.plan import ExecutionPlan, TriSegment, SpMVSegment
+from repro.core.planner import choose_depth, split_boundaries
+from repro.core.solver import (
+    TriangularSolver,
+    PreparedSolve,
+    CuSparseSolver,
+    SyncFreeSolver,
+    LevelSetSolver,
+    ColumnBlockSolver,
+    RowBlockSolver,
+    RecursiveBlockSolver,
+    SOLVERS,
+)
+
+__all__ = [
+    "SelectionThresholds",
+    "AdaptiveSelector",
+    "ExecutionPlan",
+    "TriSegment",
+    "SpMVSegment",
+    "choose_depth",
+    "split_boundaries",
+    "TriangularSolver",
+    "PreparedSolve",
+    "CuSparseSolver",
+    "SyncFreeSolver",
+    "LevelSetSolver",
+    "ColumnBlockSolver",
+    "RowBlockSolver",
+    "RecursiveBlockSolver",
+    "SOLVERS",
+]

@@ -1,0 +1,308 @@
+"""The Figure 5 calibration sweep: find the fastest kernel per feature cell.
+
+Section 3.4: the authors divide their 159 matrices into sub-matrices,
+run *all* SpTRSV and SpMV kernels on each, collect 203,251 + 170,563
+performance samples, and pick the overall-fastest kernel per
+(nnz/row, nlevels) / (nnz/row, emptyratio) cell — producing the Figure 5
+heatmaps and the Algorithm 7 thresholds.
+
+This module reproduces that procedure against *our* simulated kernels:
+synthetic triangular blocks with prescribed feature pairs are generated
+(seeded), every kernel is timed on the selected device model, and
+:meth:`CalibrationResult.derive_thresholds` extracts decision-tree
+boundaries the same way.  Because our kernels are performance *models*,
+the derived thresholds differ from the paper's printed ones (e.g. our
+cuSPARSE stand-in's persistent-kernel stepping beats a full launch per
+level much earlier than 20000 levels); both sets ship —
+``PAPER_THRESHOLDS`` verbatim, and the calibrated defaults used by the
+solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adaptive import PAPER_THRESHOLDS, SelectionThresholds
+from repro.formats.csr import CSRMatrix
+from repro.gpu.device import DeviceModel
+from repro.kernels import SPMV_KERNELS, SPTRSV_KERNELS
+from repro.kernels.base import prepare_lower
+from repro.matrices.generators import layered_random
+from repro.utils.arrays import counts_to_indptr
+
+__all__ = [
+    "CalibrationResult",
+    "calibrate_sptrsv",
+    "calibrate_spmv",
+    "run_calibration",
+    "SPTRSV_NNZ_ROW_GRID",
+    "SPTRSV_NLEVELS_GRID",
+    "SPMV_NNZ_ROW_GRID",
+    "SPMV_EMPTY_GRID",
+]
+
+SPTRSV_NNZ_ROW_GRID = (2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0)
+SPTRSV_NLEVELS_GRID = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+SPMV_NNZ_ROW_GRID = (1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0)
+SPMV_EMPTY_GRID = (0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95)
+
+_TRI_KERNELS = ("levelset", "syncfree", "cusparse")
+
+
+def _even_sizes(n: int, nlevels: int) -> np.ndarray:
+    sizes = np.full(nlevels, n // nlevels, dtype=np.int64)
+    sizes[: n % nlevels] += 1
+    return sizes
+
+
+def _square_block(
+    n: int, nnz_per_row: float, empty_ratio: float, rng: np.random.Generator
+) -> CSRMatrix:
+    """A rectangular block with prescribed overall density and empty-row
+    ratio (nonzeros concentrated on the active rows)."""
+    n_active = max(1, int(round(n * (1.0 - empty_ratio))))
+    active = rng.choice(n, size=n_active, replace=False)
+    total = max(1, int(round(n * nnz_per_row)))
+    per_active = np.maximum(rng.poisson(total / n_active, size=n_active), 1)
+    rows = np.repeat(active, per_active)
+    cols = rng.integers(0, n, size=len(rows))
+    vals = rng.uniform(-1.0, 1.0, size=len(rows))
+    return CSRMatrix.from_coo(rows, cols, vals, (n, n))
+
+
+@dataclass
+class CalibrationResult:
+    """Grids of per-kernel GFlops and the winners per cell."""
+
+    device: DeviceModel
+    n_rows: int
+    sptrsv: dict = field(default_factory=dict)  # (nnz_row, nlevels) -> {k: gflops}
+    spmv: dict = field(default_factory=dict)  # (nnz_row, empty) -> {k: gflops}
+
+    # ------------------------------------------------------------------ #
+    def best_sptrsv(self, cell: tuple) -> str:
+        scores = self.sptrsv[cell]
+        return max(scores, key=scores.get)
+
+    def best_spmv(self, cell: tuple) -> str:
+        scores = self.spmv[cell]
+        return max(scores, key=scores.get)
+
+    @property
+    def n_samples(self) -> int:
+        return sum(len(v) for v in self.sptrsv.values()) + sum(
+            len(v) for v in self.spmv.values()
+        )
+
+    # ------------------------------------------------------------------ #
+    def derive_thresholds(
+        self, base: SelectionThresholds = PAPER_THRESHOLDS
+    ) -> SelectionThresholds:
+        """Extract Algorithm 7 boundaries from the measured winners.
+
+        The same reading the authors apply to Figure 5: rectangular
+        majority regions, scanned along each feature axis.
+        """
+        nnz_rows = sorted({c[0] for c in self.sptrsv})
+        nlevels = sorted({c[1] for c in self.sptrsv})
+
+        def tri_winner(nr, nl):
+            return self.best_sptrsv((nr, nl))
+
+        # cuSPARSE region: smallest level count from which cuSPARSE wins
+        # the per-depth majority at *every* deeper grid line.
+        def cusparse_majority_at(m: int) -> bool:
+            wins = sum(tri_winner(nr, m) == "cusparse" for nr in nnz_rows)
+            return wins >= 0.5 * len(nnz_rows)
+
+        cusparse_bound = base.tri_cusparse_nlevels
+        for i, nl in enumerate(nlevels):
+            if all(cusparse_majority_at(m) for m in nlevels[i:]):
+                cusparse_bound = nl
+                break
+
+        shallow = [m for m in nlevels if m < cusparse_bound]
+        # level-set region: the largest (nnz/row, nlevels) rectangle in
+        # the shallow zone where level-set wins the majority of cells.
+        ls_nl = 0
+        for nl in shallow:
+            upto = [m for m in shallow if m <= nl]
+            wins = sum(
+                tri_winner(nr, m) == "levelset" for nr in nnz_rows for m in upto
+            )
+            if wins >= 0.5 * len(nnz_rows) * len(upto):
+                ls_nl = nl
+        ls_nr = 0.0
+        if ls_nl:
+            upto = [m for m in shallow if m <= ls_nl]
+            for nr in nnz_rows:
+                nr_upto = [r for r in nnz_rows if r <= nr]
+                wins = sum(
+                    tri_winner(r, m) == "levelset" for r in nr_upto for m in upto
+                )
+                if wins >= 0.5 * len(nr_upto) * len(upto):
+                    ls_nr = nr
+        # thin column (smallest sampled nnz/row): how deep does level-set
+        # stay competitive there?
+        thin_nr = nnz_rows[0]
+        thin_nl = 0
+        for nl in shallow:
+            if tri_winner(thin_nr, nl) == "levelset":
+                thin_nl = nl
+
+        # --- SpMV boundaries ---
+        s_nnz = sorted({c[0] for c in self.spmv})
+        s_empty = sorted({c[1] for c in self.spmv})
+
+        def spmv_winner(nr, er):
+            return self.best_spmv((nr, er))
+
+        def vector_majority_at(r) -> bool:
+            wins = sum(spmv_winner(r, er).startswith("vector") for er in s_empty)
+            return wins >= 0.5 * len(s_empty)
+
+        vector_bound = base.spmv_vector_nnz_row
+        for i, nr in enumerate(s_nnz):
+            if all(vector_majority_at(r) for r in s_nnz[i:]):
+                vector_bound = nr
+                break
+
+        def empty_boundary(mode: str, fallback: float) -> float:
+            """Last emptyratio column (within the mode's nnz/row range)
+            where the CSR variant still wins the per-column majority."""
+            if mode == "scalar":
+                cols = [r for r in s_nnz if r < vector_bound]
+            else:
+                cols = [r for r in s_nnz if r >= vector_bound]
+            if not cols:
+                return fallback
+            best = None
+            for er in s_empty:
+                wins = sum(spmv_winner(r, er) == f"{mode}-csr" for r in cols)
+                if wins >= 0.5 * len(cols):
+                    best = er
+                else:
+                    break
+            return best if best is not None else fallback
+
+        return SelectionThresholds(
+            tri_levelset_nnz_row=ls_nr or base.tri_levelset_nnz_row,
+            tri_levelset_nlevels=ls_nl or base.tri_levelset_nlevels,
+            tri_thin_nnz_row=max(base.tri_thin_nnz_row, thin_nr * 1.05),
+            tri_thin_nlevels=thin_nl or base.tri_thin_nlevels,
+            tri_cusparse_nlevels=cusparse_bound,
+            spmv_vector_nnz_row=vector_bound,
+            spmv_scalar_empty=empty_boundary("scalar", base.spmv_scalar_empty),
+            spmv_vector_empty=empty_boundary("vector", base.spmv_vector_empty),
+        )
+
+    # ------------------------------------------------------------------ #
+    def ascii_heatmap(self, kind: str = "sptrsv") -> str:
+        """The Figure 5 heatmap as text (one letter per winning kernel)."""
+        if kind == "sptrsv":
+            grid = self.sptrsv
+            letters = {"levelset": "L", "syncfree": "S", "cusparse": "C",
+                       "diagonal": "D"}
+            ylab, xlab = "nnz/row", "nlevels"
+        else:
+            grid = self.spmv
+            letters = {
+                "scalar-csr": "s",
+                "vector-csr": "v",
+                "scalar-dcsr": "d",
+                "vector-dcsr": "w",
+            }
+            ylab, xlab = "nnz/row", "emptyratio"
+        ys = sorted({c[0] for c in grid})
+        xs = sorted({c[1] for c in grid})
+        lines = [f"{ylab} \\ {xlab}: " + " ".join(f"{x:>6}" for x in xs)]
+        for y in ys:
+            row = [f"{y:>6} "]
+            for x in xs:
+                scores = grid[(y, x)]
+                row.append(f"{letters[max(scores, key=scores.get)]:>6}")
+            lines.append(" ".join(row))
+        legend = ", ".join(f"{v}={k}" for k, v in letters.items())
+        lines.append(f"legend: {legend}")
+        return "\n".join(lines)
+
+
+def calibrate_sptrsv(
+    device: DeviceModel,
+    n_rows: int = 4096,
+    nnz_row_grid=SPTRSV_NNZ_ROW_GRID,
+    nlevels_grid=SPTRSV_NLEVELS_GRID,
+    seed: int = 7,
+) -> dict:
+    """GFlops of every SpTRSV kernel on every feature cell."""
+    out: dict = {}
+    rng = np.random.default_rng(seed)
+    for nl in nlevels_grid:
+        if nl > n_rows:
+            continue
+        for nr in nnz_row_grid:
+            # A matrix of nl levels needs the mandatory previous-level
+            # dependency, i.e. roughly nnz/row >= 2 beyond level 0.
+            L = layered_random(
+                _even_sizes(n_rows, nl), nnz_per_row=nr, rng=rng
+            )
+            prep = prepare_lower(L)
+            b = np.ones(n_rows)
+            scores = {}
+            for name in _TRI_KERNELS:
+                kernel = SPTRSV_KERNELS[name]()
+                aux, _ = kernel.preprocess(prep, device)
+                _, rep = kernel.solve(aux, b, device)
+                scores[name] = rep.gflops
+            out[(nr, nl)] = scores
+    return out
+
+
+def calibrate_spmv(
+    device: DeviceModel,
+    n_rows: int = 4096,
+    nnz_row_grid=SPMV_NNZ_ROW_GRID,
+    empty_grid=SPMV_EMPTY_GRID,
+    seed: int = 11,
+) -> dict:
+    """GFlops of every SpMV kernel on every feature cell."""
+    out: dict = {}
+    rng = np.random.default_rng(seed)
+    for er in empty_grid:
+        for nr in nnz_row_grid:
+            A = _square_block(n_rows, nr, er, rng)
+            x = rng.standard_normal(n_rows)
+            dcsr = A.to_dcsr()
+            scores = {}
+            for name, K in SPMV_KERNELS.items():
+                kernel = K()
+                b = np.zeros(n_rows)
+                rep = kernel.run(dcsr if kernel.wants_dcsr else A, x, b, device)
+                scores[name] = rep.gflops
+            out[(nr, er)] = scores
+    return out
+
+
+def run_calibration(
+    device: DeviceModel, n_rows: int = 4096, quick: bool = False
+) -> CalibrationResult:
+    """Full Figure 5 sweep on one device model."""
+    if quick:
+        tri = calibrate_sptrsv(
+            device,
+            n_rows=min(n_rows, 1024),
+            nnz_row_grid=(2.0, 8.0, 24.0),
+            nlevels_grid=(2, 16, 128),
+        )
+        sq = calibrate_spmv(
+            device,
+            n_rows=min(n_rows, 1024),
+            nnz_row_grid=(2.0, 16.0),
+            empty_grid=(0.0, 0.5, 0.9),
+        )
+    else:
+        tri = calibrate_sptrsv(device, n_rows=n_rows)
+        sq = calibrate_spmv(device, n_rows=n_rows)
+    return CalibrationResult(device=device, n_rows=n_rows, sptrsv=tri, spmv=sq)

@@ -1,0 +1,83 @@
+"""Algorithm 6 — the recursive block algorithm (plain form).
+
+Each triangular range splits at its midpoint into a top triangle, a
+square (or near-square) block, and a bottom triangle; the triangles
+recurse (Figure 2(c)).  The execution order is the in-order traversal:
+``solve(top) ; b -= square @ x(top) ; solve(bottom)`` — so every square
+SpMV reads only the x-segment solved immediately above it and writes only
+the b-segment immediately below, the balanced traffic of Tables 1–2
+(``0.5nx + n`` updates, ``0.5nx`` loads).
+
+The improved form of §3.3 (level-set reordering, DCSR squares,
+execution-ordered storage) lives in :mod:`repro.core.blocked_matrix`;
+this module provides the traversal both share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.adaptive import AdaptiveSelector
+from repro.core.build import SegmentBuilder
+from repro.core.plan import ExecutionPlan
+from repro.formats.csr import CSRMatrix
+from repro.gpu.device import DeviceModel
+
+__all__ = ["recursive_ranges", "build_recursive_block_plan"]
+
+
+def recursive_ranges(lo: int, hi: int, depth: int) -> Iterator[tuple]:
+    """In-order traversal of the recursive split.
+
+    Yields ``("tri", lo, hi)`` leaves and ``("spmv", row_lo, row_hi,
+    col_lo, col_hi)`` squares in execution order.  A range of fewer than
+    two rows stops recursing regardless of remaining depth.
+    """
+    if depth <= 0 or hi - lo < 2:
+        yield ("tri", lo, hi)
+        return
+    mid = (lo + hi) // 2
+    yield from recursive_ranges(lo, mid, depth - 1)
+    yield ("spmv", mid, hi, lo, mid)
+    yield from recursive_ranges(mid, hi, depth - 1)
+
+
+def build_recursive_block_plan(
+    L: CSRMatrix,
+    depth: int,
+    device: DeviceModel,
+    selector: AdaptiveSelector | None = None,
+    *,
+    fixed_tri: str | None = None,
+    fixed_spmv: str | None = None,
+    use_dcsr: bool = False,
+) -> ExecutionPlan:
+    """Preprocess ``L`` into a plain (unreordered) recursive block plan.
+
+    Plain Algorithm 6 predates the §3.3 storage improvements, so squares
+    default to CSR; the improved path lives in blocked_matrix.py.
+    """
+    selector = selector or AdaptiveSelector()
+    builder = SegmentBuilder(
+        L=L,
+        device=device,
+        selector=selector,
+        fixed_tri=fixed_tri,
+        fixed_spmv=fixed_spmv,
+        use_dcsr=use_dcsr,
+    )
+    segments = []
+    for op in recursive_ranges(0, L.n_rows, depth):
+        if op[0] == "tri":
+            segments.append(builder.tri_segment(op[1], op[2]))
+        else:
+            spmv = builder.spmv_segment(op[1], op[2], op[3], op[4])
+            if spmv is not None:
+                segments.append(spmv)
+    return ExecutionPlan(
+        method="recursive-block",
+        n=L.n_rows,
+        segments=segments,
+        perm=None,
+        preprocess_report=builder.stats.report("recursive-block"),
+    )

@@ -1,0 +1,88 @@
+"""Persistence of the improved recursive-block structure.
+
+Table 5's economics assume the §3.3 preprocessing runs once and its
+product is reused across many solves — including across *processes* in a
+real deployment (a direct solver factorizes once, then serves right-hand
+sides for hours).  This module saves the reordered matrix, permutation
+and plan parameters to a single ``.npz`` file and rebuilds a ready
+:class:`RecursiveBlockedMatrix` on load, skipping the reorder sweeps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveSelector, SelectionThresholds
+from repro.core.blocked_matrix import (
+    RecursiveBlockedMatrix,
+    build_improved_recursive_plan,
+)
+from repro.errors import SparseFormatError
+from repro.formats.csr import CSRMatrix
+from repro.gpu.device import DeviceModel
+
+__all__ = ["save_blocked", "load_blocked"]
+
+_FORMAT_VERSION = 1
+
+
+def save_blocked(path: str | Path, blocked: RecursiveBlockedMatrix) -> None:
+    """Write a blocked structure to ``path`` (numpy ``.npz``).
+
+    Requires the structure to have been built with ``keep_permuted=True``
+    (the permuted matrix is the canonical on-disk payload; segments are
+    re-cut deterministically on load).
+    """
+    if blocked.permuted is None:
+        raise ValueError(
+            "save_blocked needs the permuted matrix; build the plan with "
+            "keep_permuted=True"
+        )
+    Lp = blocked.permuted
+    np.savez_compressed(
+        Path(path),
+        format_version=np.int64(_FORMAT_VERSION),
+        n=np.int64(blocked.n),
+        depth=np.int64(blocked.depth),
+        perm=blocked.perm,
+        indptr=Lp.indptr,
+        indices=Lp.indices,
+        data=Lp.data,
+    )
+
+
+def load_blocked(
+    path: str | Path,
+    device: DeviceModel,
+    thresholds: SelectionThresholds | None = None,
+    *,
+    use_dcsr: bool = True,
+) -> RecursiveBlockedMatrix:
+    """Rebuild a saved blocked structure for ``device``.
+
+    Kernel selection reruns against the given device/thresholds (the
+    stored payload is device-independent: permutation + permuted matrix),
+    but the expensive reorder sweeps are skipped.
+    """
+    with np.load(Path(path)) as z:
+        version = int(z["format_version"])
+        if version != _FORMAT_VERSION:
+            raise SparseFormatError(
+                f"{path}: unsupported blocked-format version {version}"
+            )
+        n = int(z["n"])
+        depth = int(z["depth"])
+        perm = z["perm"].astype(np.int64)
+        Lp = CSRMatrix(n, n, z["indptr"], z["indices"], z["data"])
+    selector = AdaptiveSelector(thresholds) if thresholds else None
+    return build_improved_recursive_plan(
+        Lp,  # original matrix unused on the precomputed path
+        depth,
+        device,
+        selector,
+        use_dcsr=use_dcsr,
+        keep_permuted=True,
+        precomputed=(perm, Lp),
+    )

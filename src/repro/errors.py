@@ -1,0 +1,31 @@
+"""Exception types shared across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SparseFormatError",
+    "NotTriangularError",
+    "SingularMatrixError",
+    "ShapeMismatchError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse container's arrays violate its structural invariants."""
+
+
+class NotTriangularError(ReproError):
+    """An operation required a (lower/upper) triangular matrix."""
+
+
+class SingularMatrixError(ReproError):
+    """A triangular solve encountered a zero or missing diagonal entry."""
+
+
+class ShapeMismatchError(ReproError):
+    """Operand shapes are incompatible for the requested operation."""

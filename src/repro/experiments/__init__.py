@@ -1,0 +1,20 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning structured results and a
+``render(results)`` producing the same rows/series the paper reports.
+The ``benchmarks/`` directory wires these into pytest-benchmark targets.
+"""
+
+from repro.experiments.runner import (
+    EvaluationDevice,
+    evaluation_devices,
+    run_method_on_matrix,
+    METHODS,
+)
+
+__all__ = [
+    "EvaluationDevice",
+    "evaluation_devices",
+    "run_method_on_matrix",
+    "METHODS",
+]

@@ -1,0 +1,69 @@
+"""Figure 7 — double/single precision performance-ratio box plots.
+
+The paper reports, per method and device, the distribution over the 159
+matrices of (double-precision GFlops) / (single-precision GFlops):
+Sync-free ~0.9, the block algorithm 0.8-0.9, cuSPARSE 0.7-0.8 — i.e.
+sparse kernels are far less precision-sensitive than dense ones (~0.5)
+because index traffic and structure handling dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.metrics import quartiles
+from repro.experiments.runner import METHODS, evaluation_devices, run_method_on_matrix
+from repro.matrices.suite import scaled_suite
+
+__all__ = ["run", "render", "Fig7Result"]
+
+#: the paper's observed ratio bands per method
+PAPER_BANDS = {
+    "cusparse": (0.7, 0.8),
+    "syncfree": (0.85, 0.95),
+    "recursive-block": (0.8, 0.9),
+}
+
+
+@dataclass
+class Fig7Result:
+    #: device -> method -> list of double/single performance ratios
+    ratios: dict = field(default_factory=dict)
+
+
+def run(scale: float = 0.35, max_matrices: int | None = None) -> Fig7Result:
+    specs = scaled_suite(scale)
+    if max_matrices is not None:
+        specs = specs[:max_matrices]
+    res = Fig7Result()
+    for dev in evaluation_devices():
+        per_method: dict = {m: [] for m in METHODS}
+        for spec in specs:
+            L = spec.build()
+            for m in METHODS:
+                double = run_method_on_matrix(
+                    L, m, dev, matrix_name=spec.name, dtype=np.float64
+                )
+                single = run_method_on_matrix(
+                    L, m, dev, matrix_name=spec.name, dtype=np.float32
+                )
+                per_method[m].append(double.gflops / single.gflops)
+        res.ratios[dev.key] = per_method
+    return res
+
+
+def render(res: Fig7Result) -> str:
+    lines = ["Figure 7 - double/single precision performance ratio box plots:"]
+    for device, per_method in res.ratios.items():
+        lines.append(f"  [{device}]")
+        for m, vals in per_method.items():
+            q = quartiles(vals)
+            lo, hi = PAPER_BANDS[m]
+            lines.append(
+                f"    {m:16s} min {q['min']:.3f}  q1 {q['q1']:.3f}  med "
+                f"{q['median']:.3f}  q3 {q['q3']:.3f}  max {q['max']:.3f}"
+                f"   (paper band ~{lo}-{hi})"
+            )
+    return "\n".join(lines)

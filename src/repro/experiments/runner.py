@@ -1,0 +1,111 @@
+"""Shared machinery for the evaluation (§4.1 setup).
+
+The paper evaluates three algorithms — cuSPARSE v2, Sync-free, and the
+recursive block algorithm — on two GPUs, running each solve 200 times and
+reporting the average.  Our kernels are deterministic performance models,
+so a single simulated solve *is* the average; the 200-iteration protocol
+appears in Table 5's amortization instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import MethodResult
+from repro.core.solver import (
+    CuSparseSolver,
+    RecursiveBlockSolver,
+    SyncFreeSolver,
+    TriangularSolver,
+)
+from repro.formats.csr import CSRMatrix
+from repro.gpu.device import (
+    DATASET_SCALE,
+    TITAN_RTX,
+    TITAN_X,
+    DeviceModel,
+)
+
+__all__ = [
+    "METHODS",
+    "EvaluationDevice",
+    "evaluation_devices",
+    "run_method_on_matrix",
+    "run_all_methods",
+]
+
+#: the three algorithms of Table 3, in the paper's order
+METHODS: dict[str, type[TriangularSolver]] = {
+    "cusparse": CuSparseSolver,
+    "syncfree": SyncFreeSolver,
+    "recursive-block": RecursiveBlockSolver,
+}
+
+
+@dataclass(frozen=True)
+class EvaluationDevice:
+    """A device model at dataset scale, plus the factor for converting
+    simulated GFlops back to paper-comparable magnitudes."""
+
+    key: str
+    device: DeviceModel
+    gflops_factor: float
+
+
+def evaluation_devices(scale: float = DATASET_SCALE) -> list[EvaluationDevice]:
+    """Both Table 3 GPUs scaled to the dataset (DESIGN.md §2)."""
+    return [
+        EvaluationDevice("titan_x", TITAN_X.scaled(scale), scale),
+        EvaluationDevice("titan_rtx", TITAN_RTX.scaled(scale), scale),
+    ]
+
+
+def run_method_on_matrix(
+    L: CSRMatrix,
+    method: str,
+    dev: EvaluationDevice,
+    *,
+    matrix_name: str = "matrix",
+    dtype=np.float64,
+    check: bool = True,
+) -> MethodResult:
+    """Prepare + one solve; returns the paper's reporting quantities."""
+    Lw = L if L.data.dtype == dtype else L.astype(dtype)
+    solver = METHODS[method](device=dev.device)
+    prepared = solver.prepare(Lw)
+    b = np.ones(L.n_rows, dtype=dtype)
+    x, report = prepared.solve(b)
+    if check:
+        resid = np.abs(Lw.matvec(x) - b)
+        scale = max(float(np.abs(b).max()), 1.0)
+        tol = 1e-6 if dtype == np.float64 else 1e-2
+        if resid.max() / scale > tol:
+            raise AssertionError(
+                f"{method} produced residual {resid.max():.2e} on {matrix_name}"
+            )
+    return MethodResult(
+        matrix=matrix_name,
+        method=method,
+        device=dev.key,
+        n=L.n_rows,
+        nnz=L.nnz,
+        solve_time_s=report.time_s,
+        preprocess_time_s=prepared.preprocessing_time_s,
+        gflops=report.gflops * dev.gflops_factor,
+    )
+
+
+def run_all_methods(
+    L: CSRMatrix,
+    dev: EvaluationDevice,
+    *,
+    matrix_name: str = "matrix",
+    dtype=np.float64,
+) -> dict[str, MethodResult]:
+    """All three Table 3 algorithms on one matrix/device."""
+    return {
+        m: run_method_on_matrix(L, m, dev, matrix_name=matrix_name, dtype=dtype)
+        for m in METHODS
+    }

@@ -1,0 +1,76 @@
+"""Table 4 — the six representative matrices in detail.
+
+Per matrix: n, nnz, level count, parallelism (min/avg/max components per
+level), GFlops of the three methods, and the block algorithm's speedups.
+Each analogue runs on a device model scaled by *its own* row-count ratio
+to the paper's original, so work:overhead and working-set:cache ratios
+match the paper per row (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import EvaluationDevice, run_all_methods
+from repro.gpu.device import TITAN_RTX
+from repro.graph import cached_levels, parallelism_stats
+from repro.matrices.representative import (
+    REPRESENTATIVE_PAPER_DATA,
+    representative_matrices,
+)
+
+__all__ = ["run", "render", "Table4Result"]
+
+
+@dataclass
+class Table4Result:
+    #: matrix -> (ParallelismStats, {method: MethodResult}, paper row)
+    rows: dict = field(default_factory=dict)
+
+
+def run(scale: float = 1.0) -> Table4Result:
+    res = Table4Result()
+    for spec in representative_matrices(scale):
+        L = spec.build()
+        paper = REPRESENTATIVE_PAPER_DATA[spec.name]
+        device_scale = paper[0] / L.n_rows
+        dev = EvaluationDevice(
+            "titan_rtx", TITAN_RTX.scaled(device_scale), device_scale
+        )
+        stats = parallelism_stats(L, cached_levels(L))
+        results = run_all_methods(L, dev, matrix_name=spec.name)
+        res.rows[spec.name] = (stats, results, paper)
+    return res
+
+
+def render(res: Table4Result) -> str:
+    lines = [
+        "Table 4 - representative matrices on the Titan RTX model "
+        "(GFlops at paper scale):",
+        f"  {'matrix':18s} {'n':>8s} {'nnz':>9s} {'#lvl':>6s} "
+        f"{'par min/avg/max':>20s} {'cuSP':>7s} {'Sync':>7s} {'blk':>7s} "
+        f"{'vs cuSP':>8s} {'vs Sync':>8s}",
+    ]
+    for name, (stats, results, paper) in res.rows.items():
+        c, s, r = (
+            results["cusparse"],
+            results["syncfree"],
+            results["recursive-block"],
+        )
+        par = f"{stats.min_parallelism}/{stats.avg_parallelism:.0f}/{stats.max_parallelism}"
+        lines.append(
+            f"  {name:18s} {stats.n_rows:8d} {stats.nnz:9d} {stats.nlevels:6d} "
+            f"{par:>20s} {c.gflops:7.2f} {s.gflops:7.2f} {r.gflops:7.2f} "
+            f"{r.gflops / c.gflops:7.2f}x {r.gflops / s.gflops:7.2f}x"
+        )
+        lines.append(
+            f"  {'  (paper)':18s} {paper[0]:8d} {paper[1]:9d} {paper[2]:6d} "
+            f"{'':>20s} {paper[3]:7.2f} {paper[4]:7.2f} {paper[5]:7.2f} "
+            f"{paper[5] / paper[3]:7.2f}x {paper[5] / paper[4]:7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def parallelism_row(L, levels=None):
+    """Helper kept for tests: Table 4's structural columns only."""
+    return parallelism_stats(L, levels if levels is not None else cached_levels(L))

@@ -1,0 +1,41 @@
+"""From-scratch sparse matrix containers used throughout the package.
+
+The paper stores triangular parts in CSC, square parts in CSR, and
+hypersparse square parts in DCSR (a doubly-compressed CSR in the spirit of
+Buluç & Gilbert's DCSC).  All three are implemented here on plain NumPy
+arrays with explicit structural validation; no SciPy types appear in the
+library's data path (SciPy is used only by the test suite for
+cross-validation).
+"""
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.dcsr import DCSRMatrix
+from repro.formats.convert import (
+    coo_to_csr_arrays,
+    csr_to_csc,
+    csc_to_csr,
+    csr_transpose,
+)
+from repro.formats.triangular import (
+    is_lower_triangular,
+    is_upper_triangular,
+    lower_triangular_from,
+    split_strict_and_diag,
+    check_solvable_diagonal,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "CSCMatrix",
+    "DCSRMatrix",
+    "coo_to_csr_arrays",
+    "csr_to_csc",
+    "csc_to_csr",
+    "csr_transpose",
+    "is_lower_triangular",
+    "is_upper_triangular",
+    "lower_triangular_from",
+    "split_strict_and_diag",
+    "check_solvable_diagonal",
+]

@@ -1,0 +1,37 @@
+"""Simulated-GPU execution substrate.
+
+The paper evaluates CUDA kernels on an NVIDIA Titan X (Pascal) and a Titan
+RTX (Turing).  Neither GPUs nor CUDA are available here, so every kernel in
+:mod:`repro.kernels` computes its numerically exact result with vectorized
+NumPy *and* a simulated execution time on a :class:`DeviceModel`.  The
+model charges for exactly the effects the paper reasons about:
+
+* kernel-launch latency (one launch per level set — the level-set method's
+  pathology);
+* resident-warp slot occupation and dependency-propagation latency through
+  atomics (the Sync-free method's pathology on deep matrices);
+* DRAM streaming vs random gathers with an L2 working-set cache model (the
+  blocked layout's locality win);
+* thread-per-row load imbalance under power-law row lengths (the paper's
+  motivation for cutting long rows);
+* atomic contention on high in-degree components.
+
+All constants are deterministic; no wall-clock measurement feeds a figure.
+"""
+
+from repro.gpu.device import DeviceModel, TITAN_X, TITAN_RTX, known_devices
+from repro.gpu.cost import CostModel
+from repro.gpu.report import KernelReport, SolveReport, merge_reports
+from repro.gpu.scheduler import simulate_dependent_warps
+
+__all__ = [
+    "DeviceModel",
+    "TITAN_X",
+    "TITAN_RTX",
+    "known_devices",
+    "CostModel",
+    "KernelReport",
+    "SolveReport",
+    "merge_reports",
+    "simulate_dependent_warps",
+]

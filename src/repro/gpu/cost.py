@@ -1,0 +1,139 @@
+"""Analytical cost primitives shared by every simulated kernel.
+
+Each primitive converts a resource demand (bytes streamed, random
+accesses, flops, atomics) into seconds on a :class:`DeviceModel`.  Kernels
+combine primitives with the roofline convention ``max(memory, compute)``
+plus launch overheads, so a memory-bound SpTRSV behaves like the real
+thing: bandwidth-limited when saturated, latency/overhead-limited when
+parallelism is scarce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceModel
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cost primitives bound to one device."""
+
+    device: DeviceModel
+
+    # -------------------------------------------------------------- #
+    # Memory
+    # -------------------------------------------------------------- #
+    def stream_time(self, nbytes: float) -> float:
+        """Coalesced sequential traffic (CSR values/indices, b, x writes)."""
+        d = self.device
+        return nbytes / (d.bandwidth_bytes * d.stream_efficiency)
+
+    def cache_hit_fraction(self, working_set_bytes: float) -> float:
+        """Expected L2 hit rate of uniform random accesses over a working
+        set.  Fully resident sets hit ~always; beyond L2 the hit rate
+        decays as cache/working-set (random-replacement approximation)."""
+        d = self.device
+        usable = d.l2_bytes * d.l2_usable_fraction
+        if working_set_bytes <= 0:
+            return 1.0
+        return min(1.0, usable / working_set_bytes)
+
+    def gather_time(
+        self, n_access: float, elem_bytes: float, working_set_bytes: float
+    ) -> float:
+        """Random gathers (reading x at column indices) through L2.
+
+        Misses move a full DRAM sector; hits consume L2 bandwidth.  This
+        is the term the blocked layout shrinks: a small triangular or
+        square block touches only its own slice of ``x``, so its working
+        set fits in L2 and the gather degrades gracefully to the hit path.
+        """
+        d = self.device
+        hit = self.cache_hit_fraction(working_set_bytes)
+        # A miss drags at least one DRAM sector; wide elements (e.g. a
+        # multi-RHS row of x) span several sectors.
+        miss_bytes = n_access * (1.0 - hit) * max(d.sector_bytes, elem_bytes)
+        hit_bytes = n_access * hit * elem_bytes
+        return miss_bytes / (d.bandwidth_bytes * d.stream_efficiency) + hit_bytes / (
+            d.bandwidth_bytes * d.l2_bandwidth_ratio
+        )
+
+    def scalar_entry_bytes(self, avg_row_len: float, payload_bytes: float) -> float:
+        """Effective DRAM bytes per CSR entry under a thread-per-row map.
+
+        Adjacent threads of a warp walk *different* rows, so their k-th
+        loads sit ``row_length`` entries apart: for single-entry rows the
+        warp's accesses are consecutive (full coalescing, pay the payload
+        only); for long rows every load drags its own DRAM sector.  This
+        is the classic reason warp-per-row ("vector") kernels win on
+        dense rows even though they waste lanes on short ones.
+
+        Consecutive loads land ``row_len * payload`` bytes apart, so each
+        sector of ``sector_bytes`` serves ``sector / stride`` of them:
+        per-entry traffic is ``clamp(row_len * payload, payload,
+        sector_bytes)``.
+        """
+        d = self.device
+        stride = max(avg_row_len, 1.0) * payload_bytes
+        return float(min(max(stride, payload_bytes), d.sector_bytes))
+
+    # -------------------------------------------------------------- #
+    # Compute
+    # -------------------------------------------------------------- #
+    def compute_time(self, flops: float, active_threads: float) -> float:
+        """Throughput-limited arithmetic with a core-utilization factor."""
+        d = self.device
+        if flops <= 0:
+            return 0.0
+        util = min(1.0, max(active_threads, 1.0) / d.cuda_cores)
+        return flops / (d.peak_flops * util)
+
+    def serial_cycles_time(self, cycles: float) -> float:
+        """A dependent chain of ``cycles`` on one thread (long-row stall)."""
+        return cycles / self.device.clock_hz
+
+    #: front-end cycles to issue/retire one warp (scheduling, prologue);
+    #: calibrated so the scalar/vector SpMV crossover lands near the
+    #: paper's nnz/row = 12 boundary (Figure 5(b))
+    WARP_ISSUE_CYCLES = 40.0
+
+    def warp_issue_time(self, n_warps: float) -> float:
+        """Warp scheduling throughput across the SMs.
+
+        This is what makes a warp-per-row ("vector") kernel lose on short
+        rows: it issues 32x more warps than a thread-per-row kernel for
+        the same matrix, and each costs front-end cycles regardless of
+        how little its lanes do.
+        """
+        d = self.device
+        return n_warps * self.WARP_ISSUE_CYCLES / d.clock_hz / max(d.sm_count, 1)
+
+    # -------------------------------------------------------------- #
+    # Synchronization / overheads
+    # -------------------------------------------------------------- #
+    def launch_time(self) -> float:
+        return self.device.launch_overhead_s
+
+    def kernel_floor(self) -> float:
+        return self.device.min_kernel_s
+
+    def atomic_time(self, n_atomics: float) -> float:
+        """Independent global atomics at device throughput."""
+        return n_atomics / self.device.atomic_gops
+
+    def contention_time(self, ops_same_address: float) -> float:
+        """Atomics serialized on a single address (power-law in-degrees)."""
+        return ops_same_address * self.device.atomic_contention_s
+
+    # -------------------------------------------------------------- #
+    # Composition helpers
+    # -------------------------------------------------------------- #
+    def kernel_time(
+        self, mem_s: float, compute_s: float, extra_s: float = 0.0
+    ) -> float:
+        """Roofline combination of one kernel's phases, floored at the
+        minimum kernel duration (excludes launch overhead)."""
+        return max(max(mem_s, compute_s) + extra_s, self.kernel_floor())

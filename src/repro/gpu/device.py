@@ -1,0 +1,172 @@
+"""Device descriptors for the two GPUs of Table 3.
+
+The headline specifications (core count, clock, memory size, bandwidth)
+are copied verbatim from the paper's Table 3.  Microarchitectural details
+not listed there (SM counts, resident-warp limits, L2 sizes, latencies)
+use the public NVIDIA numbers for the respective parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "DeviceModel",
+    "TITAN_X",
+    "TITAN_RTX",
+    "DATASET_SCALE",
+    "TITAN_X_SCALED",
+    "TITAN_RTX_SCALED",
+    "known_devices",
+]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Hardware facts of a simulated GPU.
+
+    Only physical characteristics live here; algorithm-specific cost
+    constants (e.g. cuSPARSE call overhead) live next to the kernels that
+    incur them.
+    """
+
+    name: str
+    arch: str
+    cuda_cores: int
+    sm_count: int
+    clock_mhz: float
+    mem_bandwidth_gbps: float
+    l2_bytes: int
+    dram_bytes: int
+    max_warps_per_sm: int
+    warp_size: int = 32
+    #: driver + runtime latency of one kernel launch (seconds)
+    launch_overhead_s: float = 3.5e-6
+    #: minimum duration of any kernel once launched (tail effects)
+    min_kernel_s: float = 1.6e-6
+    #: global-memory round-trip latency (seconds)
+    dram_latency_s: float = 4.2e-7
+    #: throughput of independent global atomics (operations / second)
+    atomic_gops: float = 2.0e9
+    #: serialization cost of atomics contending on one address (seconds/op)
+    atomic_contention_s: float = 6.0e-9
+    #: fraction of peak DRAM bandwidth achieved by coalesced streams
+    stream_efficiency: float = 0.78
+    #: L2-to-SM bandwidth relative to DRAM bandwidth
+    l2_bandwidth_ratio: float = 3.0
+    #: fraction of L2 usable for the x/b working set
+    l2_usable_fraction: float = 0.85
+    #: DRAM sector moved by one uncoalesced access (bytes)
+    sector_bytes: int = 32
+    #: explicit resident-warp pool (None = sm_count * max_warps_per_sm);
+    #: set by :meth:`scaled` so warp-slot ratios survive device scaling
+    resident_warp_override: int | None = None
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_mhz * 1e6
+
+    @property
+    def peak_flops(self) -> float:
+        """FMA-rate peak (2 flops per core per cycle)."""
+        return self.cuda_cores * self.clock_hz * 2.0
+
+    @property
+    def bandwidth_bytes(self) -> float:
+        return self.mem_bandwidth_gbps * 1e9
+
+    @property
+    def max_resident_warps(self) -> int:
+        """Warps that can be simultaneously resident across all SMs —
+        the slot pool a busy-waiting Sync-free warp occupies."""
+        if self.resident_warp_override is not None:
+            return self.resident_warp_override
+        return self.sm_count * self.max_warps_per_sm
+
+    def scaled(self, factor: float) -> "DeviceModel":
+        """A ``1/factor``-scale replica of this GPU.
+
+        The evaluation dataset is the paper's matrix population scaled
+        down ~50x in rows/nonzeros (DESIGN.md §2).  Running it on a
+        full-size device model would distort every conclusion: fixed
+        launch/call overheads would dwarf the (50x smaller) per-kernel
+        work, and the x/b working sets would suddenly fit in L2,
+        erasing the locality advantage the blocked layout exists for.
+
+        Scaling *capacity and throughput* quantities (cores, SMs,
+        resident warps, bandwidth, cache, memory) by the same factor as
+        the dataset — while keeping *physical* quantities (clock,
+        latencies, launch overhead, warp size, sector size) fixed —
+        preserves every ratio the paper's comparisons rest on:
+        work-per-launch, working-set-per-cache, components-per-warp-slot.
+        Simulated solve *times* then land near the paper's absolute
+        magnitudes, and achieved GFlops are ~1/factor of the paper's
+        (multiply by ``factor`` for paper-comparable numbers).
+        """
+        return replace(
+            self,
+            name=f"{self.name} (1/{factor:g} scale)",
+            cuda_cores=max(32, round(self.cuda_cores / factor)),
+            sm_count=max(1, round(self.sm_count / factor)),
+            mem_bandwidth_gbps=self.mem_bandwidth_gbps / factor,
+            l2_bytes=max(4096, round(self.l2_bytes / factor)),
+            dram_bytes=max(1 << 20, round(self.dram_bytes / factor)),
+            resident_warp_override=max(
+                8, round(self.sm_count * self.max_warps_per_sm / factor)
+            ),
+        )
+
+    @property
+    def max_resident_threads(self) -> int:
+        return self.max_resident_warps * self.warp_size
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name} ({self.arch}), {self.cuda_cores} CUDA cores @ "
+            f"{self.clock_mhz:.0f} MHz, B/W {self.mem_bandwidth_gbps} GB/s"
+        )
+
+
+#: Table 3 row 1: "Titan X (Pascal), 3072 CUDA cores @ 1075 MHz, 12 GB, B/W 336.5 GB/s"
+TITAN_X = DeviceModel(
+    name="Titan X",
+    arch="Pascal",
+    cuda_cores=3072,
+    sm_count=24,
+    clock_mhz=1075.0,
+    mem_bandwidth_gbps=336.5,
+    l2_bytes=3 * 1024 * 1024,
+    dram_bytes=12 * 1024**3,
+    max_warps_per_sm=64,
+)
+
+#: Table 3 row 2: "Titan RTX (Turing), 4608 CUDA cores @ 1770 MHz, 24 GB, B/W 672 GB/s"
+TITAN_RTX = DeviceModel(
+    name="Titan RTX",
+    arch="Turing",
+    cuda_cores=4608,
+    sm_count=72,
+    clock_mhz=1770.0,
+    mem_bandwidth_gbps=672.0,
+    l2_bytes=6 * 1024 * 1024,
+    dram_bytes=24 * 1024**3,
+    max_warps_per_sm=32,
+)
+
+
+#: rows/nonzeros ratio between the paper's dataset and ours (DESIGN.md §2)
+DATASET_SCALE = 50.0
+
+#: the evaluation devices at dataset scale (see :meth:`DeviceModel.scaled`)
+TITAN_X_SCALED = TITAN_X.scaled(DATASET_SCALE)
+TITAN_RTX_SCALED = TITAN_RTX.scaled(DATASET_SCALE)
+
+
+def known_devices() -> dict[str, DeviceModel]:
+    """The evaluation devices keyed by short name."""
+    return {
+        "titan_x": TITAN_X,
+        "titan_rtx": TITAN_RTX,
+        "titan_x_scaled": TITAN_X_SCALED,
+        "titan_rtx_scaled": TITAN_RTX_SCALED,
+    }

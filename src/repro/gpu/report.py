@@ -1,0 +1,73 @@
+"""Timing reports produced by simulated kernels and solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelReport", "SolveReport", "merge_reports"]
+
+
+@dataclass
+class KernelReport:
+    """Outcome of one simulated kernel (or fused sequence of kernels)."""
+
+    kernel: str
+    time_s: float
+    launches: int = 1
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFlops (the paper's performance metric)."""
+        return self.flops / self.time_s / 1e9 if self.time_s > 0 else 0.0
+
+    def scaled(self, factor: float) -> "KernelReport":
+        """Report with time scaled by ``factor`` (used for repeat counts)."""
+        return KernelReport(
+            self.kernel,
+            self.time_s * factor,
+            self.launches,
+            self.flops,
+            self.bytes_moved,
+            dict(self.detail),
+        )
+
+
+@dataclass
+class SolveReport:
+    """Outcome of one full SpTRSV: aggregated sub-kernel reports."""
+
+    method: str
+    time_s: float
+    flops: float
+    launches: int
+    bytes_moved: float = 0.0
+    kernels: list = field(default_factory=list)
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.time_s / 1e9 if self.time_s > 0 else 0.0
+
+    def kernel_time(self, prefix: str) -> float:
+        """Total simulated time of sub-kernels whose name starts with
+        ``prefix`` (e.g. ``"spmv"`` for Figure 4's SpMV share)."""
+        return sum(k.time_s for k in self.kernels if k.kernel.startswith(prefix))
+
+    def kernel_count(self, prefix: str) -> int:
+        return sum(1 for k in self.kernels if k.kernel.startswith(prefix))
+
+
+def merge_reports(method: str, reports: list[KernelReport], **detail) -> SolveReport:
+    """Sum sub-kernel reports into one :class:`SolveReport`."""
+    return SolveReport(
+        method=method,
+        time_s=sum(r.time_s for r in reports),
+        flops=sum(r.flops for r in reports),
+        launches=sum(r.launches for r in reports),
+        bytes_moved=sum(r.bytes_moved for r in reports),
+        kernels=list(reports),
+        detail=dict(detail),
+    )

@@ -1,0 +1,48 @@
+"""Dependency-graph analysis of triangular matrices.
+
+SpTRSV's parallelism structure is a DAG: row ``i`` depends on every row
+``j`` holding a stored entry ``L[i, j]`` (j < i).  This subpackage computes
+level sets (Anderson & Saad / Saltz), the level-set reordering used by the
+improved recursive-block layout (Figure 3), and the parallelism statistics
+reported in Table 4.
+"""
+
+from repro.graph.levels import (
+    compute_levels,
+    compute_levels_kahn,
+    cached_levels,
+    level_sets,
+    n_levels,
+)
+from repro.graph.reorder import (
+    levelset_permutation,
+    invert_permutation,
+    compose_permutations,
+    identity_permutation,
+)
+from repro.graph.stats import (
+    ParallelismStats,
+    parallelism_stats,
+    TriangleFeatures,
+    triangle_features,
+    square_features,
+    SquareFeatures,
+)
+
+__all__ = [
+    "compute_levels",
+    "compute_levels_kahn",
+    "cached_levels",
+    "level_sets",
+    "n_levels",
+    "levelset_permutation",
+    "invert_permutation",
+    "compose_permutations",
+    "identity_permutation",
+    "ParallelismStats",
+    "parallelism_stats",
+    "TriangleFeatures",
+    "triangle_features",
+    "SquareFeatures",
+    "square_features",
+]

@@ -1,0 +1,73 @@
+"""Permutations, in particular the level-set reordering of Figure 3.
+
+Section 3.3: "we sort the components, i.e., both rows and columns, of any
+triangular matrix according to its level-set order [...] components in the
+same level-set are physically moved together".  The reorder is a symmetric
+permutation, so the matrix stays lower-triangular and the solution is
+recovered by the inverse permutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError
+from repro.formats.csr import CSRMatrix
+from repro.graph.levels import compute_levels
+
+__all__ = [
+    "identity_permutation",
+    "invert_permutation",
+    "compose_permutations",
+    "levelset_permutation",
+    "is_permutation",
+]
+
+
+def identity_permutation(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64)
+
+
+def is_permutation(perm: np.ndarray) -> bool:
+    """True when ``perm`` is a bijection of ``range(len(perm))``."""
+    perm = np.asarray(perm)
+    n = len(perm)
+    seen = np.zeros(n, dtype=bool)
+    if len(perm) and (perm.min() < 0 or perm.max() >= n):
+        return False
+    seen[perm] = True
+    return bool(seen.all())
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """``inv`` such that ``inv[perm[k]] == k``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(len(perm), dtype=np.int64)
+    return inv
+
+
+def compose_permutations(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Permutation equivalent to applying ``first`` then ``second``.
+
+    With the convention ``new[k] = old[perm[k]]``: applying ``first`` to
+    ``v`` gives ``v[first]``; then ``second`` gives ``v[first][second] =
+    v[first[second]]``.
+    """
+    first = np.asarray(first, dtype=np.int64)
+    second = np.asarray(second, dtype=np.int64)
+    if len(first) != len(second):
+        raise ShapeMismatchError("permutation length mismatch")
+    return first[second]
+
+
+def levelset_permutation(L: CSRMatrix, levels: np.ndarray | None = None) -> np.ndarray:
+    """Stable sort of rows by level: ``perm[k]`` = old row at new slot k.
+
+    Stability keeps the original relative order inside a level, matching
+    the paper's illustration (Figure 3(b)) where level members are packed
+    contiguously without being otherwise shuffled.
+    """
+    if levels is None:
+        levels = compute_levels(L)
+    return np.argsort(levels, kind="stable").astype(np.int64)

@@ -1,0 +1,147 @@
+"""Structural feature extraction.
+
+Two feature bundles drive the paper's adaptive kernel selection (§3.4):
+
+* triangular sub-matrices — ``nnz/row`` and ``nlevels`` (Figure 5(a));
+* square sub-matrices — ``nnz/row`` and ``emptyratio`` (Figure 5(b));
+
+and Table 4 reports per-matrix parallelism statistics (number of level
+sets; min / average / max components per level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.graph.levels import compute_levels, n_levels
+
+__all__ = [
+    "ParallelismStats",
+    "parallelism_stats",
+    "TriangleFeatures",
+    "triangle_features",
+    "SquareFeatures",
+    "square_features",
+    "row_length_imbalance",
+]
+
+
+@dataclass(frozen=True)
+class ParallelismStats:
+    """Table 4 columns: level count and per-level component counts."""
+
+    n_rows: int
+    nnz: int
+    nlevels: int
+    min_parallelism: int
+    avg_parallelism: float
+    max_parallelism: int
+
+    def row(self) -> tuple:
+        """Tuple in Table 4 column order."""
+        return (
+            self.n_rows,
+            self.nnz,
+            self.nlevels,
+            self.min_parallelism,
+            self.avg_parallelism,
+            self.max_parallelism,
+        )
+
+
+def parallelism_stats(L: CSRMatrix, levels: np.ndarray | None = None) -> ParallelismStats:
+    """Level-set parallelism profile of a lower-triangular matrix."""
+    if levels is None:
+        levels = compute_levels(L)
+    nlv = n_levels(levels)
+    sizes = np.bincount(levels, minlength=nlv) if nlv else np.array([0])
+    return ParallelismStats(
+        n_rows=L.n_rows,
+        nnz=L.nnz,
+        nlevels=nlv,
+        min_parallelism=int(sizes.min()) if nlv else 0,
+        avg_parallelism=float(sizes.mean()) if nlv else 0.0,
+        max_parallelism=int(sizes.max()) if nlv else 0,
+    )
+
+
+@dataclass(frozen=True)
+class TriangleFeatures:
+    """Selection features of a triangular sub-matrix (Figure 5(a) axes)."""
+
+    n_rows: int
+    nnz: int
+    nnz_per_row: float
+    nlevels: int
+    diagonal_only: bool
+
+
+def triangle_features(
+    L: CSRMatrix, levels: np.ndarray | None = None
+) -> TriangleFeatures:
+    """Compute ``nnz/row`` and ``nlevels`` for a triangular block.
+
+    ``nnz`` here includes the diagonal (the paper's counts do: a
+    diagonal-only block has nnz/row == 1).
+    """
+    if levels is None:
+        levels = compute_levels(L)
+    nlv = n_levels(levels)
+    nnz_per_row = L.nnz / L.n_rows if L.n_rows else 0.0
+    return TriangleFeatures(
+        n_rows=L.n_rows,
+        nnz=L.nnz,
+        nnz_per_row=nnz_per_row,
+        nlevels=nlv,
+        diagonal_only=(nlv <= 1 and nnz_per_row <= 1.0),
+    )
+
+
+@dataclass(frozen=True)
+class SquareFeatures:
+    """Selection features of a square/rectangular block (Figure 5(b) axes)."""
+
+    n_rows: int
+    nnz: int
+    nnz_per_row: float
+    empty_ratio: float
+
+    @property
+    def nnz_per_active_row(self) -> float:
+        """Average length of the non-empty rows."""
+        active = self.n_rows * (1.0 - self.empty_ratio)
+        return self.nnz / active if active else 0.0
+
+
+def square_features(A: CSRMatrix) -> SquareFeatures:
+    """``nnz/row`` and ``emptyratio`` of a square/rectangular block."""
+    counts = A.row_counts()
+    empty = int(np.count_nonzero(counts == 0))
+    return SquareFeatures(
+        n_rows=A.n_rows,
+        nnz=A.nnz,
+        nnz_per_row=A.nnz / A.n_rows if A.n_rows else 0.0,
+        empty_ratio=empty / A.n_rows if A.n_rows else 0.0,
+    )
+
+
+def row_length_imbalance(A: CSRMatrix, group: int = 32) -> float:
+    """Warp-granularity load-imbalance factor of a thread-per-row mapping.
+
+    Rows are processed in groups of ``group`` (one warp); a warp takes as
+    long as its longest row.  The returned factor is
+    ``sum(max per group) * group / nnz`` — 1.0 for perfectly uniform rows,
+    large for power-law matrices whose long rows stall their warps.  This
+    is the quantity the scalar-CSR SpMV cost model charges for.
+    """
+    counts = A.row_counts().astype(np.float64)
+    if len(counts) == 0 or A.nnz == 0:
+        return 1.0
+    pad = (-len(counts)) % group
+    if pad:
+        counts = np.concatenate([counts, np.zeros(pad)])
+    per_warp_max = counts.reshape(-1, group).max(axis=1)
+    return float(per_warp_max.sum() * group / max(A.nnz, 1))

@@ -1,0 +1,63 @@
+"""SpTRSV and SpMV kernels with exact numerics and simulated GPU timing.
+
+Four SpTRSV kernels (§3.4 of the paper):
+
+* :class:`DiagonalKernel` — "completely parallel" blocks holding only a
+  diagonal;
+* :class:`LevelSetKernel` — the basic level-set method (Algorithm 2),
+  one kernel launch per level;
+* :class:`SyncFreeKernel` — the CSC synchronization-free method
+  (Algorithm 3), one launch, warp-per-component with busy-waiting;
+* :class:`CuSparseLikeKernel` — a stand-in for cuSPARSE v2 ``csrsv2``:
+  expensive analysis, persistent-kernel level consumption.
+
+Four SpMV kernels: scalar/vector × CSR/DCSR (:mod:`repro.kernels.spmv`).
+"""
+
+from repro.kernels.base import (
+    PreparedLower,
+    prepare_lower,
+    SpTRSVKernel,
+    reference_dense_solve,
+)
+from repro.kernels.sptrsv_serial import SerialKernel, solve_serial
+from repro.kernels.sptrsv_diag import DiagonalKernel
+from repro.kernels.sptrsv_levelset import LevelSetKernel, merge_small_levels
+from repro.kernels.sptrsv_syncfree import SyncFreeKernel
+from repro.kernels.sptrsv_cusparse import CuSparseLikeKernel
+from repro.kernels.spmv import (
+    SpMVKernel,
+    ScalarCSRSpMV,
+    VectorCSRSpMV,
+    ScalarDCSRSpMV,
+    VectorDCSRSpMV,
+    SPMV_KERNELS,
+)
+
+SPTRSV_KERNELS = {
+    "diagonal": DiagonalKernel,
+    "levelset": LevelSetKernel,
+    "syncfree": SyncFreeKernel,
+    "cusparse": CuSparseLikeKernel,
+}
+
+__all__ = [
+    "PreparedLower",
+    "prepare_lower",
+    "SpTRSVKernel",
+    "reference_dense_solve",
+    "SerialKernel",
+    "solve_serial",
+    "DiagonalKernel",
+    "LevelSetKernel",
+    "merge_small_levels",
+    "SyncFreeKernel",
+    "CuSparseLikeKernel",
+    "SpMVKernel",
+    "ScalarCSRSpMV",
+    "VectorCSRSpMV",
+    "ScalarDCSRSpMV",
+    "VectorDCSRSpMV",
+    "SPMV_KERNELS",
+    "SPTRSV_KERNELS",
+]

@@ -1,0 +1,70 @@
+"""Algorithm 1 — the serial CSR SpTRSV reference.
+
+This is the paper's baseline pseudocode, transcribed directly: a forward
+pass accumulating ``left_sum`` row by row, dividing by the diagonal stored
+as the last entry of each row.  It is the correctness oracle for every
+other kernel, and its simulated timing models a single GPU thread (useful
+only to show why nobody runs SpTRSV that way).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError
+from repro.formats.csr import CSRMatrix
+from repro.gpu.cost import CostModel
+from repro.gpu.device import DeviceModel
+from repro.gpu.report import KernelReport
+from repro.kernels.base import PreparedLower, SpTRSVKernel, prepare_lower, solve_flops
+
+__all__ = ["solve_serial", "SerialKernel"]
+
+
+def solve_serial(L: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Algorithm 1 verbatim (lines 2-8), on a sorted-index CSR matrix."""
+    L = L.sort_indices()
+    n = L.n_rows
+    b = np.asarray(b)
+    if b.shape[0] != n:
+        raise ShapeMismatchError("b length mismatch")
+    row_ptr = L.indptr.tolist()
+    col_idx = L.indices.tolist()
+    val = L.data.tolist()
+    x = [0.0] * n
+    left_sum = [0.0] * n
+    for i in range(n):
+        for j in range(row_ptr[i], row_ptr[i + 1] - 1):
+            left_sum[i] += val[j] * x[col_idx[j]]
+        x[i] = (b[i] - left_sum[i]) / val[row_ptr[i + 1] - 1]
+    return np.asarray(x, dtype=np.result_type(L.data, b))
+
+
+class SerialKernel(SpTRSVKernel):
+    """Single-thread execution model of Algorithm 1."""
+
+    name = "serial"
+
+    def preprocess(
+        self, prep: PreparedLower, device: DeviceModel
+    ) -> tuple[PreparedLower, KernelReport]:
+        # Nothing to build: CSR is consumed as-is.
+        return prep, KernelReport("serial-preprocess", 0.0, launches=0)
+
+    def solve(
+        self, aux: PreparedLower, b: np.ndarray, device: DeviceModel
+    ) -> tuple[np.ndarray, KernelReport]:
+        x = solve_serial(aux.L, b)
+        cost = CostModel(device)
+        # One thread, fully dependent chain: every nonzero costs a
+        # latency-bound load plus an FMA.
+        time = cost.launch_time() + aux.nnz * (
+            device.dram_latency_s * 0.25 + cost.serial_cycles_time(8)
+        )
+        return x, KernelReport(
+            "sptrsv-serial",
+            time,
+            launches=1,
+            flops=solve_flops(aux.nnz),
+            detail={"n": aux.n},
+        )

@@ -1,0 +1,43 @@
+"""Synthetic matrix collection standing in for the SuiteSparse dataset.
+
+The paper's 159 matrices (n >= 500k, 5M <= nnz <= 500M) are not available
+offline, so :mod:`repro.matrices.generators` produces seeded synthetic
+matrices for every structure class present in that population, and
+:mod:`repro.matrices.suite` assembles them into a named, scaled-down
+collection.  :mod:`repro.matrices.representative` builds structural
+analogues of the six Table 4 matrices (matching level counts, parallelism
+profiles, densities and degree-distribution shapes).
+"""
+
+from repro.matrices.generators import (
+    layered_random,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    chain_matrix,
+    banded_random,
+    random_uniform,
+    powerlaw_matrix,
+    ilu_factor_2d,
+    rmat_matrix,
+)
+from repro.matrices.suite import MatrixSpec, scaled_suite, generate
+from repro.matrices.representative import representative_matrices
+from repro.matrices.io import write_matrix_market, read_matrix_market
+
+__all__ = [
+    "layered_random",
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "chain_matrix",
+    "banded_random",
+    "random_uniform",
+    "powerlaw_matrix",
+    "ilu_factor_2d",
+    "rmat_matrix",
+    "MatrixSpec",
+    "scaled_suite",
+    "generate",
+    "representative_matrices",
+    "write_matrix_market",
+    "read_matrix_market",
+]

@@ -1,0 +1,392 @@
+"""Seeded generators for every structure class in the paper's dataset.
+
+All generators return a non-singular lower-triangular CSR matrix with a
+full diagonal — the form the paper tests (`the lower triangular parts
+plus a diagonal to avoid singular`, §4.1).  Diagonals are made dominant
+relative to each row so every class is well conditioned and solution
+errors measure algorithmic correctness, not conditioning.
+
+The central tool is :func:`layered_random`, which constructs a matrix
+with an *exactly prescribed level-set profile*: given per-level row
+counts, every row beyond level 0 receives one dependency in the previous
+level (pinning its level) plus extra dependencies on arbitrary earlier
+rows.  That lets the Table 4 analogues match the paper's reported
+``#level-sets`` and parallelism columns by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+__all__ = [
+    "layered_random",
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "chain_matrix",
+    "banded_random",
+    "random_uniform",
+    "powerlaw_matrix",
+    "ilu_factor_2d",
+    "rmat_matrix",
+]
+
+
+def _finalize(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    dtype=np.float64,
+) -> CSRMatrix:
+    """Attach values and a dominant diagonal; assemble CSR."""
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    keep = rows > cols  # strictly lower
+    rows, cols = rows[keep], cols[keep]
+    vals = rng.uniform(-0.5, 0.5, size=len(rows))
+    # Diagonal dominance: |d_i| > sum of |off-diagonal| in the row.
+    row_abs = np.bincount(rows, weights=np.abs(vals), minlength=n)
+    diag = (row_abs + 1.0) * np.where(rng.random(n) < 0.5, 1.0, -1.0)
+    all_rows = np.concatenate([rows, np.arange(n)])
+    all_cols = np.concatenate([cols, np.arange(n)])
+    all_vals = np.concatenate([vals, diag]).astype(dtype)
+    return CSRMatrix.from_coo(all_rows, all_cols, all_vals, (n, n))
+
+
+def _random_linear_extension(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    n: int,
+    lv_start: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A random topological relabelling of a level-sorted DAG.
+
+    Real lower-triangular matrices are topologically ordered (every
+    dependency points backwards) but *not* level-sorted; to make the
+    generated matrices realistic — so the §3.3 level-set reorder has
+    actual work to do — we relabel ids by a random linear extension:
+    ``key_i = max(key of dependencies) + eps + jitter`` computed level by
+    level, then ranks of the keys become the new labels.  Dependencies
+    always get smaller keys, hence smaller labels, so the matrix stays
+    lower-triangular while levels interleave arbitrarily in the ordering.
+    """
+    from repro.utils.arrays import counts_to_indptr
+
+    nlv = len(lv_start) - 1
+    order = np.argsort(rows, kind="stable")
+    er, ec = rows[order], cols[order]
+    rp = counts_to_indptr(np.bincount(er, minlength=n))
+    key = rng.random(n) * 0.25
+    for l in range(1, nlv):
+        ids = np.arange(lv_start[l], lv_start[l + 1])
+        s, e = rp[ids[0]], rp[ids[-1] + 1]
+        # Every row beyond level 0 has >= 1 dependency, so segments are
+        # non-empty and reduceat is safe.
+        dep_max = np.maximum.reduceat(key[ec[s:e]], (rp[ids] - s))
+        key[ids] = dep_max + 1e-9 + rng.random(len(ids)) * 0.25
+    label = np.empty(n, dtype=np.int64)
+    label[np.argsort(key, kind="stable")] = np.arange(n)
+    return label
+
+
+def layered_random(
+    level_sizes: np.ndarray,
+    nnz_per_row: float = 4.0,
+    rng: np.random.Generator | None = None,
+    *,
+    powerlaw: float = 0.0,
+    heavy_rows: float = 0.0,
+    locality: float | None = None,
+    shuffle: bool = True,
+    dtype=np.float64,
+) -> CSRMatrix:
+    """Matrix with an exactly prescribed level-set profile.
+
+    Parameters
+    ----------
+    level_sizes:
+        Rows per level; level ``l`` rows depend on level ``l-1``.
+    nnz_per_row:
+        Target average row length including the diagonal and the one
+        mandatory previous-level dependency.
+    powerlaw:
+        ``> 0`` skews extra-dependency *targets* toward early rows,
+        creating the long columns of circuit/network matrices (the
+        strength is the skew exponent; 0 = uniform).
+    heavy_rows:
+        ``> 0`` gives a Pareto tail to extra-dependency *counts*,
+        creating a few very long rows (power-law row-length
+        distribution).
+    locality:
+        If set (fraction of ``n``), extra-dependency targets cluster
+        within ``~locality * n`` of the dependent row's position — the
+        banded/clustered structure of PDE and optimization matrices.
+        This is what makes 2D blocking's cache argument real: a square
+        block of a clustered matrix touches a narrow slice of ``x``.
+        ``None`` (default) samples targets uniformly over earlier rows.
+        Ignored when ``powerlaw`` is set (hubs override banding).
+    shuffle:
+        Randomly relabel rows so the matrix is not already level-sorted
+        (real matrices are not; the §3.3 reorder must earn its keep).
+    """
+    rng = rng or np.random.default_rng(0)
+    level_sizes = np.asarray(level_sizes, dtype=np.int64)
+    if np.any(level_sizes <= 0):
+        raise ValueError("every level must contain at least one row")
+    n = int(level_sizes.sum())
+    nlv = len(level_sizes)
+    # Internal ids 0..n-1 are level-sorted; lv_start[l] = first id of level l.
+    lv_start = np.zeros(nlv + 1, dtype=np.int64)
+    np.cumsum(level_sizes, out=lv_start[1:])
+    level_of = np.repeat(np.arange(nlv), level_sizes)
+    rows_list = []
+    cols_list = []
+    # Mandatory dependency: one entry in the previous level per row.
+    dependent = np.arange(lv_start[1], n)
+    prev_level = level_of[dependent] - 1
+    span = level_sizes[prev_level]
+    mand = lv_start[prev_level] + (rng.random(len(dependent)) * span).astype(np.int64)
+    rows_list.append(dependent)
+    cols_list.append(mand)
+    # Extra dependencies on arbitrary earlier rows.  Only dependent rows
+    # (level >= 1) can carry off-diagonals, so the per-dependent budget is
+    # inflated to hit the *overall* nnz/row target:
+    #   target_nnz = n*nnz_per_row = n (diag) + n_dep (mandatory) + extras
+    n_dep = len(dependent)
+    if n_dep:
+        extra_avg = max(0.0, (n * (nnz_per_row - 1.0) - n_dep) / n_dep)
+    else:
+        extra_avg = 0.0
+    if extra_avg > 0 and n > 1:
+        if heavy_rows > 0:
+            # Pareto(a) has mean 1/(a-1) for a > 1; normalize so the
+            # realized average still matches the nnz/row target.
+            norm = (heavy_rows - 1.0) if heavy_rows > 1.0 else 1.0
+            counts = np.minimum(
+                (rng.pareto(heavy_rows, size=len(dependent)) * extra_avg * norm)
+                .astype(np.int64),
+                np.int64(64 * max(extra_avg, 1.0)),
+            )
+        else:
+            counts = rng.poisson(extra_avg, size=len(dependent))
+        src = np.repeat(dependent, counts)
+        limit = lv_start[level_of[src]].astype(np.float64)  # ids before my level
+        if powerlaw > 0:
+            u = rng.random(len(src)) ** (1.0 + powerlaw)  # skew to id 0: hubs
+            tgt = (u * limit).astype(np.int64)
+        elif locality is not None:
+            # Exponential offsets behind the last id of the previous
+            # levels, wrapped to stay in range: a banded dependency
+            # structure in level-sorted id space.
+            off = rng.exponential(max(locality * n, 1.0), size=len(src))
+            tgt = (limit - 1.0 - np.mod(off, limit)).astype(np.int64)
+            tgt = np.maximum(tgt, 0)
+        else:
+            tgt = (rng.random(len(src)) * limit).astype(np.int64)
+        rows_list.append(src)
+        cols_list.append(tgt)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    if shuffle and nlv > 1:
+        label = _random_linear_extension(rows, cols, n, lv_start, rng)
+        rows, cols = label[rows], label[cols]
+    return _finalize(rows, cols, n, rng, dtype)
+
+
+def grid_laplacian_2d(
+    nx: int, ny: int, rng: np.random.Generator | None = None, dtype=np.float64
+) -> CSRMatrix:
+    """Lower part of the 5-point Laplacian on an ``nx`` x ``ny`` grid.
+
+    Natural ordering gives a wavefront level structure (~``nx + ny``
+    levels with parallelism growing to ``min(nx, ny)``) — the structured
+    PDE class of the paper's dataset."""
+    rng = rng or np.random.default_rng(0)
+    n = nx * ny
+    idx = np.arange(n)
+    ix = idx % nx
+    west = idx[ix > 0]
+    south = idx[idx >= nx]
+    rows = np.concatenate([west, south])
+    cols = np.concatenate([west - 1, south - nx])
+    return _finalize(rows, cols, n, rng, dtype)
+
+
+def grid_laplacian_3d(
+    nx: int, ny: int, nz: int, rng: np.random.Generator | None = None, dtype=np.float64
+) -> CSRMatrix:
+    """Lower part of the 7-point Laplacian on an ``nx*ny*nz`` grid."""
+    rng = rng or np.random.default_rng(0)
+    n = nx * ny * nz
+    idx = np.arange(n)
+    ix = idx % nx
+    iy = (idx // nx) % ny
+    west = idx[ix > 0]
+    south = idx[iy > 0]
+    down = idx[idx >= nx * ny]
+    rows = np.concatenate([west, south, down])
+    cols = np.concatenate([west - 1, south - nx, down - nx * ny])
+    return _finalize(rows, cols, n, rng, dtype)
+
+
+def chain_matrix(
+    n: int,
+    band: int = 1,
+    extra_nnz_per_row: float = 1.0,
+    rng: np.random.Generator | None = None,
+    dtype=np.float64,
+) -> CSRMatrix:
+    """A near-serial matrix: every row depends on its predecessor.
+
+    ``nlevels == n`` by construction — the ``tmt_sym`` regime of Table 4
+    where average parallelism is 1 and no method can do much."""
+    rng = rng or np.random.default_rng(0)
+    rows_list = []
+    cols_list = []
+    for k in range(1, band + 1):
+        r = np.arange(k, n)
+        rows_list.append(r)
+        cols_list.append(r - k)
+    if extra_nnz_per_row > 0:
+        counts = rng.poisson(extra_nnz_per_row, size=n)
+        src = np.repeat(np.arange(n), counts)
+        src = src[src > 0]
+        tgt = (rng.random(len(src)) * src).astype(np.int64)
+        rows_list.append(src)
+        cols_list.append(tgt)
+    return _finalize(
+        np.concatenate(rows_list), np.concatenate(cols_list), n, rng, dtype
+    )
+
+
+def banded_random(
+    n: int,
+    bandwidth: int,
+    avg_nnz_per_row: float,
+    rng: np.random.Generator | None = None,
+    dtype=np.float64,
+) -> CSRMatrix:
+    """Random entries restricted to a band below the diagonal."""
+    rng = rng or np.random.default_rng(0)
+    counts = rng.poisson(max(avg_nnz_per_row - 1.0, 0.0), size=n)
+    src = np.repeat(np.arange(n), counts)
+    src = src[src > 0]
+    offs = 1 + (rng.random(len(src)) * np.minimum(src, bandwidth)).astype(np.int64)
+    return _finalize(src, src - offs, n, rng, dtype)
+
+
+def random_uniform(
+    n: int,
+    avg_nnz_per_row: float,
+    rng: np.random.Generator | None = None,
+    dtype=np.float64,
+) -> CSRMatrix:
+    """Erdos-Renyi lower triangle; level count grows ~logarithmically."""
+    rng = rng or np.random.default_rng(0)
+    counts = rng.poisson(max(avg_nnz_per_row - 1.0, 0.0), size=n)
+    src = np.repeat(np.arange(n), counts)
+    src = src[src > 0]
+    tgt = (rng.random(len(src)) * src).astype(np.int64)
+    return _finalize(src, tgt, n, rng, dtype)
+
+
+def powerlaw_matrix(
+    n: int,
+    avg_nnz_per_row: float,
+    rng: np.random.Generator | None = None,
+    *,
+    alpha: float = 1.2,
+    dtype=np.float64,
+) -> CSRMatrix:
+    """Scale-free matrix: Pareto row lengths and hub columns.
+
+    The circuit-simulation / network-analysis class (``FullChip``,
+    ``mawi``) whose "very long rows or columns may dominate the execution
+    time" (§2.2) — the load-imbalance motivation for 2D blocking."""
+    rng = rng or np.random.default_rng(0)
+    base = max(avg_nnz_per_row - 1.0, 0.1)
+    counts = np.minimum(
+        (rng.pareto(alpha, size=n) * base).astype(np.int64), np.int64(n // 2)
+    )
+    src = np.repeat(np.arange(n), counts)
+    src = src[src > 0]
+    # Hub columns: targets skewed heavily toward low indices.
+    tgt = ((rng.random(len(src)) ** 3.0) * src).astype(np.int64)
+    return _finalize(src, tgt, n, rng, dtype)
+
+
+def ilu_factor_2d(
+    nx: int,
+    ny: int,
+    rng: np.random.Generator | None = None,
+    dtype=np.float64,
+) -> CSRMatrix:
+    """The *actual* L factor of an ILU(0) factorization of a 2D problem.
+
+    The most realistic SpTRSV workload there is: direct and incomplete
+    solvers hand the kernel their own factors.  Builds the symmetric
+    5-point operator with jittered coefficients, runs the from-scratch
+    :func:`repro.precond.ilu0`, and returns ``L`` with its unit diagonal
+    replaced by ``U``'s pivots (so values vary along the diagonal like a
+    Cholesky-style factor, keeping the matrix non-singular by
+    construction).
+    """
+    from repro.precond.ilu import ilu0
+
+    rng = rng or np.random.default_rng(0)
+    n = nx * ny
+    idx = np.arange(n)
+    ix = idx % nx
+    west = idx[ix > 0]
+    south = idx[idx >= nx]
+    rows = np.concatenate([west, west - 1, south, south - nx])
+    cols = np.concatenate([west - 1, west, south - nx, south])
+    vals = -(1.0 + 0.2 * rng.random(len(rows)))
+    # symmetrize the jitter
+    half = len(west)
+    vals[half : 2 * half] = vals[:half]
+    vals[2 * half + len(south) :] = vals[2 * half : 2 * half + len(south)]
+    diag_vals = 4.2 + rng.random(n)
+    A = CSRMatrix.from_coo(
+        np.concatenate([rows, idx]),
+        np.concatenate([cols, idx]),
+        np.concatenate([vals, diag_vals]),
+        (n, n),
+    )
+    L, U = ilu0(A)
+    # Replace the unit diagonal with U's pivots.
+    row_ids = np.repeat(np.arange(n), L.row_counts())
+    on_diag = L.indices == row_ids
+    data = L.data.copy()
+    data[on_diag] = U.diagonal()
+    return CSRMatrix(n, n, L.indptr, L.indices, data.astype(dtype))
+
+
+def rmat_matrix(
+    scale: int,
+    avg_nnz_per_row: float,
+    rng: np.random.Generator | None = None,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    dtype=np.float64,
+) -> CSRMatrix:
+    """R-MAT (Kronecker) generator, the standard model for web/social
+    network matrices (the ``mawi`` traffic-trace class).  ``n = 2**scale``."""
+    rng = rng or np.random.default_rng(0)
+    n = 1 << scale
+    n_edges = int(n * max(avg_nnz_per_row - 1.0, 0.5))
+    rows = np.zeros(n_edges, dtype=np.int64)
+    cols = np.zeros(n_edges, dtype=np.int64)
+    for _ in range(scale):
+        r = rng.random(n_edges)
+        go_down = r >= a + b  # quadrants c+d
+        go_right = (r >= a) & (r < a + b) | (r >= a + b + c)
+        rows = (rows << 1) | go_down
+        cols = (cols << 1) | go_right
+    keep = rows != cols
+    return _finalize(rows[keep], cols[keep], n, rng, dtype)

@@ -1,0 +1,71 @@
+"""Minimal Matrix Market I/O (coordinate, real, general/symmetric).
+
+Lets users run the harness on actual SuiteSparse downloads when network
+access is available, and gives the test suite a round-trip target.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["write_matrix_market", "read_matrix_market"]
+
+
+def write_matrix_market(path: str | Path, A: CSRMatrix, comment: str = "") -> None:
+    """Write ``A`` in MatrixMarket coordinate real general format."""
+    path = Path(path)
+    row_ids = np.repeat(np.arange(A.n_rows), A.row_counts())
+    with path.open("w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{A.n_rows} {A.n_cols} {A.nnz}\n")
+        for r, c, v in zip(row_ids + 1, A.indices + 1, A.data):
+            fh.write(f"{r} {c} {float(v):.17g}\n")
+
+
+def read_matrix_market(path: str | Path) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into a :class:`CSRMatrix`.
+
+    Supports ``real``/``integer``/``pattern`` fields and ``general``/
+    ``symmetric`` symmetry (the SuiteSparse matrices the paper uses are
+    mostly one of these).
+    """
+    path = Path(path)
+    with path.open() as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise SparseFormatError(f"{path}: not a MatrixMarket file")
+        tokens = header.lower().split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise SparseFormatError(f"{path}: unsupported MatrixMarket header")
+        field, symmetry = tokens[3], tokens[4]
+        if field not in ("real", "integer", "pattern"):
+            raise SparseFormatError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise SparseFormatError(f"{path}: unsupported symmetry {symmetry!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        n_rows, n_cols, nnz = (int(t) for t in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = fh.readline().split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = float(parts[2]) if field != "pattern" else 1.0
+    if symmetry == "symmetric":
+        off = rows != cols
+        mirror_r, mirror_c = cols[off], rows[off]
+        rows = np.concatenate([rows, mirror_r])
+        cols = np.concatenate([cols, mirror_c])
+        vals = np.concatenate([vals, vals[off]])
+    return CSRMatrix.from_coo(rows, cols, vals, (n_rows, n_cols))

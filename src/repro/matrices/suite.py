@@ -1,0 +1,190 @@
+"""The scaled benchmark suite standing in for the 159-matrix dataset.
+
+The paper filters SuiteSparse for square matrices with n >= 500,000 and
+5M <= nnz <= 500M (§4.1).  This module assembles a population with the
+same *structural diversity* — structured PDE grids, optimization/KKT
+systems, circuit and network power-law matrices, banded systems, random
+DAGs and near-serial chains — scaled down ~50x in row count so a Python
+harness can evaluate every (matrix, method, device) combination.
+
+Every spec is deterministic: ``generate(spec)`` always returns the same
+matrix (seeded ``default_rng``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.matrices import generators as G
+
+__all__ = ["MatrixSpec", "scaled_suite", "generate"]
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """A named, reproducible matrix recipe."""
+
+    name: str
+    group: str
+    builder: Callable[..., CSRMatrix]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    seed: int = 0
+
+    def build(self) -> CSRMatrix:
+        rng = np.random.default_rng(self.seed)
+        return self.builder(*self.args, rng=rng, **dict(self.kwargs))
+
+
+def generate(spec: MatrixSpec) -> CSRMatrix:
+    """Materialize a spec (alias of ``spec.build`` for harness code)."""
+    return spec.build()
+
+
+def _layered(name: str, sizes, nnz_row, seed, group="optimization", **kw) -> MatrixSpec:
+    return MatrixSpec(
+        name=name,
+        group=group,
+        builder=G.layered_random,
+        args=(np.asarray(sizes, dtype=np.int64),),
+        kwargs={"nnz_per_row": nnz_row, **kw},
+        seed=seed,
+    )
+
+
+def _even_levels(n: int, nlevels: int) -> np.ndarray:
+    nlevels = max(1, min(nlevels, n))  # never ask for empty levels
+    sizes = np.full(nlevels, n // nlevels, dtype=np.int64)
+    sizes[: n % nlevels] += 1
+    return sizes
+
+
+def scaled_suite(scale: float = 1.0) -> list[MatrixSpec]:
+    """The evaluation population (default scale: n between ~6k and ~90k).
+
+    ``scale`` multiplies row counts; ``scale=0.1`` gives a quick smoke
+    suite for tests.
+    """
+
+    def s(n: int) -> int:
+        return max(64, int(n * scale))
+
+    specs: list[MatrixSpec] = []
+    # --- structured PDE grids (wavefront levels) ---
+    for i, (nx, ny) in enumerate([(100, 80), (160, 120), (220, 160)]):
+        specs.append(
+            MatrixSpec(
+                f"grid2d_{nx}x{ny}",
+                "pde-2d",
+                G.grid_laplacian_2d,
+                (max(8, int(nx * scale**0.5)), max(8, int(ny * scale**0.5))),
+                seed=100 + i,
+            )
+        )
+    for i, (nx, ny, nz) in enumerate([(24, 24, 20), (32, 30, 28)]):
+        f = max(4, int(24 * scale ** (1 / 3))) / 24
+        specs.append(
+            MatrixSpec(
+                f"grid3d_{nx}x{ny}x{nz}",
+                "pde-3d",
+                G.grid_laplacian_3d,
+                (max(4, int(nx * f)), max(4, int(ny * f)), max(4, int(nz * f))),
+                seed=110 + i,
+            )
+        )
+    # --- optimization / KKT: few wide levels ---
+    specs.append(_layered("kkt_wide_a", _even_levels(s(40000), 2), 10.0, 120, locality=0.03))
+    specs.append(_layered("kkt_wide_b", _even_levels(s(60000), 3), 14.0, 121, locality=0.05))
+    specs.append(_layered("kkt_mid_a", _even_levels(s(24000), 16), 5.0, 122, locality=0.04))
+    specs.append(_layered("kkt_mid_b", _even_levels(s(36000), 40), 7.0, 123, locality=0.08))
+    # --- moderately deep engineering matrices ---
+    specs.append(_layered("stokes_deep_a", _even_levels(s(30000), 600), 12.0, 130, locality=0.01))
+    specs.append(_layered("stokes_deep_b", _even_levels(s(42000), 1500), 18.0, 131, locality=0.01))
+    # --- circuit simulation / network analysis: power law ---
+    for i, (n, d) in enumerate([(20000, 4.0), (36000, 5.0), (52000, 3.5)]):
+        specs.append(
+            MatrixSpec(
+                f"circuit_powerlaw_{i}",
+                "circuit",
+                G.powerlaw_matrix,
+                (s(n), d),
+                seed=140 + i,
+            )
+        )
+    for i, (sc, d) in enumerate([(14, 4.0), (15, 3.0)]):
+        specs.append(
+            MatrixSpec(
+                f"rmat_s{sc}", "network", G.rmat_matrix, (sc, d), seed=150 + i
+            )
+        )
+    # --- banded / locality-friendly ---
+    for i, (n, bw, d) in enumerate([(30000, 64, 6.0), (48000, 256, 9.0)]):
+        specs.append(
+            MatrixSpec(
+                f"banded_{bw}_{i}",
+                "banded",
+                G.banded_random,
+                (s(n), bw, d),
+                seed=160 + i,
+            )
+        )
+    # --- random DAGs (log-depth levels) ---
+    for i, (n, d) in enumerate([(26000, 5.0), (40000, 8.0)]):
+        specs.append(
+            MatrixSpec(
+                f"random_uniform_{i}",
+                "random",
+                G.random_uniform,
+                (s(n), d),
+                seed=170 + i,
+            )
+        )
+    # --- real incomplete factors (the direct-solver workload) ---
+    for i, (nx, ny) in enumerate([(130, 110), (200, 150)]):
+        specs.append(
+            MatrixSpec(
+                f"ilu_factor_{nx}x{ny}",
+                "factor",
+                G.ilu_factor_2d,
+                (max(8, int(nx * scale**0.5)), max(8, int(ny * scale**0.5))),
+                seed=165 + i,
+            )
+        )
+    # --- near-serial chains ---
+    specs.append(
+        MatrixSpec("chain_tridiag", "serial", G.chain_matrix, (s(22000), 1), seed=180)
+    )
+    specs.append(
+        MatrixSpec(
+            "chain_band3", "serial", G.chain_matrix, (s(26000), 3), seed=181,
+            kwargs={"extra_nnz_per_row": 0.5},
+        )
+    )
+    # --- power-law layered hybrids (deep + skewed) ---
+    specs.append(
+        _layered(
+            "powerlayer_deep",
+            _even_levels(s(28000), 300),
+            6.0,
+            190,
+            group="circuit",
+            powerlaw=1.0,
+            heavy_rows=1.3,
+        )
+    )
+    specs.append(
+        _layered(
+            "powerlayer_wide",
+            _even_levels(s(44000), 12),
+            4.0,
+            191,
+            group="circuit",
+            powerlaw=1.2,
+            heavy_rows=1.1,
+        )
+    )
+    return specs

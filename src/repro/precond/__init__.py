@@ -1,0 +1,27 @@
+"""Preconditioned iterative-solver substrate.
+
+The paper's introduction motivates SpTRSV as "one of the most crucial
+performance bottlenecks of direct solvers with multiple right-hand sides
+and incomplete factorization preconditioners".  This subpackage provides
+that surrounding machinery from scratch — an ILU(0) factorization, a
+triangular-preconditioner wrapper built on the block solvers, and
+preconditioned CG / Richardson iterations — so the examples can exercise
+the paper's kernel in its natural habitat and account preprocessing
+amortization the way Table 5 does.
+"""
+
+from repro.precond.ilu import ilu0
+from repro.precond.triangular import TriangularPreconditioner
+from repro.precond.krylov import (
+    IterationResult,
+    preconditioned_cg,
+    preconditioned_richardson,
+)
+
+__all__ = [
+    "ilu0",
+    "TriangularPreconditioner",
+    "IterationResult",
+    "preconditioned_cg",
+    "preconditioned_richardson",
+]

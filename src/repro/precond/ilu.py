@@ -1,0 +1,100 @@
+"""ILU(0) — incomplete LU factorization with zero fill-in, from scratch.
+
+The classic IKJ-variant restricted to the sparsity pattern of ``A``:
+``A ~= L U`` where ``L`` is unit lower triangular and ``U`` is upper
+triangular, both confined to ``A``'s pattern.  The preconditioner solve
+``M^{-1} r`` then costs exactly two SpTRSVs — the workload the paper's
+kernel accelerates.
+
+The factorization itself is a sequential row sweep (it is inherently so;
+parallel ILU is a research topic of its own — Chow & Patel 2015), kept
+readable and O(nnz * avg_row) with a dense work-row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError, SingularMatrixError
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["ilu0"]
+
+
+def ilu0(A: CSRMatrix, *, diag_shift: float = 0.0) -> tuple[CSRMatrix, CSRMatrix]:
+    """ILU(0) of a square matrix with a non-zero diagonal.
+
+    Parameters
+    ----------
+    A:
+        Square CSR matrix; its diagonal must be present and non-zero.
+    diag_shift:
+        Optional shift added to the diagonal before factorization
+        (a standard robustness knob for indefinite matrices).
+
+    Returns
+    -------
+    (L, U):
+        ``L`` unit-lower-triangular (diagonal stored explicitly as 1.0),
+        ``U`` upper-triangular, both on subsets of ``A``'s pattern, such
+        that ``(L @ U)`` matches ``A`` on ``A``'s pattern.
+    """
+    if A.n_rows != A.n_cols:
+        raise ShapeMismatchError("ilu0 needs a square matrix")
+    A = A.sort_indices()
+    n = A.n_rows
+    indptr = A.indptr
+    indices = A.indices
+    data = A.data.astype(np.float64).copy()
+    if diag_shift:
+        row_ids = np.repeat(np.arange(n), A.row_counts())
+        data[indices == row_ids] += diag_shift
+
+    # Position of the diagonal entry within each row.
+    diag_pos = np.full(n, -1, dtype=np.int64)
+    row_ids = np.repeat(np.arange(n), np.diff(indptr))
+    hit = indices == row_ids
+    diag_pos[row_ids[hit]] = np.nonzero(hit)[0]
+    if np.any(diag_pos < 0):
+        missing = int(np.nonzero(diag_pos < 0)[0][0])
+        raise SingularMatrixError(f"ilu0: row {missing} has no diagonal entry")
+
+    # IKJ sweep with a column->position map of the current row.
+    col_pos = np.full(n, -1, dtype=np.int64)
+    ip = indptr.tolist()
+    for i in range(n):
+        s, e = ip[i], ip[i + 1]
+        row_cols = indices[s:e]
+        col_pos[row_cols] = np.arange(s, e)
+        # Eliminate using previous rows k < i present in this row.
+        for t in range(s, e):
+            k = indices[t]
+            if k >= i:
+                break
+            dk = data[diag_pos[k]]
+            if dk == 0.0:
+                raise SingularMatrixError(f"ilu0: zero pivot at row {int(k)}")
+            factor = data[t] / dk
+            data[t] = factor
+            # Subtract factor * U[k, j] for j > k within this row's pattern.
+            ks, ke = ip[k], ip[k + 1]
+            for u in range(diag_pos[k] + 1, ke):
+                j = indices[u]
+                pos = col_pos[j]
+                if pos >= 0:
+                    data[pos] -= factor * data[u]
+        if data[diag_pos[i]] == 0.0:
+            raise SingularMatrixError(f"ilu0: zero pivot at row {i}")
+        col_pos[row_cols] = -1
+
+    # Split into L (unit diagonal) and U.
+    lower_mask = indices < row_ids
+    upper_mask = indices >= row_ids
+    l_rows = np.concatenate([row_ids[lower_mask], np.arange(n)])
+    l_cols = np.concatenate([indices[lower_mask], np.arange(n)])
+    l_vals = np.concatenate([data[lower_mask], np.ones(n)])
+    L = CSRMatrix.from_coo(l_rows, l_cols, l_vals, (n, n))
+    U = CSRMatrix.from_coo(
+        row_ids[upper_mask], indices[upper_mask], data[upper_mask], (n, n)
+    )
+    return L, U

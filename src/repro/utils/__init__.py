@@ -1,0 +1,17 @@
+"""Small shared helpers: segmented array primitives and validation."""
+
+from repro.utils.arrays import (
+    gather_row_ranges,
+    segment_ids,
+    segment_sums,
+    counts_to_indptr,
+    indptr_to_counts,
+)
+
+__all__ = [
+    "gather_row_ranges",
+    "segment_ids",
+    "segment_sums",
+    "counts_to_indptr",
+    "indptr_to_counts",
+]

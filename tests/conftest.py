@@ -1,0 +1,59 @@
+"""Shared fixtures and matrix factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix, lower_triangular_from
+from repro.gpu.device import TITAN_RTX, TITAN_RTX_SCALED, TITAN_X, TITAN_X_SCALED
+
+
+def random_square(n: int, density: float, seed: int = 0, dtype=np.float64) -> CSRMatrix:
+    """A random square matrix with ~density fill."""
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.standard_normal((n, n))
+    return CSRMatrix.from_dense(dense.astype(dtype))
+
+
+def random_lower(n: int, density: float = 0.1, seed: int = 0, dtype=np.float64) -> CSRMatrix:
+    """A well-conditioned random lower-triangular matrix with full diagonal."""
+    L = lower_triangular_from(random_square(n, density, seed, dtype))
+    # Push diagonal away from zero for clean relative-error checks.
+    rng = np.random.default_rng(seed + 1)
+    diag_rows = np.repeat(np.arange(n), L.row_counts())
+    on_diag = L.indices == diag_rows
+    L.data[on_diag] = np.sign(L.data[on_diag]) * (np.abs(L.data[on_diag]) + 1.0)
+    # Keep off-diagonals modest so the system is well conditioned.
+    L.data[~on_diag] *= 0.3
+    return L
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(params=["titan_x", "titan_rtx"])
+def device(request):
+    return {"titan_x": TITAN_X, "titan_rtx": TITAN_RTX}[request.param]
+
+
+@pytest.fixture
+def scaled_device():
+    return TITAN_RTX_SCALED
+
+
+@pytest.fixture
+def scaled_devices():
+    return [TITAN_X_SCALED, TITAN_RTX_SCALED]
+
+
+@pytest.fixture
+def small_lower():
+    return random_lower(60, density=0.15, seed=3)
+
+
+@pytest.fixture
+def medium_lower():
+    return random_lower(400, density=0.02, seed=9)

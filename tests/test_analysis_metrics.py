@@ -1,0 +1,54 @@
+"""Metric helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    MethodResult,
+    geometric_mean,
+    quartiles,
+    speedup_summary,
+)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_scale_invariance(self):
+        vals = [0.5, 2.0, 8.0]
+        assert geometric_mean([v * 10 for v in vals]) == pytest.approx(
+            10 * geometric_mean(vals)
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_is_nan(self):
+        assert np.isnan(geometric_mean([]))
+
+
+class TestSpeedupSummary:
+    def test_fields(self):
+        s = speedup_summary([1.0, 2.0, 4.0])
+        assert s["mean"] == pytest.approx(7 / 3)
+        assert s["gmean"] == pytest.approx(2.0)
+        assert s["max"] == 4.0 and s["min"] == 1.0 and s["count"] == 3
+
+
+class TestQuartiles:
+    def test_five_numbers(self):
+        q = quartiles(np.arange(1, 101))
+        assert q["min"] == 1 and q["max"] == 100
+        assert q["median"] == pytest.approx(50.5)
+        assert q["q1"] < q["median"] < q["q3"]
+
+
+class TestMethodResult:
+    def test_amortized(self):
+        r = MethodResult(
+            matrix="m", method="x", device="d", n=10, nnz=20,
+            solve_time_s=0.5, preprocess_time_s=2.0, gflops=1.0,
+        )
+        assert r.amortized(10) == pytest.approx(7.0)

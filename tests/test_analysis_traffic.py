@@ -1,0 +1,104 @@
+"""Tables 1-2 closed forms, and formula == measurement on dense matrices."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import traffic
+from repro.core.column_block import build_column_block_plan
+from repro.core.recursive_block import build_recursive_block_plan
+from repro.core.row_block import build_row_block_plan
+from repro.formats import CSRMatrix
+from repro.gpu.device import TITAN_RTX_SCALED
+
+DEV = TITAN_RTX_SCALED
+
+
+class TestPrintedTables:
+    """The exact cell values printed in Tables 1 and 2 (units of n)."""
+
+    def test_table1_column_block(self):
+        vals = [traffic.column_block_b_updates(1.0, p) for p in traffic.PARTS_GRID]
+        assert vals == pytest.approx([2.5, 8.5, 128.5, 32768.5])
+
+    def test_table1_row_block(self):
+        vals = [traffic.row_block_b_updates(1.0, p) for p in traffic.PARTS_GRID]
+        assert vals == pytest.approx([1.75, 1.9375, 1.99609375, 2.0], rel=1e-2)
+
+    def test_table1_recursive_block(self):
+        vals = [traffic.recursive_block_b_updates(1.0, p) for p in traffic.PARTS_GRID]
+        assert vals == pytest.approx([2.0, 3.0, 5.0, 9.0])
+
+    def test_table2_column_block(self):
+        vals = [traffic.column_block_x_loads(1.0, p) for p in traffic.PARTS_GRID]
+        assert vals == pytest.approx([0.75, 0.9375, 0.99609375, 1.0], rel=1e-2)
+
+    def test_table2_row_block(self):
+        vals = [traffic.row_block_x_loads(1.0, p) for p in traffic.PARTS_GRID]
+        assert vals == pytest.approx([1.5, 7.5, 127.5, 32767.5])
+
+    def test_table2_recursive_block(self):
+        vals = [traffic.recursive_block_x_loads(1.0, p) for p in traffic.PARTS_GRID]
+        assert vals == pytest.approx([1.0, 2.0, 4.0, 8.0])
+
+    def test_rows_helpers(self):
+        t1 = dict(traffic.table1_rows())
+        t2 = dict(traffic.table2_rows())
+        assert t1["rec. block"][0] == 2.0
+        assert t2["col. block"][-1] == pytest.approx(1.0, rel=1e-3)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            traffic.column_block_b_updates(1.0, 6)
+
+
+class TestMeasuredEqualsFormula:
+    """On dense lower-triangular matrices the plan counters must equal the
+    closed forms exactly — the strongest structural check in the suite."""
+
+    @pytest.fixture
+    def dense64(self):
+        return CSRMatrix.from_dense(np.tril(np.ones((64, 64))))
+
+    @pytest.mark.parametrize("parts", [2, 4, 8, 16, 32])
+    def test_column_block(self, dense64, parts):
+        plan = build_column_block_plan(dense64, parts, DEV)
+        b, x = traffic.measured_traffic(plan)
+        assert b == traffic.column_block_b_updates(64, parts)
+        assert x == traffic.column_block_x_loads(64, parts)
+
+    @pytest.mark.parametrize("parts", [2, 4, 8, 16, 32])
+    def test_row_block(self, dense64, parts):
+        plan = build_row_block_plan(dense64, parts, DEV)
+        b, x = traffic.measured_traffic(plan)
+        assert b == traffic.row_block_b_updates(64, parts)
+        assert x == traffic.row_block_x_loads(64, parts)
+
+    @pytest.mark.parametrize("parts", [2, 4, 8, 16, 32])
+    def test_recursive_block(self, dense64, parts):
+        depth = int(np.log2(parts))
+        plan = build_recursive_block_plan(dense64, depth, DEV)
+        b, x = traffic.measured_traffic(plan)
+        assert b == traffic.recursive_block_b_updates(64, parts)
+        assert x == traffic.recursive_block_x_loads(64, parts)
+
+    def test_tradeoff_ordering(self):
+        """Table 1-2's conclusion: at high part counts the recursive scheme
+        is the only one whose *both* traffic terms stay sub-linear in
+        parts."""
+        n, p = 1.0, 65536
+        assert traffic.recursive_block_b_updates(n, p) < traffic.column_block_b_updates(n, p)
+        assert traffic.recursive_block_x_loads(n, p) < traffic.row_block_x_loads(n, p)
+
+
+class TestExperimentModule:
+    def test_table1_2_experiment(self):
+        from repro.experiments import table1_2
+
+        res = table1_2.run(n=32, parts=(4, 16))
+        out = table1_2.render(res)
+        for m in ("column-block", "row-block", "recursive-block"):
+            for p in (4, 16):
+                idx = traffic.PARTS_GRID.index(p)
+                assert res.measured_b[m][p] == res.formula_b[m][idx]
+                assert res.measured_x[m][p] == res.formula_x[m][idx]
+        assert "Table 1" in out and "Table 2" in out

@@ -1,0 +1,90 @@
+"""Plan-verification tooling tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import residual_report, verify_plan
+from repro.core.blocked_matrix import build_improved_recursive_plan
+from repro.core.column_block import build_column_block_plan
+from repro.core.plan import SpMVSegment, TriSegment
+from repro.core.recursive_block import build_recursive_block_plan
+from repro.core.row_block import build_row_block_plan
+from repro.core.storage import load_blocked, save_blocked
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.kernels import solve_serial
+
+from conftest import random_lower
+
+DEV = TITAN_RTX_SCALED
+
+
+class TestVerifyPlan:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda L: build_column_block_plan(L, 4, DEV),
+            lambda L: build_row_block_plan(L, 4, DEV),
+            lambda L: build_recursive_block_plan(L, 2, DEV),
+            lambda L: build_improved_recursive_plan(L, 2, DEV).plan,
+        ],
+    )
+    def test_all_builders_produce_valid_plans(self, builder, medium_lower):
+        check = verify_plan(builder(medium_lower), medium_lower, DEV)
+        assert check.ok, check.issues
+
+    def test_loaded_plan_valid(self, medium_lower, tmp_path):
+        blocked = build_improved_recursive_plan(
+            medium_lower, 2, DEV, keep_permuted=True
+        )
+        save_blocked(tmp_path / "b.npz", blocked)
+        loaded = load_blocked(tmp_path / "b.npz", DEV)
+        # structural checks against the *permuted* matrix
+        check = verify_plan(loaded.plan, blocked.permuted)
+        assert check.ok, check.issues
+
+    def test_detects_gap_in_coverage(self, medium_lower):
+        plan = build_recursive_block_plan(medium_lower, 1, DEV)
+        broken = [s for s in plan.segments if not (
+            isinstance(s, TriSegment) and s.lo == 0
+        )]
+        plan.segments = broken
+        check = verify_plan(plan)
+        assert not check.ok
+        assert any("expected 0" in i or "cover" in i for i in check.issues)
+
+    def test_detects_unsolved_read(self, medium_lower):
+        plan = build_recursive_block_plan(medium_lower, 1, DEV)
+        # move the spmv before any triangle
+        spmv = [s for s in plan.segments if isinstance(s, SpMVSegment)]
+        tris = [s for s in plan.segments if isinstance(s, TriSegment)]
+        if not spmv:
+            pytest.skip("matrix produced no square block")
+        plan.segments = spmv + tris
+        check = verify_plan(plan)
+        assert not check.ok
+        assert any("only [0,0) is solved" in i for i in check.issues)
+
+    def test_detects_nnz_mismatch(self, medium_lower):
+        plan = build_recursive_block_plan(medium_lower, 1, DEV)
+        other = random_lower(medium_lower.n_rows, 0.5, seed=99)
+        check = verify_plan(plan, other)
+        assert not check.ok
+
+    def test_raise_if_failed(self, medium_lower):
+        plan = build_recursive_block_plan(medium_lower, 1, DEV)
+        plan.segments = plan.segments[1:]
+        with pytest.raises(AssertionError):
+            verify_plan(plan).raise_if_failed()
+
+
+class TestResidualReport:
+    def test_good_solution(self, medium_lower, rng):
+        b = rng.standard_normal(medium_lower.n_rows)
+        x = solve_serial(medium_lower, b)
+        rep = residual_report(medium_lower, x, b)
+        assert rep.ok and rep.rel_to_b < 1e-10
+
+    def test_bad_solution(self, medium_lower, rng):
+        b = rng.standard_normal(medium_lower.n_rows)
+        rep = residual_report(medium_lower, np.zeros_like(b), b)
+        assert not rep.ok

@@ -1,0 +1,139 @@
+"""Tests for the one-call API, inspection tools, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.api import solve_triangular
+from repro.analysis.inspect import describe_plan, level_histogram, spy
+from repro.cli import build_parser, main
+from repro.core.solver import RecursiveBlockSolver
+from repro.errors import NotTriangularError
+from repro.formats import CSRMatrix
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.kernels import solve_serial
+
+from conftest import random_lower, random_square
+
+
+class TestSolveTriangular:
+    def test_lower_autodetect(self, rng):
+        L = random_lower(120, 0.05, seed=1)
+        b = rng.standard_normal(120)
+        x, report = solve_triangular(L, b)
+        assert np.allclose(x, solve_serial(L, b), rtol=1e-9)
+        assert report.method == "recursive-block"
+
+    def test_upper_autodetect(self, rng):
+        U = random_lower(100, 0.05, seed=2).transpose()
+        b = rng.standard_normal(100)
+        x, _ = solve_triangular(U, b, method="cusparse")
+        assert np.allclose(U.to_dense() @ x, b, atol=1e-8)
+
+    def test_explicit_orientation(self, rng):
+        L = random_lower(80, 0.08, seed=3)
+        b = rng.standard_normal(80)
+        x, _ = solve_triangular(L, b, lower=True, method="syncfree")
+        assert np.allclose(L.matvec(x), b, atol=1e-9)
+
+    def test_rejects_general_matrix(self):
+        A = random_square(20, 0.5, seed=4)
+        with pytest.raises(NotTriangularError):
+            solve_triangular(A, np.ones(20))
+
+    def test_rejects_unknown_method(self, small_lower):
+        with pytest.raises(ValueError):
+            solve_triangular(small_lower, np.ones(small_lower.n_rows),
+                             method="magic")
+
+    def test_solver_options_forwarded(self, rng):
+        L = random_lower(150, 0.04, seed=5)
+        b = rng.standard_normal(150)
+        x, _ = solve_triangular(L, b, depth=2, reorder=False)
+        assert np.allclose(L.matvec(x), b, atol=1e-9)
+
+
+class TestInspect:
+    def test_spy_shape(self, small_lower):
+        art = spy(small_lower, width=20)
+        lines = art.splitlines()
+        assert len(lines) == 22  # border + 20 + border
+        assert all(len(l) == 22 for l in lines)
+
+    def test_spy_lower_triangular_pattern(self):
+        L = CSRMatrix.from_dense(np.tril(np.ones((64, 64))))
+        art = spy(L, width=16)
+        rows = art.splitlines()[1:-1]
+        # upper-right corner empty, lower-left dense
+        assert rows[0][-2] == " "
+        assert rows[-1][1] != " "
+
+    def test_spy_empty(self):
+        assert " " in spy(CSRMatrix.empty(10, 10), width=8)
+
+    def test_level_histogram(self, medium_lower):
+        text = level_histogram(medium_lower)
+        assert "level sets" in text
+        assert "#" in text
+
+    def test_describe_plan(self, medium_lower):
+        prepared = RecursiveBlockSolver(device=TITAN_RTX_SCALED, depth=2).prepare(
+            medium_lower
+        )
+        text = describe_plan(prepared.plan)
+        assert "triangles" in text
+        assert "tri " in text and "spmv" in text
+
+    def test_describe_plan_truncates(self, medium_lower):
+        prepared = RecursiveBlockSolver(device=TITAN_RTX_SCALED, depth=4).prepare(
+            medium_lower
+        )
+        text = describe_plan(prepared.plan, max_segments=3)
+        assert "more segments" in text
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "titan_rtx_scaled" in out and "recursive-block" in out
+
+    def test_suite(self, capsys):
+        assert main(["suite", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "kkt_wide_a" in out and "nlevels" in out
+
+    def test_solve_suite_matrix(self, capsys):
+        assert main(["solve", "kkt_mid_a", "--scale", "0.05",
+                     "--method", "recursive-block", "--plan"]) == 0
+        out = capsys.readouterr().out
+        assert "residual" in out and "plan[recursive-block]" in out
+
+    def test_solve_mtx_file(self, tmp_path, capsys):
+        from repro.matrices.io import write_matrix_market
+
+        L = random_lower(40, 0.2, seed=6)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, L)
+        assert main(["solve", str(path), "--method", "syncfree"]) == 0
+        assert "syncfree" in capsys.readouterr().out
+
+    def test_solve_unknown_matrix(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "no_such_matrix_anywhere"])
+
+    def test_calibrate_quick(self, capsys):
+        assert main(["calibrate", "--quick", "--rows", "256"]) == 0
+        assert "legend" in capsys.readouterr().out
+
+    def test_experiment_table1_2(self, capsys):
+        assert main(["experiment", "table1_2"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_experiment_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["solve", "x", "--spy", "--levels"])
+        assert args.spy and args.levels

@@ -1,0 +1,110 @@
+"""Algorithm 7 decision-tree tests (paper thresholds verbatim)."""
+
+import pytest
+
+from repro.core.adaptive import (
+    CALIBRATED_THRESHOLDS,
+    PAPER_THRESHOLDS,
+    AdaptiveSelector,
+    SelectionThresholds,
+)
+from repro.graph.stats import SquareFeatures, TriangleFeatures
+
+
+def tri(nnz_per_row, nlevels, n_rows=1000, diagonal_only=False):
+    return TriangleFeatures(
+        n_rows=n_rows,
+        nnz=int(nnz_per_row * n_rows),
+        nnz_per_row=nnz_per_row,
+        nlevels=nlevels,
+        diagonal_only=diagonal_only,
+    )
+
+
+def sq(nnz_per_row, empty_ratio, n_rows=1000):
+    return SquareFeatures(
+        n_rows=n_rows,
+        nnz=int(nnz_per_row * n_rows),
+        nnz_per_row=nnz_per_row,
+        empty_ratio=empty_ratio,
+    )
+
+
+@pytest.fixture
+def paper():
+    return AdaptiveSelector(PAPER_THRESHOLDS)
+
+
+class TestPaperSpTRSVTree:
+    """Every branch of Algorithm 7 lines 3-12 with the printed numbers."""
+
+    def test_diagonal_only(self, paper):
+        assert paper.select_sptrsv(tri(1.0, 1, diagonal_only=True)) == "diagonal"
+
+    def test_cusparse_beyond_20000_levels(self, paper):
+        assert paper.select_sptrsv(tri(30.0, 20001)) == "cusparse"
+        assert paper.select_sptrsv(tri(1.0, 50000)) == "cusparse"
+
+    def test_levelset_thin_branch(self, paper):
+        # nnz/row == 1 and nlevels <= 100
+        assert paper.select_sptrsv(tri(1.0, 100)) == "levelset"
+        assert paper.select_sptrsv(tri(1.0, 101)) == "syncfree"
+
+    def test_levelset_shallow_branch(self, paper):
+        # nnz/row <= 15 and nlevels <= 20
+        assert paper.select_sptrsv(tri(15.0, 20)) == "levelset"
+        assert paper.select_sptrsv(tri(15.0, 21)) == "syncfree"
+        assert paper.select_sptrsv(tri(15.1, 20)) == "syncfree"
+
+    def test_syncfree_default(self, paper):
+        assert paper.select_sptrsv(tri(40.0, 500)) == "syncfree"
+
+    def test_no_thin_deep_branch_in_paper_tree(self, paper):
+        """Algorithm 7 as printed routes thin deep triangles to cuSPARSE."""
+        assert paper.select_sptrsv(tri(1.0, 30000)) == "cusparse"
+
+
+class TestPaperSpMVTree:
+    """Algorithm 7 lines 13-22 with the printed numbers."""
+
+    def test_scalar_csr(self, paper):
+        assert paper.select_spmv(sq(12.0, 0.50)) == "scalar-csr"
+
+    def test_scalar_dcsr(self, paper):
+        assert paper.select_spmv(sq(12.0, 0.51)) == "scalar-dcsr"
+
+    def test_vector_csr(self, paper):
+        assert paper.select_spmv(sq(12.1, 0.15)) == "vector-csr"
+
+    def test_vector_dcsr(self, paper):
+        assert paper.select_spmv(sq(12.1, 0.16)) == "vector-dcsr"
+
+    def test_boundaries_exact(self, paper):
+        t = PAPER_THRESHOLDS
+        assert t.spmv_vector_nnz_row == 12.0
+        assert t.spmv_scalar_empty == 0.50
+        assert t.spmv_vector_empty == 0.15
+        assert t.tri_cusparse_nlevels == 20000
+        assert t.tri_levelset_nnz_row == 15.0
+        assert t.tri_levelset_nlevels == 20
+
+
+class TestCalibratedTree:
+    def test_thin_deep_goes_syncfree(self):
+        sel = AdaptiveSelector(CALIBRATED_THRESHOLDS)
+        assert sel.select_sptrsv(tri(2.0, 5000)) == "syncfree"
+
+    def test_deep_dense_goes_cusparse(self):
+        sel = AdaptiveSelector(CALIBRATED_THRESHOLDS)
+        assert sel.select_sptrsv(tri(20.0, 5000)) == "cusparse"
+
+    def test_diagonal_still_first(self):
+        sel = AdaptiveSelector(CALIBRATED_THRESHOLDS)
+        assert sel.select_sptrsv(tri(1.0, 1, diagonal_only=True)) == "diagonal"
+
+    def test_custom_thresholds(self):
+        sel = AdaptiveSelector(SelectionThresholds(spmv_vector_nnz_row=2.0))
+        assert sel.select_spmv(sq(3.0, 0.0)) == "vector-csr"
+
+    def test_defaults_are_paper(self):
+        assert SelectionThresholds() == PAPER_THRESHOLDS

@@ -1,0 +1,184 @@
+"""Correctness of the three block algorithms (Algorithms 4, 5, 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.column_block import build_column_block_plan
+from repro.core.recursive_block import build_recursive_block_plan, recursive_ranges
+from repro.core.row_block import build_row_block_plan
+from repro.core.plan import SpMVSegment, TriSegment
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.kernels import solve_serial
+from repro.matrices.generators import (
+    chain_matrix,
+    grid_laplacian_2d,
+    layered_random,
+    powerlaw_matrix,
+)
+
+from conftest import random_lower
+
+DEV = TITAN_RTX_SCALED
+
+BUILDERS = {
+    "column": lambda L, p: build_column_block_plan(L, p, DEV),
+    "row": lambda L, p: build_row_block_plan(L, p, DEV),
+    "recursive": lambda L, p: build_recursive_block_plan(
+        L, int(np.log2(p)), DEV
+    ),
+}
+
+
+class TestRecursiveRanges:
+    def test_depth_zero(self):
+        assert list(recursive_ranges(0, 8, 0)) == [("tri", 0, 8)]
+
+    def test_depth_one(self):
+        ops = list(recursive_ranges(0, 8, 1))
+        assert ops == [("tri", 0, 4), ("spmv", 4, 8, 0, 4), ("tri", 4, 8)]
+
+    def test_depth_two_structure(self):
+        ops = list(recursive_ranges(0, 16, 2))
+        tris = [o for o in ops if o[0] == "tri"]
+        spmvs = [o for o in ops if o[0] == "spmv"]
+        assert len(tris) == 4 and len(spmvs) == 3
+        # In-order: when a square executes, all the x it reads is solved.
+        covered = 0
+        for op in ops:
+            if op[0] == "tri":
+                assert op[1] == covered
+                covered = op[2]
+            else:
+                row_lo, row_hi, col_lo, col_hi = op[1:]
+                assert col_hi == row_lo  # reads exactly the x above it
+                assert col_hi <= covered  # already solved
+
+    def test_tiny_range_stops_recursion(self):
+        ops = list(recursive_ranges(0, 1, 5))
+        assert ops == [("tri", 0, 1)]
+
+    def test_covers_all_rows_once(self):
+        ops = list(recursive_ranges(0, 37, 3))
+        rows = []
+        for op in ops:
+            if op[0] == "tri":
+                rows.extend(range(op[1], op[2]))
+        assert sorted(rows) == list(range(37))
+
+
+@pytest.mark.parametrize("scheme", list(BUILDERS))
+class TestBlockCorrectness:
+    @pytest.mark.parametrize("parts", [2, 4, 8])
+    def test_random_matrix(self, scheme, parts, rng):
+        L = random_lower(300, 0.03, seed=parts)
+        b = rng.standard_normal(300)
+        x_ref = solve_serial(L, b)
+        plan = BUILDERS[scheme](L, parts)
+        x, report = plan.solve(b, DEV)
+        assert np.allclose(x, x_ref, rtol=1e-9, atol=1e-11)
+        assert report.flops == pytest.approx(2.0 * plan.total_nnz)
+
+    def test_chain(self, scheme, rng):
+        L = chain_matrix(200, rng=np.random.default_rng(1))
+        b = rng.standard_normal(200)
+        x, _ = BUILDERS[scheme](L, 4).solve(b, DEV)
+        assert np.allclose(L.matvec(x), b, atol=1e-8)
+
+    def test_grid(self, scheme, rng):
+        L = grid_laplacian_2d(18, 14, rng=np.random.default_rng(2))
+        b = rng.standard_normal(L.n_rows)
+        x, _ = BUILDERS[scheme](L, 8).solve(b, DEV)
+        assert np.allclose(L.matvec(x), b, atol=1e-8)
+
+    def test_powerlaw(self, scheme, rng):
+        L = powerlaw_matrix(400, 4.0, rng=np.random.default_rng(3))
+        b = rng.standard_normal(400)
+        x, _ = BUILDERS[scheme](L, 8).solve(b, DEV)
+        assert np.allclose(L.matvec(x), b, atol=1e-8)
+
+    def test_layered(self, scheme, rng):
+        L = layered_random(
+            np.array([100, 80, 60, 40, 20]), 5.0, np.random.default_rng(4)
+        )
+        b = rng.standard_normal(300)
+        x, _ = BUILDERS[scheme](L, 4).solve(b, DEV)
+        assert np.allclose(L.matvec(x), b, atol=1e-8)
+
+    def test_single_part_degenerates_to_whole_solve(self, scheme, rng):
+        L = random_lower(100, 0.05, seed=8)
+        b = rng.standard_normal(100)
+        plan = BUILDERS[scheme](L, 1)
+        assert plan.n_spmv_segments == 0
+        assert plan.n_tri_segments == 1
+        x, _ = plan.solve(b, DEV)
+        assert np.allclose(L.matvec(x), b, atol=1e-9)
+
+
+class TestPlanStructure:
+    def test_column_block_counts(self):
+        L = random_lower(256, 0.05, seed=5)
+        plan = build_column_block_plan(L, 4, DEV)
+        # Dense-enough matrix: 4 triangles, up to 3 rectangles.
+        assert plan.n_tri_segments == 4
+        assert plan.n_spmv_segments == 3
+        # Column rects span all remaining rows.
+        for seg in plan.spmv_segments:
+            assert seg.row_hi == 256
+
+    def test_row_block_counts(self):
+        L = random_lower(256, 0.05, seed=6)
+        plan = build_row_block_plan(L, 4, DEV)
+        assert plan.n_tri_segments == 4
+        assert plan.n_spmv_segments == 3
+        # Row rects start at column 0.
+        for seg in plan.spmv_segments:
+            assert seg.col_lo == 0
+
+    def test_recursive_block_counts(self):
+        L = random_lower(256, 0.05, seed=7)
+        plan = build_recursive_block_plan(L, 2, DEV)
+        assert plan.n_tri_segments == 4
+        assert plan.n_spmv_segments == 3
+        # Recursive squares read exactly the x above them.
+        for seg in plan.spmv_segments:
+            assert seg.col_hi == seg.row_lo
+
+    def test_nnz_conserved(self):
+        L = random_lower(200, 0.08, seed=8)
+        for scheme, builder in BUILDERS.items():
+            plan = builder(L, 4)
+            assert plan.total_nnz == L.nnz, scheme
+
+    def test_empty_spmv_blocks_skipped(self):
+        """Block-diagonal matrix: every off-diagonal block is empty."""
+        import numpy as np
+        from repro.formats import CSRMatrix
+
+        blocks = np.kron(np.eye(4), np.tril(np.ones((8, 8))))
+        L = CSRMatrix.from_dense(blocks + np.eye(32))
+        plan = build_recursive_block_plan(L, 2, DEV)
+        assert plan.n_spmv_segments == 0
+
+    def test_preprocess_report_populated(self):
+        L = random_lower(200, 0.05, seed=9)
+        plan = build_column_block_plan(L, 4, DEV)
+        rep = plan.preprocess_report
+        assert rep.time_s > 0
+        assert rep.detail["n_segments"] == plan.n_tri_segments + plan.n_spmv_segments
+
+    def test_kernel_histogram(self):
+        L = random_lower(200, 0.05, seed=10)
+        plan = build_recursive_block_plan(L, 2, DEV)
+        hist = plan.kernel_histogram()
+        assert sum(hist.values()) == len(plan.segments)
+
+    def test_fixed_kernels_respected(self):
+        L = random_lower(200, 0.05, seed=11)
+        plan = build_recursive_block_plan(
+            L, 2, DEV, fixed_tri="syncfree", fixed_spmv="vector-csr"
+        )
+        for seg in plan.segments:
+            if isinstance(seg, TriSegment):
+                assert seg.kernel.name == "syncfree"
+            else:
+                assert seg.kernel.name == "vector-csr"

@@ -1,0 +1,139 @@
+"""Calibration-sweep tests (Figure 5 procedure)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import PAPER_THRESHOLDS
+from repro.core.calibrate import (
+    CalibrationResult,
+    _square_block,
+    calibrate_spmv,
+    calibrate_sptrsv,
+    run_calibration,
+)
+from repro.gpu.device import TITAN_RTX_SCALED
+
+DEV = TITAN_RTX_SCALED
+
+
+@pytest.fixture(scope="module")
+def quick_cal():
+    return run_calibration(DEV, quick=True)
+
+
+class TestSquareBlockGenerator:
+    def test_empty_ratio_honoured(self):
+        rng = np.random.default_rng(0)
+        A = _square_block(500, 4.0, 0.8, rng)
+        empty = np.count_nonzero(A.row_counts() == 0)
+        assert empty / 500 == pytest.approx(0.8, abs=0.05)
+
+    def test_density_honoured(self):
+        rng = np.random.default_rng(1)
+        A = _square_block(500, 6.0, 0.0, rng)
+        assert A.nnz / 500 == pytest.approx(6.0, rel=0.2)
+
+
+class TestSweeps:
+    def test_sptrsv_grid_covers_cells(self):
+        grid = calibrate_sptrsv(
+            DEV, n_rows=256, nnz_row_grid=(3.0, 8.0), nlevels_grid=(2, 16)
+        )
+        assert set(grid) == {(3.0, 2), (3.0, 16), (8.0, 2), (8.0, 16)}
+        for scores in grid.values():
+            assert set(scores) == {"levelset", "syncfree", "cusparse"}
+            assert all(v > 0 for v in scores.values())
+
+    def test_nlevels_beyond_n_skipped(self):
+        grid = calibrate_sptrsv(
+            DEV, n_rows=8, nnz_row_grid=(3.0,), nlevels_grid=(2, 1024)
+        )
+        assert (3.0, 1024) not in grid
+
+    def test_spmv_grid(self):
+        grid = calibrate_spmv(
+            DEV, n_rows=256, nnz_row_grid=(2.0, 16.0), empty_grid=(0.0, 0.9)
+        )
+        assert len(grid) == 4
+        for scores in grid.values():
+            assert set(scores) == {
+                "scalar-csr", "vector-csr", "scalar-dcsr", "vector-dcsr"
+            }
+
+
+class TestResult:
+    def test_best_lookup(self, quick_cal):
+        cell = next(iter(quick_cal.sptrsv))
+        best = quick_cal.best_sptrsv(cell)
+        assert best in quick_cal.sptrsv[cell]
+
+    def test_heatmaps_render(self, quick_cal):
+        tri = quick_cal.ascii_heatmap("sptrsv")
+        sq = quick_cal.ascii_heatmap("spmv")
+        assert "legend" in tri and "legend" in sq
+
+    def test_thresholds_derivable(self, quick_cal):
+        th = quick_cal.derive_thresholds(PAPER_THRESHOLDS)
+        assert th.tri_cusparse_nlevels > 0
+        assert 0 < th.spmv_scalar_empty <= 1.0
+
+    def test_sample_count(self, quick_cal):
+        assert quick_cal.n_samples > 10
+
+
+class TestExpectedShape:
+    """The Figure 5 qualitative structure against our kernels."""
+
+    @pytest.fixture(scope="class")
+    def cal(self):
+        return run_calibration(DEV, n_rows=2048)
+
+    def test_levelset_wins_shallow(self, cal):
+        wins = sum(
+            cal.best_sptrsv((nr, nl)) == "levelset"
+            for (nr, nl) in cal.sptrsv
+            if nl <= 8 and nr >= 12
+        )
+        total = sum(1 for (nr, nl) in cal.sptrsv if nl <= 8 and nr >= 12)
+        assert wins > total * 0.6
+
+    def test_cusparse_wins_deep(self, cal):
+        wins = sum(
+            cal.best_sptrsv((nr, nl)) == "cusparse"
+            for (nr, nl) in cal.sptrsv
+            if nl >= 256 and nr >= 3
+        )
+        total = sum(1 for (nr, nl) in cal.sptrsv if nl >= 256 and nr >= 3)
+        assert wins > total * 0.7
+
+    def test_syncfree_wins_thin_deep(self, cal):
+        col = [nl for (nr, nl) in cal.sptrsv if nr == 2.0 and nl >= 64]
+        wins = sum(cal.best_sptrsv((2.0, nl)) == "syncfree" for nl in col)
+        assert wins > len(col) * 0.6
+
+    def test_dcsr_wins_when_empty(self, cal):
+        wins = sum(
+            cal.best_spmv((nr, er)).endswith("dcsr")
+            for (nr, er) in cal.spmv
+            if er >= 0.8
+        )
+        total = sum(1 for (nr, er) in cal.spmv if er >= 0.8)
+        assert wins > total * 0.7
+
+    def test_vector_wins_dense_rows(self, cal):
+        wins = sum(
+            cal.best_spmv((nr, er)).startswith("vector")
+            for (nr, er) in cal.spmv
+            if nr >= 16
+        )
+        total = sum(1 for (nr, er) in cal.spmv if nr >= 16)
+        assert wins > total * 0.6
+
+    def test_scalar_wins_sparse_full_rows(self, cal):
+        wins = sum(
+            cal.best_spmv((nr, er)) == "scalar-csr"
+            for (nr, er) in cal.spmv
+            if nr <= 2 and er <= 0.3
+        )
+        total = sum(1 for (nr, er) in cal.spmv if nr <= 2 and er <= 0.3)
+        assert wins > total * 0.6

@@ -1,0 +1,91 @@
+"""ExecutionPlan behaviour tests (beyond the block-builder coverage)."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ExecutionPlan, SpMVSegment, TriSegment
+from repro.core.recursive_block import build_recursive_block_plan
+from repro.errors import ShapeMismatchError
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.kernels import solve_serial
+
+from conftest import random_lower
+
+DEV = TITAN_RTX_SCALED
+
+
+@pytest.fixture
+def plan(medium_lower):
+    return build_recursive_block_plan(medium_lower, 2, DEV)
+
+
+class TestSolve:
+    def test_b_length_checked(self, plan):
+        with pytest.raises(ShapeMismatchError):
+            plan.solve(np.ones(plan.n + 1), DEV)
+
+    def test_b_not_mutated(self, plan, medium_lower, rng):
+        b = rng.standard_normal(plan.n)
+        b0 = b.copy()
+        plan.solve(b, DEV)
+        assert np.array_equal(b, b0)
+
+    def test_repeat_solves_consistent(self, plan, rng):
+        b = rng.standard_normal(plan.n)
+        x1, r1 = plan.solve(b, DEV)
+        x2, r2 = plan.solve(b, DEV)
+        assert np.array_equal(x1, x2)
+        assert r1.time_s == pytest.approx(r2.time_s)
+
+    def test_report_composition(self, plan, rng):
+        b = rng.standard_normal(plan.n)
+        _, report = plan.solve(b, DEV)
+        assert len(report.kernels) == len(plan.segments)
+        assert report.time_s == pytest.approx(
+            sum(k.time_s for k in report.kernels)
+        )
+        assert report.kernel_count("sptrsv") == plan.n_tri_segments
+        assert report.kernel_count("spmv") == plan.n_spmv_segments
+
+    def test_zero_rhs(self, plan):
+        x, _ = plan.solve(np.zeros(plan.n), DEV)
+        assert np.allclose(x, 0.0)
+
+    def test_linearity(self, plan, rng):
+        b = rng.standard_normal(plan.n)
+        x1, _ = plan.solve(b, DEV)
+        x2, _ = plan.solve(3.0 * b, DEV)
+        assert np.allclose(x2, 3 * x1, rtol=1e-12)
+
+
+class TestStructureQueries:
+    def test_segment_lists(self, plan):
+        assert all(isinstance(s, TriSegment) for s in plan.tri_segments)
+        assert all(isinstance(s, SpMVSegment) for s in plan.spmv_segments)
+        assert len(plan.tri_segments) + len(plan.spmv_segments) == len(
+            plan.segments
+        )
+
+    def test_traffic_counters_nonnegative(self, plan):
+        assert plan.b_items_updated >= plan.n
+        assert plan.x_items_loaded >= 0
+
+    def test_empty_plan(self):
+        p = ExecutionPlan(method="noop", n=0)
+        x, report = p.solve(np.zeros(0), DEV)
+        assert len(x) == 0 and report.time_s == 0.0
+
+
+class TestDeviceSwap:
+    def test_same_plan_different_devices(self, medium_lower, rng):
+        """Numerics identical across devices; times differ once the
+        matrix is large enough to leave the overhead floor."""
+        from repro.gpu.device import TITAN_X_SCALED
+
+        L = random_lower(3000, 0.01, seed=4)
+        plan = build_recursive_block_plan(L, 2, DEV)
+        b = rng.standard_normal(3000)
+        x1, r1 = plan.solve(b, DEV)
+        x2, r2 = plan.solve(b, TITAN_X_SCALED)
+        assert np.array_equal(x1, x2)
+        assert r2.time_s > r1.time_s  # Titan X is the slower device

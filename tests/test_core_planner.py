@@ -1,0 +1,67 @@
+"""Depth rule and partition-boundary tests (§3.4 last paragraph)."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import choose_depth, split_boundaries
+from repro.gpu.device import TITAN_RTX, TITAN_RTX_SCALED, TITAN_X
+
+
+class TestChooseDepth:
+    def test_paper_rule_on_titan_rtx(self):
+        """On the full Titan RTX the smallest block must stay >= 92160 rows
+        (20 x 4608), so a 16.2M-row matrix splits ~7 deep."""
+        min_rows = 20 * TITAN_RTX.cuda_cores
+        assert min_rows == 92160
+        depth = choose_depth(16_240_000, TITAN_RTX)
+        assert 16_240_000 / 2**depth >= min_rows
+        assert 16_240_000 / 2 ** (depth + 1) < min_rows
+
+    def test_small_matrix_no_split(self):
+        assert choose_depth(1000, TITAN_RTX) == 0
+
+    def test_scaled_device_matches_scaled_matrices(self):
+        """1/50-scale device + 1/50-scale matrix = same depth as paper."""
+        d_paper = choose_depth(16_240_000, TITAN_RTX)
+        d_scaled = choose_depth(16_240_000 // 50, TITAN_RTX_SCALED)
+        assert abs(d_paper - d_scaled) <= 1
+
+    def test_monotone_in_n(self):
+        depths = [choose_depth(n, TITAN_RTX_SCALED) for n in (2_000, 20_000, 200_000)]
+        assert depths == sorted(depths)
+
+    def test_row_factor_override(self):
+        assert choose_depth(10_000, TITAN_RTX, row_factor=0.01) > choose_depth(
+            10_000, TITAN_RTX, row_factor=20.0
+        )
+
+    def test_max_depth_cap(self):
+        assert choose_depth(10**9, TITAN_RTX_SCALED, row_factor=1e-6) <= 10
+
+    def test_titan_x_smaller_blocks(self):
+        """Fewer cores -> smaller saturation size -> deeper splits."""
+        assert choose_depth(2_000_000, TITAN_X) >= choose_depth(
+            2_000_000, TITAN_RTX
+        )
+
+
+class TestSplitBoundaries:
+    def test_even(self):
+        assert split_boundaries(12, 4).tolist() == [0, 3, 6, 9, 12]
+
+    def test_remainder_spread(self):
+        b = split_boundaries(10, 4)
+        sizes = np.diff(b)
+        assert b[0] == 0 and b[-1] == 10
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_more_segments_than_rows(self):
+        b = split_boundaries(3, 8)
+        assert b[-1] == 3 and np.all(np.diff(b) >= 1)
+
+    def test_single_segment(self):
+        assert split_boundaries(7, 1).tolist() == [0, 7]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            split_boundaries(5, 0)

@@ -1,0 +1,219 @@
+"""Solver facade tests: API behaviour, multi-RHS, amortization, traffic."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import (
+    SOLVERS,
+    ColumnBlockSolver,
+    CuSparseSolver,
+    LevelSetSolver,
+    RecursiveBlockSolver,
+    RowBlockSolver,
+    SerialSolver,
+    SyncFreeSolver,
+)
+from repro.errors import NotTriangularError
+from repro.formats import CSRMatrix
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.kernels import solve_serial
+
+from conftest import random_lower, random_square
+
+DEV = TITAN_RTX_SCALED
+ALL = [
+    SerialSolver,
+    LevelSetSolver,
+    CuSparseSolver,
+    SyncFreeSolver,
+    ColumnBlockSolver,
+    RowBlockSolver,
+    RecursiveBlockSolver,
+]
+
+
+@pytest.fixture
+def system(rng):
+    L = random_lower(350, 0.03, seed=77)
+    b = rng.standard_normal(350)
+    return L, b, solve_serial(L, b)
+
+
+class TestFacadeAPI:
+    @pytest.mark.parametrize("cls", ALL)
+    def test_prepare_solve(self, cls, system):
+        L, b, x_ref = system
+        prepared = cls(device=DEV).prepare(L)
+        x, report = prepared.solve(b)
+        assert np.allclose(x, x_ref, rtol=1e-9, atol=1e-11)
+        assert report.method == cls.method
+        assert prepared.preprocessing_time_s >= 0
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_one_shot_solve(self, cls, system):
+        L, b, x_ref = system
+        x, _ = cls(device=DEV).solve(L, b)
+        assert np.allclose(x, x_ref, rtol=1e-9, atol=1e-11)
+
+    def test_rejects_non_square(self):
+        A = CSRMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(NotTriangularError):
+            RecursiveBlockSolver(device=DEV).prepare(A)
+
+    def test_rejects_non_triangular(self):
+        A = random_square(20, 0.5, seed=1)
+        with pytest.raises(NotTriangularError):
+            SyncFreeSolver(device=DEV).prepare(A)
+
+    def test_registry_complete(self):
+        assert set(SOLVERS) == {
+            "serial",
+            "levelset",
+            "cusparse",
+            "syncfree",
+            "column-block",
+            "row-block",
+            "recursive-block",
+        }
+
+    def test_registry_instances_solve(self, system):
+        L, b, x_ref = system
+        for name, cls in SOLVERS.items():
+            x, _ = cls(device=DEV).solve(L, b)
+            assert np.allclose(x, x_ref, rtol=1e-8, atol=1e-10), name
+
+
+class TestMultiRHS:
+    def test_solve_multi_matches_column_solves(self, system, rng):
+        L, _, _ = system
+        B = rng.standard_normal((350, 4))
+        prepared = RecursiveBlockSolver(device=DEV).prepare(L)
+        X, report = prepared.solve_multi(B)
+        for j in range(4):
+            assert np.allclose(L.matvec(X[:, j]), B[:, j], atol=1e-8)
+        assert report.detail["n_rhs"] == 4
+
+    def test_unfused_multi_time_scales_linearly(self, system, rng):
+        L, b, _ = system
+        prepared = SyncFreeSolver(device=DEV).prepare(L)
+        _, single = prepared.solve(b)
+        B = rng.standard_normal((350, 5))
+        _, multi = prepared.solve_multi(B, fused=False)
+        assert multi.time_s == pytest.approx(5 * single.time_s)
+
+    def test_fused_multi_amortizes(self, system, rng):
+        """The fused kernels stream the matrix once: k solves cost less
+        than k independent solves (the [50] effect)."""
+        L, b, _ = system
+        B = rng.standard_normal((350, 16))
+        for cls in (SyncFreeSolver, CuSparseSolver, RecursiveBlockSolver):
+            prepared = cls(device=DEV).prepare(L)
+            Xf, fused = prepared.solve_multi(B, fused=True)
+            Xu, unfused = prepared.solve_multi(B, fused=False)
+            assert np.allclose(Xf, Xu, rtol=1e-9, atol=1e-10), cls.method
+            assert fused.time_s < unfused.time_s, cls.method
+
+    def test_fused_multi_correct_per_column(self, system, rng):
+        L, _, _ = system
+        B = rng.standard_normal((350, 3))
+        prepared = RecursiveBlockSolver(device=DEV).prepare(L)
+        X, rep = prepared.solve_multi(B)
+        for j in range(3):
+            assert np.allclose(L.matvec(X[:, j]), B[:, j], atol=1e-8)
+        assert rep.detail["fused"] is True
+
+    def test_solve_multi_1d_passthrough(self, system):
+        L, b, x_ref = system
+        prepared = CuSparseSolver(device=DEV).prepare(L)
+        x, _ = prepared.solve_multi(b)
+        assert np.allclose(x, x_ref, rtol=1e-9)
+
+
+class TestAmortization:
+    def test_amortized_time_formula(self, system):
+        L, b, _ = system
+        prepared = RecursiveBlockSolver(device=DEV).prepare(L)
+        _, rep = prepared.solve(b)
+        total = prepared.amortized_time(100, rep)
+        assert total == pytest.approx(
+            prepared.preprocessing_time_s + 100 * rep.time_s
+        )
+
+    def test_block_beats_baselines_amortized(self):
+        """Table 5's message: despite heavier preprocessing, the block
+        algorithm wins a preprocessing + 500-solve workload (on a matrix
+        in the suite's operating regime, i.e. large enough to split)."""
+        from repro.matrices.generators import layered_random
+
+        sizes = np.full(8, 2500, dtype=np.int64)
+        L = layered_random(
+            sizes, nnz_per_row=8.0, rng=np.random.default_rng(2), locality=0.05
+        )
+        b = np.ones(L.n_rows)
+        totals = {}
+        for cls in (CuSparseSolver, SyncFreeSolver, RecursiveBlockSolver):
+            prepared = cls(device=DEV).prepare(L)
+            _, rep = prepared.solve(b)
+            totals[cls.method] = prepared.amortized_time(500, rep)
+        assert totals["recursive-block"] < totals["cusparse"]
+        assert totals["recursive-block"] < totals["syncfree"]
+
+
+class TestBlockSolverOptions:
+    def test_explicit_depth(self, system):
+        L, b, x_ref = system
+        prepared = RecursiveBlockSolver(device=DEV, depth=3).prepare(L)
+        assert prepared.plan.n_tri_segments == 8
+        x, _ = prepared.solve(b)
+        assert np.allclose(x, x_ref, rtol=1e-9)
+
+    def test_explicit_nseg(self, system):
+        L, b, x_ref = system
+        prepared = ColumnBlockSolver(device=DEV, nseg=5).prepare(L)
+        assert prepared.plan.n_tri_segments == 5
+        x, _ = prepared.solve(b)
+        assert np.allclose(x, x_ref, rtol=1e-9)
+
+    @pytest.mark.parametrize("kw", [
+        {"reorder": False},
+        {"use_dcsr": False},
+        {"reorder": False, "use_dcsr": False},
+        {"fixed_tri": "levelset"},
+        {"fixed_spmv": "scalar-csr"},
+    ])
+    def test_ablation_variants_solve_correctly(self, kw, system):
+        L, b, x_ref = system
+        prepared = RecursiveBlockSolver(device=DEV, depth=2, **kw).prepare(L)
+        x, _ = prepared.solve(b)
+        assert np.allclose(x, x_ref, rtol=1e-9, atol=1e-11)
+
+    def test_blocked_attached_when_improved(self, system):
+        L, _, _ = system
+        prepared = RecursiveBlockSolver(device=DEV, depth=2).prepare(L)
+        assert prepared.blocked is not None
+        assert prepared.blocked.depth == 2
+
+    def test_traffic_counters_exposed(self, system):
+        L, _, _ = system
+        prepared = RecursiveBlockSolver(device=DEV, depth=2, reorder=False).prepare(L)
+        assert prepared.plan.b_items_updated >= L.n_rows
+        assert prepared.plan.x_items_loaded >= 0
+
+
+class TestFloat32:
+    @pytest.mark.parametrize("cls", [CuSparseSolver, SyncFreeSolver,
+                                     RecursiveBlockSolver])
+    def test_single_precision(self, cls, rng):
+        L = random_lower(200, 0.04, seed=5).astype(np.float32)
+        b = rng.standard_normal(200).astype(np.float32)
+        x, _ = cls(device=DEV).solve(L, b)
+        assert np.allclose(L.matvec(x), b, atol=1e-3)
+
+    def test_single_precision_faster(self, rng):
+        """Less value traffic -> simulated single precision never slower."""
+        L64 = random_lower(3000, 0.005, seed=6)
+        L32 = L64.astype(np.float32)
+        b = np.ones(3000)
+        _, r64 = SyncFreeSolver(device=DEV).solve(L64, b)
+        _, r32 = SyncFreeSolver(device=DEV).solve(L32, b.astype(np.float32))
+        assert r32.time_s <= r64.time_s

@@ -1,0 +1,76 @@
+"""Blocked-structure persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocked_matrix import build_improved_recursive_plan
+from repro.core.storage import load_blocked, save_blocked
+from repro.errors import SparseFormatError
+from repro.gpu.device import TITAN_RTX_SCALED, TITAN_X_SCALED
+from repro.kernels import solve_serial
+
+from conftest import random_lower
+
+DEV = TITAN_RTX_SCALED
+
+
+@pytest.fixture
+def blocked(medium_lower):
+    return build_improved_recursive_plan(
+        medium_lower, 2, DEV, keep_permuted=True
+    )
+
+
+class TestRoundtrip:
+    def test_solution_identical(self, blocked, medium_lower, tmp_path, rng):
+        path = tmp_path / "b.npz"
+        save_blocked(path, blocked)
+        loaded = load_blocked(path, DEV)
+        b = rng.standard_normal(medium_lower.n_rows)
+        x_orig, _ = blocked.plan.solve(b, DEV)
+        x_load, _ = loaded.plan.solve(b, DEV)
+        assert np.allclose(x_load, x_orig, rtol=1e-12)
+        assert np.allclose(x_load, solve_serial(medium_lower, b), rtol=1e-9)
+
+    def test_structure_preserved(self, blocked, tmp_path):
+        path = tmp_path / "b.npz"
+        save_blocked(path, blocked)
+        loaded = load_blocked(path, DEV)
+        assert loaded.n == blocked.n
+        assert loaded.depth == blocked.depth
+        assert np.array_equal(loaded.perm, blocked.perm)
+        assert loaded.plan.n_tri_segments == blocked.plan.n_tri_segments
+        assert loaded.plan.n_spmv_segments == blocked.plan.n_spmv_segments
+
+    def test_reorder_sweeps_skipped_on_load(self, blocked, tmp_path):
+        path = tmp_path / "b.npz"
+        save_blocked(path, blocked)
+        loaded = load_blocked(path, DEV)
+        assert loaded.plan.preprocess_report.detail["reorder_s"] == 0.0
+        assert blocked.plan.preprocess_report.detail["reorder_s"] > 0.0
+
+    def test_load_for_other_device(self, blocked, medium_lower, tmp_path, rng):
+        """The payload is device-independent; kernels re-select."""
+        path = tmp_path / "b.npz"
+        save_blocked(path, blocked)
+        loaded = load_blocked(path, TITAN_X_SCALED)
+        b = rng.standard_normal(medium_lower.n_rows)
+        x, _ = loaded.plan.solve(b, TITAN_X_SCALED)
+        assert np.allclose(medium_lower.matvec(x), b, atol=1e-8)
+
+
+class TestValidation:
+    def test_requires_kept_permuted(self, medium_lower, tmp_path):
+        blocked = build_improved_recursive_plan(medium_lower, 2, DEV)
+        with pytest.raises(ValueError):
+            save_blocked(tmp_path / "x.npz", blocked)
+
+    def test_version_check(self, blocked, tmp_path):
+        path = tmp_path / "b.npz"
+        save_blocked(path, blocked)
+        with np.load(path) as z:
+            payload = {k: z[k] for k in z.files}
+        payload["format_version"] = np.int64(99)
+        np.savez(path, **payload)
+        with pytest.raises(SparseFormatError):
+            load_blocked(path, DEV)

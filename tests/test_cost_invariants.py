@@ -1,0 +1,111 @@
+"""Cross-kernel cost-model invariants.
+
+These are the properties that make the simulated timings trustworthy as
+a *comparison* instrument: monotonicity in work, consistency across
+precisions and devices, and insensitivity of numerics to the device.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import (
+    CuSparseSolver,
+    RecursiveBlockSolver,
+    SyncFreeSolver,
+)
+from repro.gpu.device import TITAN_RTX, TITAN_RTX_SCALED, TITAN_X_SCALED
+from repro.kernels import (
+    CuSparseLikeKernel,
+    LevelSetKernel,
+    SPMV_KERNELS,
+    SyncFreeKernel,
+)
+from repro.matrices.generators import layered_random
+
+from conftest import random_lower, random_square
+
+SOLVERS = [CuSparseSolver, SyncFreeSolver, RecursiveBlockSolver]
+KERNELS = [LevelSetKernel, SyncFreeKernel, CuSparseLikeKernel]
+
+
+def big_lower(n=20000, seed=0):
+    sizes = np.full(10, n // 10, dtype=np.int64)
+    return layered_random(
+        sizes, nnz_per_row=7.0, rng=np.random.default_rng(seed), locality=0.05
+    )
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("cls", SOLVERS)
+    def test_more_nnz_not_faster(self, cls):
+        sparse = layered_random(
+            np.full(6, 2000, dtype=np.int64), 3.0, np.random.default_rng(1)
+        )
+        dense = layered_random(
+            np.full(6, 2000, dtype=np.int64), 20.0, np.random.default_rng(1)
+        )
+        b = np.ones(12000)
+        _, r_sparse = cls(device=TITAN_RTX_SCALED).solve(sparse, b)
+        _, r_dense = cls(device=TITAN_RTX_SCALED).solve(dense, b)
+        assert r_dense.time_s > r_sparse.time_s
+
+    @pytest.mark.parametrize("cls", SOLVERS)
+    def test_bigger_matrix_not_faster(self, cls):
+        small, big = big_lower(8000, seed=2), big_lower(32000, seed=2)
+        _, rs = cls(device=TITAN_RTX_SCALED).solve(small, np.ones(small.n_rows))
+        _, rb = cls(device=TITAN_RTX_SCALED).solve(big, np.ones(big.n_rows))
+        assert rb.time_s > rs.time_s
+
+
+class TestDeviceConsistency:
+    @pytest.mark.parametrize("cls", SOLVERS)
+    def test_faster_device_not_slower(self, cls):
+        L = big_lower(24000, seed=3)
+        b = np.ones(L.n_rows)
+        _, on_x = cls(device=TITAN_X_SCALED).solve(L, b)
+        _, on_rtx = cls(device=TITAN_RTX_SCALED).solve(L, b)
+        assert on_rtx.time_s <= on_x.time_s * 1.02
+
+    @pytest.mark.parametrize("cls", SOLVERS)
+    def test_numerics_device_independent(self, cls):
+        L = random_lower(300, 0.04, seed=4)
+        b = np.ones(300)
+        x1, _ = cls(device=TITAN_X_SCALED).solve(L, b)
+        x2, _ = cls(device=TITAN_RTX).solve(L, b)
+        assert np.array_equal(x1, x2)
+
+
+class TestPrecisionConsistency:
+    @pytest.mark.parametrize("cls", SOLVERS)
+    def test_float32_not_slower(self, cls):
+        L = big_lower(24000, seed=5)
+        b = np.ones(L.n_rows)
+        _, r64 = cls(device=TITAN_RTX_SCALED).solve(L, b)
+        _, r32 = cls(device=TITAN_RTX_SCALED).solve(
+            L.astype(np.float32), b.astype(np.float32)
+        )
+        assert r32.time_s <= r64.time_s * 1.001
+
+
+class TestReportConsistency:
+    @pytest.mark.parametrize("kernel_cls", KERNELS)
+    def test_flops_follow_nnz(self, kernel_cls, medium_lower):
+        _, rep = kernel_cls().solve_system(
+            medium_lower, np.ones(medium_lower.n_rows), TITAN_RTX_SCALED
+        )
+        assert rep.flops == 2.0 * medium_lower.nnz
+
+    @pytest.mark.parametrize("name", list(SPMV_KERNELS))
+    def test_spmv_time_positive_and_finite(self, name):
+        A = random_square(200, 0.05, seed=6)
+        kernel = SPMV_KERNELS[name]()
+        Ain = A.to_dcsr() if kernel.wants_dcsr else A
+        rep = kernel.run(Ain, np.ones(200), np.zeros(200), TITAN_RTX_SCALED)
+        assert np.isfinite(rep.time_s) and rep.time_s > 0
+
+    @pytest.mark.parametrize("cls", SOLVERS)
+    def test_gflops_consistent_with_time(self, cls, medium_lower):
+        _, rep = cls(device=TITAN_RTX_SCALED).solve(
+            medium_lower, np.ones(medium_lower.n_rows)
+        )
+        assert rep.gflops == pytest.approx(rep.flops / rep.time_s / 1e9)

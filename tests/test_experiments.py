@@ -1,0 +1,127 @@
+"""Smoke tests for every experiment module (tiny scales)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    METHODS,
+    evaluation_devices,
+    run_method_on_matrix,
+)
+from repro.experiments import fig4, fig5, fig6, fig7, table1_2, table4, table5
+
+from conftest import random_lower
+
+
+class TestRunner:
+    def test_devices(self):
+        devs = evaluation_devices()
+        assert [d.key for d in devs] == ["titan_x", "titan_rtx"]
+        assert all(d.gflops_factor == 50.0 for d in devs)
+
+    def test_methods_registry(self):
+        assert list(METHODS) == ["cusparse", "syncfree", "recursive-block"]
+
+    def test_run_method_checks_residual(self):
+        L = random_lower(100, 0.05, seed=1)
+        dev = evaluation_devices()[1]
+        res = run_method_on_matrix(L, "recursive-block", dev, matrix_name="t")
+        assert res.gflops > 0 and res.n == 100
+
+    def test_run_method_float32(self):
+        L = random_lower(100, 0.05, seed=2)
+        dev = evaluation_devices()[0]
+        res = run_method_on_matrix(L, "syncfree", dev, dtype=np.float32)
+        assert res.solve_time_s > 0
+
+
+class TestTable12:
+    def test_run_and_render(self):
+        res = table1_2.run(n=32, parts=(4,))
+        out = table1_2.render(res)
+        assert "32768.50n" in out  # the famous corner cell
+
+
+class TestFig4:
+    def test_run_and_render(self):
+        res = fig4.run(scale=0.05, parts=(2, 4))
+        out = fig4.render(res)
+        assert "kkt_power_like" in out and "fullchip_like" in out
+        for name in res.matrices:
+            for series in res.spmv_ms[name].values():
+                assert len(series) == 2
+
+
+class TestFig5:
+    def test_quick_run(self):
+        res = fig5.run(quick=True)
+        out = fig5.render(res)
+        assert "best SpTRSV kernel" in out
+        assert res.thresholds.tri_cusparse_nlevels > 0
+
+
+class TestFig6:
+    def test_tiny_suite(self):
+        res = fig6.run(scale=0.02, max_matrices=4)
+        out = fig6.render(res)
+        assert "speedup vs cusparse" in out
+        for dev in ("titan_x", "titan_rtx"):
+            assert len(res.results[dev]) == 4
+            sp = res.speedups(dev, "syncfree")
+            assert all(v > 0 for v in sp.values())
+
+
+class TestFig7:
+    def test_tiny(self):
+        res = fig7.run(scale=0.02, max_matrices=3)
+        out = fig7.render(res)
+        assert "precision" in out
+        for per_method in res.ratios.values():
+            for vals in per_method.values():
+                assert len(vals) == 3
+                assert all(0.3 < v <= 1.5 for v in vals)
+
+
+class TestTable4:
+    def test_small_scale(self):
+        res = table4.run(scale=0.06)
+        out = table4.render(res)
+        assert len(res.rows) == 6
+        assert "nlpkkt200_like" in out and "(paper)" in out
+
+
+class TestExtensionStudies:
+    def test_scaling_smoke(self):
+        from repro.experiments import scaling
+
+        res = scaling.run(sizes=(2000, 8000))
+        out = scaling.render(res)
+        assert "block/cuSPARSE" in out
+        for series in res.gflops.values():
+            assert len(series) == 2 and all(v > 0 for v in series)
+
+    def test_multirhs_smoke(self):
+        from repro.experiments import multirhs
+
+        res = multirhs.run(n=4000, rhs_counts=(1, 8))
+        out = multirhs.render(res)
+        assert "amortization" in out
+        for series in res.per_rhs_ms.values():
+            assert series[1] <= series[0] * 1.001
+
+
+class TestTable5:
+    def test_tiny(self):
+        res = table5.run(scale=0.02, max_matrices=5)
+        out = table5.render(res)
+        assert res.n_matrices == 5
+        for m, a in res.averages.items():
+            assert a["overall_ms"][1000] > a["overall_ms"][100]
+        assert "pre/solve" in out
+
+    def test_amortization_consistency(self):
+        res = table5.run(scale=0.02, max_matrices=3)
+        for a in res.averages.values():
+            assert a["overall_ms"][100] == pytest.approx(
+                a["pre_ms"] + 100 * a["solve_ms"]
+            )

@@ -1,0 +1,114 @@
+"""Dedicated conversion-layer tests (COO assembly, counting-sort passes)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.formats import CSRMatrix
+from repro.formats.convert import (
+    coo_to_csr_arrays,
+    csc_to_csr,
+    csr_to_csc,
+    csr_transpose,
+)
+
+from conftest import random_square
+
+
+class TestCooAssembly:
+    def test_sorted_output(self):
+        indptr, indices, data = coo_to_csr_arrays(
+            np.array([1, 0, 1, 0]),
+            np.array([0, 2, 1, 1]),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+            (2, 3),
+        )
+        assert indptr.tolist() == [0, 2, 4]
+        assert indices.tolist() == [1, 2, 0, 1]
+        assert data.tolist() == [4.0, 2.0, 1.0, 3.0]
+
+    def test_duplicate_summing(self):
+        indptr, indices, data = coo_to_csr_arrays(
+            np.array([0, 0, 0]),
+            np.array([1, 1, 1]),
+            np.array([1.0, 2.0, 3.0]),
+            (1, 2),
+        )
+        assert indices.tolist() == [1]
+        assert data.tolist() == [6.0]
+
+    def test_duplicates_preserved_when_asked(self):
+        indptr, indices, data = coo_to_csr_arrays(
+            np.array([0, 0]),
+            np.array([1, 1]),
+            np.array([1.0, 2.0]),
+            (1, 2),
+            sum_duplicates=False,
+        )
+        assert len(data) == 2
+
+    def test_empty_triplets(self):
+        indptr, indices, data = coo_to_csr_arrays(
+            np.array([], dtype=int), np.array([], dtype=int), np.array([]), (3, 3)
+        )
+        assert indptr.tolist() == [0, 0, 0, 0]
+        assert len(indices) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            coo_to_csr_arrays(
+                np.array([0]), np.array([0, 1]), np.array([1.0]), (2, 2)
+            )
+
+    def test_row_bounds(self):
+        with pytest.raises(SparseFormatError):
+            coo_to_csr_arrays(
+                np.array([5]), np.array([0]), np.array([1.0]), (2, 2)
+            )
+
+    def test_col_bounds(self):
+        with pytest.raises(SparseFormatError):
+            coo_to_csr_arrays(
+                np.array([0]), np.array([7]), np.array([1.0]), (2, 2)
+            )
+
+
+class TestCountingSortPasses:
+    def test_csr_csc_rectangular(self):
+        rng = np.random.default_rng(1)
+        d = (rng.random((7, 13)) < 0.3) * rng.standard_normal((7, 13))
+        A = CSRMatrix.from_dense(d)
+        C = csr_to_csc(A)
+        assert C.shape == (7, 13)
+        assert np.allclose(C.to_dense(), d)
+        assert np.allclose(csc_to_csr(C).to_dense(), d)
+
+    def test_transpose_rectangular(self):
+        rng = np.random.default_rng(2)
+        d = (rng.random((5, 9)) < 0.4) * rng.standard_normal((5, 9))
+        T = csr_transpose(CSRMatrix.from_dense(d))
+        assert T.shape == (9, 5)
+        assert np.allclose(T.to_dense(), d.T)
+
+    def test_output_indices_sorted(self):
+        A = random_square(40, 0.3, seed=3)
+        assert csr_to_csc(A).to_csr().has_sorted_indices()
+        assert csr_transpose(A).has_sorted_indices()
+
+    def test_stability_preserves_value_order(self):
+        """Counting sort is stable: within a column, rows ascend."""
+        A = random_square(30, 0.4, seed=4)
+        C = csr_to_csc(A)
+        for j in range(30):
+            rows, _ = C.col_slice(j)
+            assert np.all(np.diff(rows) > 0)
+
+    def test_empty_matrix(self):
+        A = CSRMatrix.empty(4, 6)
+        assert csr_to_csc(A).nnz == 0
+        assert csr_transpose(A).shape == (6, 4)
+
+    def test_dense_matrix(self):
+        d = np.arange(1.0, 26.0).reshape(5, 5)
+        A = CSRMatrix.from_dense(d)
+        assert np.array_equal(csr_to_csc(A).to_dense(), d)

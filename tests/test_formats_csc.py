@@ -1,0 +1,133 @@
+"""Unit tests for the CSC container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError, SparseFormatError
+from repro.formats import CSCMatrix, CSRMatrix
+
+from conftest import random_square
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self):
+        d = np.array([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0]])
+        A = CSCMatrix.from_dense(d)
+        assert A.nnz == 3
+        assert np.array_equal(A.to_dense(), d)
+
+    def test_from_coo(self):
+        A = CSCMatrix.from_coo(
+            np.array([1, 0]), np.array([0, 1]), np.array([4.0, 5.0]), (2, 2)
+        )
+        assert A.to_dense()[1, 0] == 4.0 and A.to_dense()[0, 1] == 5.0
+
+    def test_empty(self):
+        A = CSCMatrix.empty(3, 5)
+        assert A.shape == (3, 5) and A.nnz == 0
+
+    def test_validation_row_out_of_bounds(self):
+        with pytest.raises(SparseFormatError):
+            CSCMatrix(2, 1, np.array([0, 1]), np.array([5], dtype=np.int32),
+                      np.array([1.0]))
+
+    def test_validation_indptr_length(self):
+        with pytest.raises(SparseFormatError):
+            CSCMatrix(2, 2, np.array([0, 1]), np.array([0], dtype=np.int32),
+                      np.array([1.0]))
+
+
+class TestNumerics:
+    def test_matvec(self):
+        d = random_square(25, 0.3, seed=2).to_dense()
+        A = CSCMatrix.from_dense(d)
+        x = np.random.default_rng(0).standard_normal(25)
+        assert np.allclose(A.matvec(x), d @ x)
+
+    def test_matvec_out(self):
+        A = CSCMatrix.from_dense(np.eye(4))
+        out = np.empty(4)
+        assert A.matvec(np.arange(4.0), out=out) is out
+        assert np.allclose(out, np.arange(4.0))
+
+    def test_matvec_length_check(self):
+        A = CSCMatrix.from_dense(np.eye(3))
+        with pytest.raises(ShapeMismatchError):
+            A.matvec(np.ones(4))
+
+    def test_rmatvec(self):
+        d = random_square(20, 0.3, seed=4).to_dense()
+        A = CSCMatrix.from_dense(d)
+        y = np.random.default_rng(1).standard_normal(20)
+        assert np.allclose(A.rmatvec(y), d.T @ y)
+
+    def test_rmatvec_length_check(self):
+        A = CSCMatrix.from_dense(np.eye(3))
+        with pytest.raises(ShapeMismatchError):
+            A.rmatvec(np.ones(2))
+
+    def test_diagonal(self):
+        d = np.diag([2.0, 0.0, 5.0])
+        d[2, 0] = 1.0
+        assert CSCMatrix.from_dense(d).diagonal().tolist() == [2.0, 0.0, 5.0]
+
+
+class TestStructure:
+    def test_extract_block(self):
+        d = random_square(30, 0.2, seed=6).to_dense()
+        A = CSCMatrix.from_dense(d)
+        B = A.extract_block(4, 25, 2, 18)
+        assert np.allclose(B.to_dense(), d[4:25, 2:18])
+
+    def test_extract_block_bounds(self):
+        A = CSCMatrix.from_dense(np.eye(4))
+        with pytest.raises(ShapeMismatchError):
+            A.extract_block(0, 2, 0, 9)
+
+    def test_to_csr_roundtrip(self):
+        d = random_square(22, 0.3, seed=8).to_dense()
+        A = CSCMatrix.from_dense(d)
+        assert np.allclose(A.to_csr().to_dense(), d)
+
+    def test_col_slice(self):
+        d = random_square(12, 0.4, seed=10).to_dense()
+        A = CSCMatrix.from_dense(d)
+        rows, vals = A.col_slice(3)
+        assert np.allclose(d[rows, 3], vals)
+
+    def test_col_counts(self):
+        A = CSCMatrix.from_dense(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        assert A.col_counts().tolist() == [2, 0]
+
+    def test_astype_and_copy(self):
+        A = CSCMatrix.from_dense(np.eye(3))
+        B = A.astype(np.float32)
+        assert B.dtype == np.float32
+        C = A.copy()
+        C.data[:] = 7.0
+        assert A.data[0] == 1.0
+
+    def test_diagonal_first_in_lower_triangular_columns(self):
+        """For sorted lower-triangular CSC, val[col_ptr[j]] is the diagonal
+        (the access Algorithm 3 line 11 relies on)."""
+        d = np.tril(np.arange(1.0, 17.0).reshape(4, 4)) + np.eye(4)
+        A = CSCMatrix.from_dense(d)
+        for j in range(4):
+            rows, vals = A.col_slice(j)
+            assert rows[0] == j
+            assert vals[0] == d[j, j]
+
+
+class TestCrossFormat:
+    def test_csr_csc_equivalence(self):
+        A = random_square(35, 0.15, seed=12)
+        C = A.to_csc()
+        x = np.random.default_rng(3).standard_normal(35)
+        assert np.allclose(A.matvec(x), C.matvec(x))
+
+    def test_csr_to_csc_to_csr_identity(self):
+        A = random_square(35, 0.15, seed=14)
+        B = A.to_csc().to_csr()
+        assert np.array_equal(A.indptr, B.indptr)
+        assert np.array_equal(A.indices, B.indices)
+        assert np.allclose(A.data, B.data)

@@ -1,0 +1,110 @@
+"""Unit tests for triangular utilities (the §4.1 matrix preparation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotTriangularError, ShapeMismatchError, SingularMatrixError
+from repro.formats import (
+    CSRMatrix,
+    is_lower_triangular,
+    is_upper_triangular,
+    lower_triangular_from,
+    split_strict_and_diag,
+)
+from repro.formats.triangular import upper_to_lower_mirror
+
+from conftest import random_lower, random_square
+
+
+class TestPredicates:
+    def test_lower_detection(self):
+        assert is_lower_triangular(CSRMatrix.from_dense(np.tril(np.ones((4, 4)))))
+        assert not is_lower_triangular(CSRMatrix.from_dense(np.ones((4, 4))))
+
+    def test_upper_detection(self):
+        assert is_upper_triangular(CSRMatrix.from_dense(np.triu(np.ones((4, 4)))))
+        assert not is_upper_triangular(CSRMatrix.from_dense(np.tril(np.ones((4, 4)), -1)))
+
+    def test_diagonal_is_both(self):
+        D = CSRMatrix.from_dense(np.eye(5))
+        assert is_lower_triangular(D) and is_upper_triangular(D)
+
+
+class TestLowerTriangularFrom:
+    def test_keeps_lower_part(self):
+        A = random_square(20, 0.3, seed=1)
+        L = lower_triangular_from(A)
+        dense = A.to_dense()
+        expect = np.tril(dense)
+        idx = np.arange(20)
+        expect[idx, idx] = np.where(expect[idx, idx] != 0, expect[idx, idx], 1.0)
+        assert np.allclose(L.to_dense(), expect)
+
+    def test_fills_missing_diagonal(self):
+        A = CSRMatrix.from_dense(np.tril(np.ones((5, 5)), -1))
+        L = lower_triangular_from(A, unit_fill=2.5)
+        assert np.allclose(L.diagonal(), 2.5)
+
+    def test_replaces_explicit_zero_diagonal(self):
+        d = np.tril(np.ones((3, 3)))
+        d[1, 1] = 0.0
+        rows, cols = np.nonzero(np.tril(np.ones((3, 3))))
+        vals = d[rows, cols]
+        A = CSRMatrix.from_coo(rows, cols, vals, (3, 3), sum_duplicates=False)
+        L = lower_triangular_from(A)
+        assert L.diagonal()[1] == 1.0
+
+    def test_requires_square(self):
+        with pytest.raises(ShapeMismatchError):
+            lower_triangular_from(CSRMatrix.from_dense(np.ones((2, 3))))
+
+    def test_result_has_diagonal_last_per_row(self):
+        """Algorithm 1 divides by val[row_ptr[i+1]-1]; verify the layout."""
+        L = lower_triangular_from(random_square(15, 0.4, seed=2))
+        for i in range(15):
+            cols, _ = L.row_slice(i)
+            assert cols[-1] == i
+
+
+class TestSplit:
+    def test_split_reassembles(self, small_lower):
+        strict, diag = split_strict_and_diag(small_lower)
+        assert np.allclose(
+            strict.to_dense() + np.diag(diag), small_lower.to_dense()
+        )
+
+    def test_split_rejects_nontriangular(self):
+        with pytest.raises(NotTriangularError):
+            split_strict_and_diag(CSRMatrix.from_dense(np.ones((3, 3))))
+
+    def test_split_rejects_singular(self):
+        d = np.tril(np.ones((3, 3)))
+        d[2, 2] = 0.0
+        A = CSRMatrix.from_dense(d)
+        with pytest.raises(SingularMatrixError):
+            split_strict_and_diag(A)
+
+    def test_strict_part_has_no_diagonal(self, small_lower):
+        strict, _ = split_strict_and_diag(small_lower)
+        assert np.allclose(np.diag(strict.to_dense()), 0.0)
+
+
+class TestUpperMirror:
+    def test_mirror_solves_upper_system(self):
+        rng = np.random.default_rng(3)
+        U = random_lower(30, 0.1, seed=4).transpose()
+        dense_u = U.to_dense()
+        b = rng.standard_normal(30)
+        L, perm = upper_to_lower_mirror(U)
+        assert is_lower_triangular(L)
+        # Solve L y = b[perm], then x = y mapped back.
+        from repro.kernels import solve_serial
+
+        y = solve_serial(L, b[perm])
+        x = np.empty_like(y)
+        x[perm] = y
+        assert np.allclose(dense_u @ x, b, atol=1e-8)
+
+    def test_mirror_rejects_lower(self, small_lower):
+        with pytest.raises(NotTriangularError):
+            upper_to_lower_mirror(small_lower)

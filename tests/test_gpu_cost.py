@@ -1,0 +1,108 @@
+"""Cost-model primitive tests: monotonicity and limiting behaviour."""
+
+import pytest
+
+from repro.gpu.cost import CostModel
+from repro.gpu.device import TITAN_RTX, TITAN_RTX_SCALED, TITAN_X
+
+
+@pytest.fixture
+def cost():
+    return CostModel(TITAN_RTX)
+
+
+class TestStream:
+    def test_linear_in_bytes(self, cost):
+        assert cost.stream_time(2e6) == pytest.approx(2 * cost.stream_time(1e6))
+
+    def test_faster_device_is_faster(self):
+        t_rtx = CostModel(TITAN_RTX).stream_time(1e9)
+        t_x = CostModel(TITAN_X).stream_time(1e9)
+        assert t_rtx < t_x
+
+    def test_below_peak_bandwidth(self, cost):
+        # one second of traffic at peak must take longer than a second
+        assert cost.stream_time(TITAN_RTX.bandwidth_bytes) > 1.0
+
+
+class TestCache:
+    def test_resident_set_hits(self, cost):
+        assert cost.cache_hit_fraction(1024) == 1.0
+
+    def test_oversized_set_misses(self, cost):
+        assert cost.cache_hit_fraction(TITAN_RTX.l2_bytes * 100) < 0.02
+
+    def test_monotone_decreasing(self, cost):
+        hits = [cost.cache_hit_fraction(ws) for ws in (1e4, 1e6, 1e8, 1e10)]
+        assert hits == sorted(hits, reverse=True)
+
+    def test_gather_more_expensive_than_stream_when_missing(self, cost):
+        # 1M random 8-byte reads over a 1GB set vs 8MB streamed
+        assert cost.gather_time(1e6, 8, 1e9) > cost.stream_time(8e6)
+
+    def test_gather_cheap_when_cached(self, cost):
+        assert cost.gather_time(1e6, 8, 1e4) < cost.stream_time(8e6)
+
+    def test_gather_monotone_in_working_set(self, cost):
+        ts = [cost.gather_time(1e6, 8, ws) for ws in (1e4, 1e6, 1e8)]
+        assert ts == sorted(ts)
+
+
+class TestCompute:
+    def test_zero_flops_free(self, cost):
+        assert cost.compute_time(0, 100) == 0.0
+
+    def test_underutilization_penalty(self, cost):
+        full = cost.compute_time(1e9, TITAN_RTX.cuda_cores)
+        starved = cost.compute_time(1e9, TITAN_RTX.cuda_cores // 8)
+        assert starved == pytest.approx(full * 8)
+
+    def test_saturation_cap(self, cost):
+        a = cost.compute_time(1e9, TITAN_RTX.cuda_cores)
+        b = cost.compute_time(1e9, TITAN_RTX.cuda_cores * 100)
+        assert a == pytest.approx(b)
+
+    def test_serial_cycles(self, cost):
+        assert cost.serial_cycles_time(TITAN_RTX.clock_hz) == pytest.approx(1.0)
+
+    def test_warp_issue_scales_with_warps(self, cost):
+        assert cost.warp_issue_time(2000) == pytest.approx(
+            2 * cost.warp_issue_time(1000)
+        )
+
+    def test_warp_issue_more_sms_faster(self):
+        t_big = CostModel(TITAN_RTX).warp_issue_time(1e5)
+        t_small = CostModel(TITAN_RTX_SCALED).warp_issue_time(1e5)
+        assert t_big < t_small
+
+
+class TestScalarEntryBytes:
+    def test_unit_rows_fully_coalesced(self, cost):
+        assert cost.scalar_entry_bytes(1.0, 12) == 12.0
+
+    def test_long_rows_pay_full_sector(self, cost):
+        assert cost.scalar_entry_bytes(50.0, 12) == TITAN_RTX.sector_bytes
+
+    def test_interpolation(self, cost):
+        assert cost.scalar_entry_bytes(2.0, 12) == pytest.approx(24.0)
+
+    def test_never_below_payload(self, cost):
+        assert cost.scalar_entry_bytes(0.1, 12) == 12.0
+
+
+class TestOverheads:
+    def test_kernel_time_floor(self, cost):
+        assert cost.kernel_time(0.0, 0.0) == TITAN_RTX.min_kernel_s
+
+    def test_kernel_time_roofline(self, cost):
+        assert cost.kernel_time(3e-3, 1e-3) == pytest.approx(3e-3)
+        assert cost.kernel_time(1e-3, 3e-3) == pytest.approx(3e-3)
+
+    def test_kernel_time_extra_added(self, cost):
+        assert cost.kernel_time(1e-3, 0.0, extra_s=5e-4) == pytest.approx(1.5e-3)
+
+    def test_atomics(self, cost):
+        assert cost.atomic_time(TITAN_RTX.atomic_gops) == pytest.approx(1.0)
+        assert cost.contention_time(10) == pytest.approx(
+            10 * TITAN_RTX.atomic_contention_s
+        )

@@ -1,0 +1,82 @@
+"""Device model tests (Table 3 and dataset scaling)."""
+
+import pytest
+
+from repro.gpu.device import (
+    DATASET_SCALE,
+    TITAN_RTX,
+    TITAN_RTX_SCALED,
+    TITAN_X,
+    TITAN_X_SCALED,
+    known_devices,
+)
+
+
+class TestTable3Specs:
+    def test_titan_x_row(self):
+        assert TITAN_X.cuda_cores == 3072
+        assert TITAN_X.clock_mhz == 1075.0
+        assert TITAN_X.mem_bandwidth_gbps == 336.5
+        assert TITAN_X.dram_bytes == 12 * 1024**3
+        assert TITAN_X.arch == "Pascal"
+
+    def test_titan_rtx_row(self):
+        assert TITAN_RTX.cuda_cores == 4608
+        assert TITAN_RTX.clock_mhz == 1770.0
+        assert TITAN_RTX.mem_bandwidth_gbps == 672.0
+        assert TITAN_RTX.dram_bytes == 24 * 1024**3
+        assert TITAN_RTX.arch == "Turing"
+
+    def test_derived_quantities(self):
+        assert TITAN_RTX.peak_flops == pytest.approx(4608 * 1770e6 * 2)
+        assert TITAN_RTX.bandwidth_bytes == pytest.approx(672e9)
+        assert TITAN_X.max_resident_warps == 24 * 64
+        assert TITAN_RTX.max_resident_warps == 72 * 32
+
+    def test_rtx_faster_than_x(self):
+        assert TITAN_RTX.peak_flops > TITAN_X.peak_flops
+        assert TITAN_RTX.bandwidth_bytes > TITAN_X.bandwidth_bytes
+
+
+class TestScaling:
+    def test_capacity_quantities_scale(self):
+        s = TITAN_RTX.scaled(50)
+        assert s.cuda_cores == pytest.approx(4608 / 50, rel=0.2)
+        assert s.mem_bandwidth_gbps == pytest.approx(672 / 50)
+        assert s.l2_bytes == pytest.approx(TITAN_RTX.l2_bytes / 50, rel=0.01)
+        assert s.max_resident_warps == pytest.approx(2304 / 50, rel=0.2)
+
+    def test_physical_quantities_fixed(self):
+        s = TITAN_X.scaled(50)
+        assert s.clock_mhz == TITAN_X.clock_mhz
+        assert s.warp_size == TITAN_X.warp_size
+        assert s.launch_overhead_s == TITAN_X.launch_overhead_s
+        assert s.dram_latency_s == TITAN_X.dram_latency_s
+        assert s.sector_bytes == TITAN_X.sector_bytes
+
+    def test_scaled_ratio_preserved(self):
+        """RTX:X capability ratios survive scaling."""
+        rx, x = TITAN_RTX.scaled(50), TITAN_X.scaled(50)
+        assert rx.bandwidth_bytes / x.bandwidth_bytes == pytest.approx(
+            TITAN_RTX.bandwidth_bytes / TITAN_X.bandwidth_bytes
+        )
+
+    def test_shipped_scaled_devices(self):
+        assert "1/50" in TITAN_RTX_SCALED.name
+        assert TITAN_X_SCALED.cuda_cores < TITAN_X.cuda_cores
+        assert DATASET_SCALE == 50.0
+
+    def test_known_devices_registry(self):
+        devs = known_devices()
+        assert set(devs) == {
+            "titan_x",
+            "titan_rtx",
+            "titan_x_scaled",
+            "titan_rtx_scaled",
+        }
+
+    def test_scaling_floors(self):
+        tiny = TITAN_X.scaled(1e9)
+        assert tiny.cuda_cores >= 32
+        assert tiny.sm_count >= 1
+        assert tiny.max_resident_warps >= 8

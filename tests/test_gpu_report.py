@@ -1,0 +1,49 @@
+"""KernelReport / SolveReport accounting tests."""
+
+import pytest
+
+from repro.gpu.report import KernelReport, SolveReport, merge_reports
+
+
+class TestKernelReport:
+    def test_gflops(self):
+        r = KernelReport("k", time_s=2.0, flops=4e9)
+        assert r.gflops == pytest.approx(2.0)
+
+    def test_gflops_zero_time(self):
+        assert KernelReport("k", time_s=0.0, flops=1.0).gflops == 0.0
+
+    def test_scaled(self):
+        r = KernelReport("k", time_s=1.0, flops=10.0, detail={"a": 1})
+        s = r.scaled(3.0)
+        assert s.time_s == 3.0 and s.flops == 10.0
+        s.detail["a"] = 2
+        assert r.detail["a"] == 1  # detail copied
+
+
+class TestMerge:
+    def test_merge_sums(self):
+        rs = [
+            KernelReport("sptrsv-a", 1.0, launches=2, flops=10, bytes_moved=100),
+            KernelReport("spmv-b", 2.0, launches=1, flops=20, bytes_moved=200),
+        ]
+        m = merge_reports("method", rs, extra=1)
+        assert m.time_s == 3.0
+        assert m.flops == 30 and m.launches == 3 and m.bytes_moved == 300
+        assert m.detail["extra"] == 1
+        assert m.gflops == pytest.approx(30 / 3.0 / 1e9)
+
+    def test_kernel_time_prefix(self):
+        rs = [
+            KernelReport("sptrsv-a", 1.0),
+            KernelReport("spmv-x", 2.0),
+            KernelReport("spmv-y", 4.0),
+        ]
+        m = merge_reports("m", rs)
+        assert m.kernel_time("spmv") == 6.0
+        assert m.kernel_time("sptrsv") == 1.0
+        assert m.kernel_count("spmv") == 2
+
+    def test_merge_empty(self):
+        m = merge_reports("m", [])
+        assert m.time_s == 0.0 and m.gflops == 0.0

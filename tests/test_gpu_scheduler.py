@@ -1,0 +1,118 @@
+"""Event-driven warp-scheduler tests, including hand-computed cases."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.scheduler import simulate_dependent_warps, simulate_queue
+from repro.utils.arrays import counts_to_indptr
+
+
+def deps_from_lists(lists):
+    counts = np.array([len(l) for l in lists])
+    indptr = counts_to_indptr(counts)
+    indices = np.array([j for l in lists for j in l], dtype=np.int64)
+    return indptr, indices
+
+
+class TestIndependentTasks:
+    def test_all_parallel_within_slots(self):
+        ip, ix = deps_from_lists([[], [], []])
+        makespan, fin = simulate_dependent_warps(
+            ip, ix, np.array([1.0, 2.0, 3.0]), None, n_slots=3, propagate_s=0.0
+        )
+        assert makespan == 3.0
+        assert fin.tolist() == [1.0, 2.0, 3.0]
+
+    def test_slot_limited(self):
+        ip, ix = deps_from_lists([[], [], [], []])
+        makespan, _ = simulate_dependent_warps(
+            ip, ix, np.full(4, 1.0), None, n_slots=2, propagate_s=0.0
+        )
+        assert makespan == 2.0
+
+    def test_queue_simulator_greedy(self):
+        # slot A takes the 3.0 task; slot B drains the three 1.0 tasks
+        assert simulate_queue(np.array([3.0, 1.0, 1.0, 1.0]), 2) == 3.0
+        # forcing serialization: four equal tasks on two slots
+        assert simulate_queue(np.full(4, 2.0), 2) == 4.0
+
+    def test_queue_fits_in_slots(self):
+        assert simulate_queue(np.array([2.0, 5.0]), 8) == 5.0
+
+    def test_queue_empty(self):
+        assert simulate_queue(np.array([]), 4) == 0.0
+
+
+class TestDependencies:
+    def test_chain_serializes(self):
+        ip, ix = deps_from_lists([[], [0], [1], [2]])
+        makespan, fin = simulate_dependent_warps(
+            ip, ix, np.full(4, 1.0), None, n_slots=8, propagate_s=0.5
+        )
+        # finish: 1, 2.5, 4, 5.5
+        assert fin.tolist() == [1.0, 2.5, 4.0, 5.5]
+        assert makespan == 5.5
+
+    def test_diamond(self):
+        ip, ix = deps_from_lists([[], [0], [0], [1, 2]])
+        _, fin = simulate_dependent_warps(
+            ip, ix, np.array([1.0, 2.0, 5.0, 1.0]), None, n_slots=8, propagate_s=0.0
+        )
+        assert fin[3] == pytest.approx(max(3.0, 6.0) + 1.0)
+
+    def test_ready_extra_delays(self):
+        ip, ix = deps_from_lists([[], [0]])
+        _, fin = simulate_dependent_warps(
+            ip,
+            ix,
+            np.full(2, 1.0),
+            np.array([0.0, 2.0]),
+            n_slots=4,
+            propagate_s=0.0,
+        )
+        assert fin[1] == pytest.approx(4.0)
+
+    def test_waiting_warp_holds_slot(self):
+        """A spinning warp blocks dispatch: task 2 (independent) must wait
+        for a slot even though it is ready."""
+        ip, ix = deps_from_lists([[], [0], []])
+        costs = np.array([10.0, 1.0, 1.0])
+        _, fin = simulate_dependent_warps(
+            ip, ix, costs, None, n_slots=2, propagate_s=0.0
+        )
+        # slots: task0 (10s), task1 spins until 10 then runs to 11;
+        # task2 dispatches when the first slot frees (t=10), done 11.
+        assert fin[1] == pytest.approx(11.0)
+        assert fin[2] == pytest.approx(11.0)
+
+    def test_waited_cost_surcharge_applies_only_to_waiters(self):
+        ip, ix = deps_from_lists([[], [0], []])
+        costs = np.full(3, 1.0)
+        stall = np.full(3, 5.0)
+        _, fin = simulate_dependent_warps(
+            ip, ix, costs, None, n_slots=8, propagate_s=0.0, waited_cost_s=stall
+        )
+        assert fin[0] == pytest.approx(1.0)  # never waited: no surcharge
+        assert fin[2] == pytest.approx(1.0)
+        assert fin[1] == pytest.approx(7.0)  # waited: 1 + cost 1 + stall 5
+
+    def test_propagate_only_charged_with_deps(self):
+        ip, ix = deps_from_lists([[], []])
+        _, fin = simulate_dependent_warps(
+            ip, ix, np.full(2, 1.0), None, n_slots=2, propagate_s=100.0
+        )
+        assert fin.tolist() == [1.0, 1.0]
+
+    def test_empty_input(self):
+        ip, ix = deps_from_lists([])
+        makespan, fin = simulate_dependent_warps(
+            ip, ix, np.array([]), None, n_slots=2, propagate_s=1.0
+        )
+        assert makespan == 0.0 and len(fin) == 0
+
+    def test_deep_chain_scales_with_depth(self):
+        n = 200
+        ip, ix = deps_from_lists([[]] + [[i - 1] for i in range(1, n)])
+        costs = np.full(n, 0.1)
+        m1, _ = simulate_dependent_warps(ip, ix, costs, None, 64, propagate_s=1.0)
+        assert m1 == pytest.approx(n * 0.1 + (n - 1) * 1.0)

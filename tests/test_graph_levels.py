@@ -1,0 +1,115 @@
+"""Level-set computation tests (Algorithm 2 preprocessing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotTriangularError
+from repro.formats import CSRMatrix
+from repro.graph import compute_levels, compute_levels_kahn, level_sets, n_levels
+from repro.graph.levels import cached_levels
+from repro.matrices.generators import chain_matrix, grid_laplacian_2d, layered_random
+
+from conftest import random_lower
+
+
+def brute_force_levels(L):
+    dense = L.to_dense()
+    n = L.n_rows
+    lv = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        deps = [j for j in range(i) if dense[i, j] != 0]
+        lv[i] = 1 + max((lv[j] for j in deps), default=-1)
+    return lv
+
+
+class TestComputeLevels:
+    def test_matches_brute_force(self):
+        L = random_lower(40, 0.2, seed=5)
+        assert np.array_equal(compute_levels(L), brute_force_levels(L))
+
+    def test_paper_figure1_example(self):
+        """The 8x8 example of Figure 1: four level sets
+        {0,1,6}, {2,3,4}, {5}, {7} (rows grouped by dependency depth)."""
+        d = np.eye(8)
+        # strict entries giving the figure's level sets {0,1,6},{2,3,4},{5},{7}
+        deps = [(2, 0), (3, 1), (4, 1), (5, 2), (5, 3), (7, 5), (3, 0)]
+        for i, j in deps:
+            d[i, j] = 1.0
+        L = CSRMatrix.from_dense(d)
+        lv = compute_levels(L)
+        assert lv.tolist() == [0, 0, 1, 1, 1, 2, 0, 3]
+        assert n_levels(lv) == 4
+
+    def test_diagonal_only_single_level(self):
+        L = CSRMatrix.from_dense(np.eye(6) * 2.0)
+        lv = compute_levels(L)
+        assert n_levels(lv) == 1 and np.all(lv == 0)
+
+    def test_chain_has_n_levels(self):
+        L = chain_matrix(50, extra_nnz_per_row=0.0, rng=np.random.default_rng(0))
+        assert n_levels(compute_levels(L)) == 50
+
+    def test_grid_wavefront(self):
+        L = grid_laplacian_2d(7, 5)
+        assert n_levels(compute_levels(L)) == 7 + 5 - 1
+
+    def test_rejects_non_triangular(self):
+        with pytest.raises(NotTriangularError):
+            compute_levels(CSRMatrix.from_dense(np.ones((3, 3))))
+
+    def test_dense_lower_is_fully_serial(self):
+        L = CSRMatrix.from_dense(np.tril(np.ones((12, 12))))
+        assert n_levels(compute_levels(L)) == 12
+
+
+class TestKahnVariant:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_with_row_sweep(self, seed):
+        L = random_lower(60, 0.15, seed=seed)
+        assert np.array_equal(compute_levels(L), compute_levels_kahn(L))
+
+    def test_agrees_on_layered(self):
+        L = layered_random(
+            np.array([20, 10, 7, 3]), nnz_per_row=4.0, rng=np.random.default_rng(2)
+        )
+        assert np.array_equal(compute_levels(L), compute_levels_kahn(L))
+
+    def test_agrees_on_chain(self):
+        L = chain_matrix(30, rng=np.random.default_rng(1))
+        assert np.array_equal(compute_levels(L), compute_levels_kahn(L))
+
+
+class TestLevelSets:
+    def test_partition_properties(self):
+        L = random_lower(50, 0.2, seed=7)
+        lv = compute_levels(L)
+        ptr, items = level_sets(lv)
+        assert len(items) == 50
+        assert sorted(items.tolist()) == list(range(50))
+        for l in range(len(ptr) - 1):
+            assert np.all(lv[items[ptr[l] : ptr[l + 1]]] == l)
+
+    def test_stable_within_level(self):
+        lv = np.array([1, 0, 1, 0, 1])
+        ptr, items = level_sets(lv)
+        assert items.tolist() == [1, 3, 0, 2, 4]
+
+    def test_empty(self):
+        ptr, items = level_sets(np.array([], dtype=np.int64))
+        assert len(items) == 0 and ptr.tolist() == [0]
+
+    def test_no_empty_levels(self):
+        L = random_lower(80, 0.1, seed=9)
+        ptr, _ = level_sets(compute_levels(L))
+        assert np.all(np.diff(ptr) > 0)
+
+
+class TestCache:
+    def test_cached_levels_memoizes(self, small_lower):
+        lv1 = cached_levels(small_lower)
+        lv2 = cached_levels(small_lower)
+        assert lv1 is lv2
+
+    def test_cache_not_shared_across_instances(self, small_lower):
+        other = small_lower.copy()
+        assert cached_levels(small_lower) is not cached_levels(other)

@@ -1,0 +1,82 @@
+"""Permutation and level-set reordering tests (§3.3)."""
+
+import numpy as np
+
+from repro.formats.triangular import is_lower_triangular
+from repro.graph import (
+    compose_permutations,
+    compute_levels,
+    identity_permutation,
+    invert_permutation,
+    levelset_permutation,
+)
+from repro.graph.reorder import is_permutation
+
+from conftest import random_lower
+
+
+class TestPermutationBasics:
+    def test_identity(self):
+        assert identity_permutation(4).tolist() == [0, 1, 2, 3]
+
+    def test_invert(self):
+        p = np.array([2, 0, 3, 1])
+        inv = invert_permutation(p)
+        assert inv[p].tolist() == [0, 1, 2, 3]
+        assert p[inv].tolist() == [0, 1, 2, 3]
+
+    def test_compose(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.permutation(10), rng.permutation(10)
+        v = rng.standard_normal(10)
+        assert np.allclose(v[compose_permutations(a, b)], v[a][b])
+
+    def test_is_permutation(self):
+        assert is_permutation(np.array([1, 0, 2]))
+        assert not is_permutation(np.array([0, 0, 2]))
+        assert not is_permutation(np.array([0, 3]))
+
+
+class TestLevelsetPermutation:
+    def test_is_valid_permutation(self, medium_lower):
+        perm = levelset_permutation(medium_lower)
+        assert is_permutation(perm)
+
+    def test_result_is_level_sorted(self, medium_lower):
+        perm = levelset_permutation(medium_lower)
+        lv = compute_levels(medium_lower)
+        assert np.all(np.diff(lv[perm]) >= 0)
+
+    def test_preserves_lower_triangularity(self, medium_lower):
+        perm = levelset_permutation(medium_lower)
+        P = medium_lower.permute_symmetric(perm)
+        assert is_lower_triangular(P)
+
+    def test_stability_within_levels(self, medium_lower):
+        perm = levelset_permutation(medium_lower)
+        lv = compute_levels(medium_lower)
+        for l in range(int(lv.max()) + 1):
+            members = perm[lv[perm] == l]
+            assert np.all(np.diff(members) > 0)  # original order retained
+
+    def test_permuted_levels_still_consistent(self, medium_lower):
+        """After a symmetric level-sort, recomputed levels must be
+        non-decreasing along the new ordering."""
+        perm = levelset_permutation(medium_lower)
+        P = medium_lower.permute_symmetric(perm)
+        lv = compute_levels(P)
+        assert np.all(np.diff(lv) >= 0)
+
+    def test_solution_recovery(self, medium_lower):
+        """Solving the permuted system recovers the original solution."""
+        from repro.kernels import solve_serial
+
+        rng = np.random.default_rng(4)
+        b = rng.standard_normal(medium_lower.n_rows)
+        x_ref = solve_serial(medium_lower, b)
+        perm = levelset_permutation(medium_lower)
+        P = medium_lower.permute_symmetric(perm)
+        y = solve_serial(P, b[perm])
+        x = np.empty_like(y)
+        x[perm] = y
+        assert np.allclose(x, x_ref, atol=1e-10)

@@ -1,0 +1,94 @@
+"""Feature-extraction tests (adaptive-selection inputs, Table 4 columns)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.graph import (
+    parallelism_stats,
+    square_features,
+    triangle_features,
+)
+from repro.graph.stats import row_length_imbalance
+from repro.matrices.generators import chain_matrix, layered_random
+
+
+class TestParallelismStats:
+    def test_layered_profile(self):
+        sizes = np.array([30, 20, 10])
+        L = layered_random(sizes, rng=np.random.default_rng(0))
+        st = parallelism_stats(L)
+        assert st.nlevels == 3
+        assert st.min_parallelism == 10
+        assert st.max_parallelism == 30
+        assert st.avg_parallelism == pytest.approx(20.0)
+        assert st.n_rows == 60 and st.nnz == L.nnz
+
+    def test_chain(self):
+        L = chain_matrix(25, extra_nnz_per_row=0.0, rng=np.random.default_rng(1))
+        st = parallelism_stats(L)
+        assert st.nlevels == 25
+        assert st.min_parallelism == st.max_parallelism == 1
+
+    def test_diag(self):
+        st = parallelism_stats(CSRMatrix.from_dense(np.eye(9)))
+        assert st.nlevels == 1 and st.max_parallelism == 9
+
+    def test_row_tuple_order(self):
+        st = parallelism_stats(CSRMatrix.from_dense(np.eye(3)))
+        assert st.row() == (3, 3, 1, 3, 3.0, 3)
+
+
+class TestTriangleFeatures:
+    def test_diagonal_only(self):
+        f = triangle_features(CSRMatrix.from_dense(np.eye(7) * 3.0))
+        assert f.diagonal_only
+        assert f.nnz_per_row == 1.0 and f.nlevels == 1
+
+    def test_dense_lower(self):
+        L = CSRMatrix.from_dense(np.tril(np.ones((6, 6))))
+        f = triangle_features(L)
+        assert not f.diagonal_only
+        assert f.nlevels == 6
+        assert f.nnz_per_row == pytest.approx(21 / 6)
+
+    def test_accepts_precomputed_levels(self):
+        L = CSRMatrix.from_dense(np.eye(4))
+        f = triangle_features(L, levels=np.zeros(4, dtype=np.int64))
+        assert f.nlevels == 1
+
+
+class TestSquareFeatures:
+    def test_empty_ratio(self):
+        d = np.zeros((10, 10))
+        d[0, 3] = 1.0
+        d[4, 1] = 1.0
+        d[4, 2] = 1.0
+        f = square_features(CSRMatrix.from_dense(d))
+        assert f.empty_ratio == pytest.approx(0.8)
+        assert f.nnz_per_row == pytest.approx(0.3)
+        assert f.nnz_per_active_row == pytest.approx(3 / 2)
+
+    def test_no_rows(self):
+        f = square_features(CSRMatrix.empty(0, 5))
+        assert f.empty_ratio == 0.0 and f.nnz_per_row == 0.0
+
+    def test_full(self):
+        f = square_features(CSRMatrix.from_dense(np.ones((4, 4))))
+        assert f.empty_ratio == 0.0 and f.nnz_per_row == 4.0
+
+
+class TestImbalance:
+    def test_uniform_rows_give_one(self):
+        A = CSRMatrix.from_dense(np.ones((64, 4)))
+        assert row_length_imbalance(A) == pytest.approx(1.0)
+
+    def test_single_long_row_dominates(self):
+        d = np.zeros((64, 64))
+        d[0, :] = 1.0
+        d[1:, 0] = 1.0
+        A = CSRMatrix.from_dense(d)
+        assert row_length_imbalance(A) > 5.0
+
+    def test_empty_matrix(self):
+        assert row_length_imbalance(CSRMatrix.empty(4, 4)) == 1.0

@@ -1,0 +1,100 @@
+"""LevelSchedule construction and sweep-solve tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError
+from repro.formats import CSRMatrix
+from repro.graph import compute_levels
+from repro.kernels import prepare_lower, solve_serial
+from repro.kernels.sweep import build_level_schedule, sweep_solve
+from repro.matrices.generators import chain_matrix, layered_random
+
+from conftest import random_lower
+
+
+@pytest.fixture
+def sched(medium_lower):
+    return build_level_schedule(prepare_lower(medium_lower))
+
+
+class TestScheduleStructure:
+    def test_counts_consistent(self, sched, medium_lower):
+        assert sched.n == medium_lower.n_rows
+        assert int(sched.level_rows.sum()) == medium_lower.n_rows
+        strict_nnz = medium_lower.nnz - medium_lower.n_rows
+        assert int(sched.level_nnz.sum()) == strict_nnz
+        assert len(sched.entry_cols) == strict_nnz
+
+    def test_items_group_by_level(self, sched, medium_lower):
+        lv = compute_levels(medium_lower)
+        for l in range(sched.nlevels):
+            rows = sched.items[sched.level_ptr[l] : sched.level_ptr[l + 1]]
+            assert np.all(lv[rows] == l)
+
+    def test_entry_ranges_align(self, sched):
+        assert sched.entry_ptr[-1] == len(sched.entry_cols)
+        assert np.all(np.diff(sched.entry_ptr) == sched.level_nnz)
+
+    def test_local_rows_in_range(self, sched):
+        for l in range(sched.nlevels):
+            z0, z1 = sched.entry_ptr[l], sched.entry_ptr[l + 1]
+            if z1 > z0:
+                local = sched.entry_local_row[z0:z1]
+                assert local.min() >= 0
+                assert local.max() < sched.level_rows[l]
+
+    def test_maxlen_and_padded(self, sched, medium_lower):
+        strict, _ = (
+            prepare_lower(medium_lower).strict,
+            None,
+        )
+        counts = strict.row_counts()
+        assert int(sched.level_maxlen.max()) == int(counts.max())
+        assert np.all(sched.level_padded >= sched.level_nnz)
+
+    def test_thin_rows_counted(self):
+        L = chain_matrix(50, extra_nnz_per_row=0.0, rng=np.random.default_rng(0))
+        sched = build_level_schedule(prepare_lower(L))
+        # every strict row has exactly 1 entry -> thin
+        assert int(sched.level_thin_rows.sum()) == 50  # incl. level-0 row
+
+    def test_precomputed_levels_accepted(self, medium_lower):
+        prep = prepare_lower(medium_lower)
+        lv = compute_levels(medium_lower)
+        sched = build_level_schedule(prep, levels=lv)
+        assert sched.nlevels == int(lv.max()) + 1
+
+
+class TestSweepSolve:
+    def test_matches_serial(self, sched, medium_lower, rng):
+        b = rng.standard_normal(medium_lower.n_rows)
+        assert np.allclose(
+            sweep_solve(sched, b), solve_serial(medium_lower, b), rtol=1e-10
+        )
+
+    def test_b_length_check(self, sched):
+        with pytest.raises(ShapeMismatchError):
+            sweep_solve(sched, np.ones(sched.n + 5))
+
+    def test_diagonal_matrix(self):
+        L = CSRMatrix.from_dense(np.diag(np.arange(2.0, 10.0)))
+        sched = build_level_schedule(prepare_lower(L))
+        assert sched.nlevels == 1
+        x = sweep_solve(sched, np.ones(8))
+        assert np.allclose(x, 1 / np.arange(2.0, 10.0))
+
+    def test_dtype_follows_inputs(self, medium_lower):
+        prep = prepare_lower(medium_lower.astype(np.float32))
+        sched = build_level_schedule(prep)
+        x = sweep_solve(sched, np.ones(medium_lower.n_rows, dtype=np.float32))
+        assert x.dtype == np.float32
+
+    def test_layered_profile(self):
+        L = layered_random(
+            np.array([30, 20, 10]), 4.0, np.random.default_rng(1)
+        )
+        sched = build_level_schedule(prepare_lower(L))
+        assert sched.level_rows.tolist() == [30, 20, 10]
+        b = np.ones(60)
+        assert np.allclose(L.matvec(sweep_solve(sched, b)), b, atol=1e-10)

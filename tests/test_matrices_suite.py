@@ -1,0 +1,98 @@
+"""Suite and representative-collection tests."""
+
+import numpy as np
+import pytest
+
+from repro.formats.triangular import is_lower_triangular
+from repro.graph import compute_levels, n_levels, parallelism_stats
+from repro.matrices.representative import (
+    REPRESENTATIVE_PAPER_DATA,
+    representative_matrices,
+)
+from repro.matrices.suite import MatrixSpec, generate, scaled_suite
+
+
+class TestScaledSuite:
+    def test_population_size_and_groups(self):
+        specs = scaled_suite(0.05)
+        assert len(specs) >= 20
+        groups = {s.group for s in specs}
+        assert {"pde-2d", "pde-3d", "optimization", "circuit", "network",
+                "banded", "random", "serial"} <= groups
+
+    def test_unique_names(self):
+        names = [s.name for s in scaled_suite(0.1)]
+        assert len(names) == len(set(names))
+
+    def test_all_buildable_and_triangular(self):
+        for spec in scaled_suite(0.02):
+            L = generate(spec)
+            assert is_lower_triangular(L), spec.name
+            assert np.all(L.diagonal() != 0), spec.name
+            assert L.n_rows >= 64
+
+    def test_deterministic_builds(self):
+        spec = scaled_suite(0.05)[5]
+        a, b = spec.build(), spec.build()
+        assert np.array_equal(a.data, b.data)
+
+    def test_scale_grows_sizes(self):
+        small = sum(s.build().n_rows for s in scaled_suite(0.02)[:4])
+        big = sum(s.build().n_rows for s in scaled_suite(0.08)[:4])
+        assert big > small
+
+    def test_contains_serial_class(self):
+        serial = [s for s in scaled_suite(0.05) if s.group == "serial"]
+        for spec in serial:
+            L = spec.build()
+            assert n_levels(compute_levels(L)) == L.n_rows
+
+
+class TestRepresentatives:
+    @pytest.fixture(scope="class")
+    def reps(self):
+        return {s.name: s.build() for s in representative_matrices(0.12)}
+
+    def test_six_matrices(self, reps):
+        assert set(reps) == set(REPRESENTATIVE_PAPER_DATA)
+
+    def test_nlpkkt_two_levels(self, reps):
+        st = parallelism_stats(reps["nlpkkt200_like"])
+        assert st.nlevels == 2
+        assert st.min_parallelism == st.max_parallelism  # perfectly balanced
+
+    def test_mawi_nineteen_levels_skewed(self, reps):
+        st = parallelism_stats(reps["mawi_like"])
+        assert st.nlevels == 19
+        assert st.max_parallelism > 100 * st.min_parallelism
+
+    def test_kkt_power_seventeen_levels(self, reps):
+        assert parallelism_stats(reps["kkt_power_like"]).nlevels == 17
+
+    def test_fullchip_levels_with_serial_tail(self, reps):
+        st = parallelism_stats(reps["fullchip_like"])
+        assert st.nlevels == 324
+        assert st.min_parallelism == 1
+
+    def test_vas_stokes_deep_limited(self, reps):
+        st = parallelism_stats(reps["vas_stokes_like"])
+        assert st.nlevels > 200
+        assert st.max_parallelism < 64
+
+    def test_tmt_fully_serial(self, reps):
+        st = parallelism_stats(reps["tmt_sym_like"])
+        assert st.nlevels == st.n_rows
+        assert st.max_parallelism == 1
+
+    def test_density_fingerprints(self, reps):
+        """nnz/row within a factor ~2 of the paper's values."""
+        targets = {"nlpkkt200_like": 14.3, "kkt_power_like": 4.1,
+                   "vas_stokes_like": 22.1, "tmt_sym_like": 4.0}
+        for name, target in targets.items():
+            L = reps[name]
+            assert L.nnz / L.n_rows == pytest.approx(target, rel=0.6), name
+
+    def test_paper_data_table_complete(self):
+        for name, row in REPRESENTATIVE_PAPER_DATA.items():
+            assert len(row) == 6
+            assert row[0] > 0 and row[1] > 0

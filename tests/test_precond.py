@@ -1,0 +1,132 @@
+"""ILU(0), triangular preconditioner, and Krylov-iteration tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError, SingularMatrixError
+from repro.formats import CSRMatrix
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.matrices.generators import grid_laplacian_2d
+from repro.precond import (
+    TriangularPreconditioner,
+    ilu0,
+    preconditioned_cg,
+    preconditioned_richardson,
+)
+
+
+def spd_system(nx=14, ny=11, seed=0):
+    """An SPD system from a grid Laplacian's symmetrized pattern."""
+    L = grid_laplacian_2d(nx, ny, rng=np.random.default_rng(seed))
+    d = L.to_dense()
+    A_dense = d + d.T - np.diag(np.diag(d))
+    A_dense = A_dense @ A_dense.T + np.eye(L.n_rows)  # guarantee SPD
+    # Sparsify back to a banded SPD pattern.
+    A_dense[np.abs(A_dense) < 1e-12] = 0.0
+    A = CSRMatrix.from_dense(A_dense)
+    b = np.random.default_rng(seed + 1).standard_normal(L.n_rows)
+    return A, b
+
+
+class TestILU0:
+    def test_pattern_preserved(self):
+        A, _ = spd_system()
+        L, U = ilu0(A)
+        # L strictly-lower pattern plus unit diagonal, U upper pattern —
+        # both subsets of A's pattern.
+        a_pat = A.to_dense() != 0
+        lu_pat = (L.to_dense() != 0) | (U.to_dense() != 0)
+        assert np.all(lu_pat <= (a_pat | np.eye(A.n_rows, dtype=bool)))
+
+    def test_exact_on_full_pattern(self):
+        """When A's pattern admits the full LU (dense), ILU(0) == LU."""
+        rng = np.random.default_rng(2)
+        d = rng.standard_normal((12, 12)) * 0.1 + np.eye(12) * 3
+        A = CSRMatrix.from_dense(d)
+        L, U = ilu0(A)
+        assert np.allclose(L.to_dense() @ U.to_dense(), d, atol=1e-10)
+
+    def test_unit_lower_diagonal(self):
+        A, _ = spd_system(seed=3)
+        L, _ = ilu0(A)
+        assert np.allclose(L.diagonal(), 1.0)
+
+    def test_matches_a_on_pattern(self):
+        A, _ = spd_system(seed=4)
+        L, U = ilu0(A)
+        prod = L.to_dense() @ U.to_dense()
+        mask = A.to_dense() != 0
+        assert np.allclose(prod[mask], A.to_dense()[mask], atol=1e-8)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ShapeMismatchError):
+            ilu0(CSRMatrix.from_dense(np.ones((2, 3))))
+
+    def test_rejects_missing_diagonal(self):
+        d = np.array([[0.0, 1.0], [1.0, 2.0]])
+        A = CSRMatrix.from_dense(d)  # (0,0) dropped -> no diagonal in row 0
+        with pytest.raises(SingularMatrixError):
+            ilu0(A)
+
+    def test_diag_shift(self):
+        A, _ = spd_system(seed=5)
+        L1, U1 = ilu0(A)
+        L2, U2 = ilu0(A, diag_shift=1.0)
+        assert U2.diagonal().min() > U1.diagonal().min() - 1e-9
+
+
+class TestTriangularPreconditioner:
+    def test_apply_is_two_solves(self):
+        A, b = spd_system(seed=6)
+        L, U = ilu0(A)
+        M = TriangularPreconditioner.build(L, U, device=TITAN_RTX_SCALED)
+        z, t = M.apply(b)
+        # z must equal U^{-1} L^{-1} b
+        expect = np.linalg.solve(U.to_dense(), np.linalg.solve(L.to_dense(), b))
+        assert np.allclose(z, expect, atol=1e-8)
+        assert t > 0
+        assert M.preprocessing_time_s > 0
+
+    def test_callable_interface(self):
+        A, b = spd_system(seed=7)
+        L, U = ilu0(A)
+        M = TriangularPreconditioner.build(L, U, device=TITAN_RTX_SCALED)
+        assert np.allclose(M(b), M.apply(b)[0])
+
+
+class TestKrylov:
+    def test_cg_unpreconditioned(self):
+        A, b = spd_system(seed=8)
+        res = preconditioned_cg(A, b, None, tol=1e-10, max_iter=2000)
+        assert res.converged
+        assert np.linalg.norm(A.matvec(res.x) - b) < 1e-8 * np.linalg.norm(b)
+
+    def test_cg_with_ilu_converges_faster(self):
+        A, b = spd_system(nx=16, ny=13, seed=9)
+        plain = preconditioned_cg(A, b, None, tol=1e-10, max_iter=3000)
+        L, U = ilu0(A)
+        M = TriangularPreconditioner.build(L, U, device=TITAN_RTX_SCALED)
+        pre = preconditioned_cg(A, b, M, tol=1e-10, max_iter=3000)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+        assert pre.precond_time_s > 0
+
+    def test_richardson_with_ilu(self):
+        A, b = spd_system(seed=10)
+        L, U = ilu0(A)
+        M = TriangularPreconditioner.build(L, U, device=TITAN_RTX_SCALED)
+        res = preconditioned_richardson(A, b, M, tol=1e-9, max_iter=300)
+        assert res.converged
+        assert np.linalg.norm(A.matvec(res.x) - b) < 1e-7 * np.linalg.norm(b)
+
+    def test_cg_reports_residual_history(self):
+        A, b = spd_system(seed=11)
+        res = preconditioned_cg(A, b, None, tol=1e-8)
+        assert len(res.residual_norms) == res.iterations + 1
+        assert res.residual_norms[-1] < res.residual_norms[0]
+
+    def test_cg_x0(self):
+        A, b = spd_system(seed=12)
+        x_exact = np.linalg.solve(A.to_dense(), b)
+        res = preconditioned_cg(A, b, None, x0=x_exact, tol=1e-8, max_iter=5)
+        assert res.converged and res.iterations <= 1

@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis) on formats, levels, and solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formats import CSRMatrix, lower_triangular_from
+from repro.formats.triangular import is_lower_triangular, split_strict_and_diag
+from repro.graph import compute_levels, compute_levels_kahn, level_sets, n_levels
+from repro.graph.reorder import invert_permutation, levelset_permutation
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.kernels import CuSparseLikeKernel, LevelSetKernel, SyncFreeKernel, solve_serial
+from repro.utils.arrays import counts_to_indptr, gather_row_ranges, segment_sums
+
+DEV = TITAN_RTX_SCALED
+
+
+@st.composite
+def coo_matrices(draw, max_n=24):
+    """Random square COO triplets."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    nnz = draw(st.integers(min_value=0, max_value=3 * n))
+    rows = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return n, np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64), np.array(vals)
+
+
+@st.composite
+def lower_systems(draw, max_n=20):
+    """A random well-conditioned lower-triangular system (L, b)."""
+    n, rows, cols, vals = draw(coo_matrices(max_n=max_n))
+    A = CSRMatrix.from_coo(rows, cols, vals * 0.2, (n, n))
+    L = lower_triangular_from(A)
+    # Push diagonals away from zero.
+    diag_rows = np.repeat(np.arange(n), L.row_counts())
+    on_diag = L.indices == diag_rows
+    d = L.data[on_diag]
+    L.data[on_diag] = np.where(np.abs(d) < 0.5, np.where(d >= 0, 1.0, -1.0), d)
+    b = np.array(
+        draw(
+            st.lists(
+                st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    return L, b
+
+
+class TestFormatProperties:
+    @given(coo_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_coo_csr_dense_agree(self, m):
+        n, rows, cols, vals = m
+        A = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+        dense = np.zeros((n, n))
+        np.add.at(dense, (rows, cols), vals)
+        assert np.allclose(A.to_dense(), dense, atol=1e-12)
+
+    @given(coo_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_csc_roundtrip_identity(self, m):
+        n, rows, cols, vals = m
+        A = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+        B = A.to_csc().to_csr()
+        assert np.array_equal(A.indptr, B.indptr)
+        assert np.array_equal(A.indices, B.indices)
+        assert np.allclose(A.data, B.data)
+
+    @given(coo_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, m):
+        n, rows, cols, vals = m
+        A = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+        T = A.transpose().transpose()
+        assert np.allclose(T.to_dense(), A.to_dense())
+
+    @given(coo_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_matvec_linearity(self, m):
+        n, rows, cols, vals = m
+        A = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+        rng = np.random.default_rng(0)
+        x, y = rng.standard_normal(n), rng.standard_normal(n)
+        assert np.allclose(
+            A.matvec(x + 2 * y), A.matvec(x) + 2 * A.matvec(y), atol=1e-9
+        )
+
+    @given(coo_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_dcsr_roundtrip(self, m):
+        n, rows, cols, vals = m
+        A = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+        assert np.allclose(A.to_dcsr().to_csr().to_dense(), A.to_dense())
+
+
+class TestLevelProperties:
+    @given(lower_systems())
+    @settings(max_examples=50, deadline=None)
+    def test_levels_respect_dependencies(self, sys_):
+        L, _ = sys_
+        lv = compute_levels(L)
+        strict, _ = split_strict_and_diag(L)
+        rows = np.repeat(np.arange(L.n_rows), strict.row_counts())
+        assert np.all(lv[rows] > lv[strict.indices])
+
+    @given(lower_systems())
+    @settings(max_examples=50, deadline=None)
+    def test_two_level_algorithms_agree(self, sys_):
+        L, _ = sys_
+        assert np.array_equal(compute_levels(L), compute_levels_kahn(L))
+
+    @given(lower_systems())
+    @settings(max_examples=50, deadline=None)
+    def test_levels_are_tight(self, sys_):
+        """Every row of level l > 0 has a dependency of level l-1."""
+        L, _ = sys_
+        lv = compute_levels(L)
+        strict, _ = split_strict_and_diag(L)
+        for i in range(L.n_rows):
+            if lv[i] > 0:
+                cols, _ = strict.row_slice(i)
+                assert (lv[cols] == lv[i] - 1).any()
+
+    @given(lower_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_level_sets_partition(self, sys_):
+        L, _ = sys_
+        lv = compute_levels(L)
+        ptr, items = level_sets(lv)
+        assert sorted(items.tolist()) == list(range(L.n_rows))
+        assert int(ptr[-1]) == L.n_rows
+
+    @given(lower_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_levelset_reorder_keeps_triangular(self, sys_):
+        L, _ = sys_
+        perm = levelset_permutation(L)
+        assert is_lower_triangular(L.permute_symmetric(perm))
+
+
+class TestSolverProperties:
+    @given(lower_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_kernels_agree_with_serial(self, sys_):
+        L, b = sys_
+        x_ref = solve_serial(L, b)
+        for K in (LevelSetKernel, SyncFreeKernel, CuSparseLikeKernel):
+            x, _ = K().solve_system(L, b, DEV)
+            assert np.allclose(x, x_ref, rtol=1e-8, atol=1e-9), K.__name__
+
+    @given(lower_systems(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_recursive_block_any_depth(self, sys_, depth):
+        from repro.core.recursive_block import build_recursive_block_plan
+
+        L, b = sys_
+        x_ref = solve_serial(L, b)
+        plan = build_recursive_block_plan(L, depth, DEV)
+        x, _ = plan.solve(b, DEV)
+        assert np.allclose(x, x_ref, rtol=1e-8, atol=1e-9)
+
+    @given(lower_systems())
+    @settings(max_examples=25, deadline=None)
+    def test_improved_plan_permutation_invariant(self, sys_):
+        from repro.core.blocked_matrix import build_improved_recursive_plan
+
+        L, b = sys_
+        x_ref = solve_serial(L, b)
+        blocked = build_improved_recursive_plan(L, 2, DEV)
+        x, _ = blocked.plan.solve(b, DEV)
+        assert np.allclose(x, x_ref, rtol=1e-8, atol=1e-9)
+
+    @given(lower_systems())
+    @settings(max_examples=30, deadline=None)
+    def test_solution_scales_linearly(self, sys_):
+        L, b = sys_
+        x1 = solve_serial(L, b)
+        x2 = solve_serial(L, 2 * b)
+        assert np.allclose(x2, 2 * x1, rtol=1e-9, atol=1e-9)
+
+
+class TestArrayProperties:
+    @given(st.lists(st.integers(0, 6), min_size=0, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_gather_all_rows_is_identity(self, counts):
+        counts = np.array(counts, dtype=np.int64)
+        indptr = counts_to_indptr(counts)
+        flat, seg = gather_row_ranges(indptr, np.arange(len(counts)))
+        assert np.array_equal(flat, np.arange(int(indptr[-1])))
+        assert np.array_equal(seg, indptr)
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_segment_sums_total(self, counts):
+        counts = np.array(counts, dtype=np.int64)
+        seg = counts_to_indptr(counts)
+        rng = np.random.default_rng(0)
+        vals = rng.standard_normal(int(seg[-1]))
+        assert segment_sums(vals, seg).sum() == pytest.approx(vals.sum(), abs=1e-9)
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_invert_permutation(self, n):
+        rng = np.random.default_rng(n)
+        p = rng.permutation(n)
+        assert np.array_equal(invert_permutation(p)[p], np.arange(n))

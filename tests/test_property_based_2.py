@@ -1,0 +1,88 @@
+"""Second property-based round: plans, DCSR, scatter solve, multi-RHS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.verify import verify_plan
+from repro.core.blocked_matrix import build_improved_recursive_plan
+from repro.core.column_block import build_column_block_plan
+from repro.core.row_block import build_row_block_plan
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.kernels import solve_serial
+from repro.kernels.csc_scatter import csc_scatter_solve
+
+from test_property_based import lower_systems
+
+DEV = TITAN_RTX_SCALED
+
+
+class TestPlanProperties:
+    @given(lower_systems(), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_column_plan_valid_and_correct(self, sys_, nseg):
+        L, b = sys_
+        plan = build_column_block_plan(L, nseg, DEV)
+        assert verify_plan(plan, L).ok
+        x, _ = plan.solve(b, DEV)
+        assert np.allclose(x, solve_serial(L, b), rtol=1e-8, atol=1e-9)
+
+    @given(lower_systems(), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_row_plan_valid_and_correct(self, sys_, nseg):
+        L, b = sys_
+        plan = build_row_block_plan(L, nseg, DEV)
+        assert verify_plan(plan, L).ok
+        x, _ = plan.solve(b, DEV)
+        assert np.allclose(x, solve_serial(L, b), rtol=1e-8, atol=1e-9)
+
+    @given(lower_systems(), st.integers(0, 3), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_improved_plan_valid_any_options(self, sys_, depth, align):
+        L, b = sys_
+        blocked = build_improved_recursive_plan(
+            L, depth, DEV, align_levels=align
+        )
+        # structural check against the permuted matrix
+        check = verify_plan(blocked.plan)
+        assert check.ok, check.issues
+        x, _ = blocked.plan.solve(b, DEV)
+        assert np.allclose(x, solve_serial(L, b), rtol=1e-8, atol=1e-9)
+
+
+class TestScatterProperties:
+    @given(lower_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_scatter_equals_serial(self, sys_):
+        L, b = sys_
+        assert np.allclose(
+            csc_scatter_solve(L, b), solve_serial(L, b), rtol=1e-8, atol=1e-9
+        )
+
+
+class TestMultiRHSProperties:
+    @given(lower_systems(), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_fused_equals_columnwise(self, sys_, k):
+        from repro.core.solver import RecursiveBlockSolver
+
+        L, b = sys_
+        rng = np.random.default_rng(k)
+        B = rng.standard_normal((L.n_rows, k))
+        prepared = RecursiveBlockSolver(device=DEV, depth=2).prepare(L)
+        Xf, _ = prepared.solve_multi(B, fused=True)
+        for j in range(k):
+            xj, _ = prepared.solve(B[:, j])
+            assert np.allclose(Xf[:, j], xj, rtol=1e-10, atol=1e-11)
+
+    @given(lower_systems(), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_fused_never_slower_than_unfused(self, sys_, k):
+        from repro.core.solver import SyncFreeSolver
+
+        L, b = sys_
+        B = np.tile(b[:, None], (1, k))
+        prepared = SyncFreeSolver(device=DEV).prepare(L)
+        _, fused = prepared.solve_multi(B, fused=True)
+        _, unfused = prepared.solve_multi(B, fused=False)
+        assert fused.time_s <= unfused.time_s * 1.001

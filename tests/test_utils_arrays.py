@@ -1,0 +1,84 @@
+"""Unit tests for the segmented-array primitives."""
+
+import numpy as np
+import pytest
+
+from repro.utils.arrays import (
+    counts_to_indptr,
+    gather_row_ranges,
+    indptr_to_counts,
+    segment_ids,
+    segment_sums,
+)
+
+
+class TestCountsToIndptr:
+    def test_basic(self):
+        assert counts_to_indptr(np.array([2, 0, 3])).tolist() == [0, 2, 2, 5]
+
+    def test_empty(self):
+        assert counts_to_indptr(np.array([], dtype=int)).tolist() == [0]
+
+    def test_roundtrip(self):
+        counts = np.array([3, 1, 0, 0, 7, 2])
+        assert indptr_to_counts(counts_to_indptr(counts)).tolist() == counts.tolist()
+
+    def test_dtype_is_int64(self):
+        assert counts_to_indptr(np.array([1, 2], dtype=np.int32)).dtype == np.int64
+
+
+class TestGatherRowRanges:
+    def test_all_rows_identity(self):
+        indptr = np.array([0, 2, 2, 5], dtype=np.int64)
+        flat, seg = gather_row_ranges(indptr, np.arange(3))
+        assert flat.tolist() == [0, 1, 2, 3, 4]
+        assert seg.tolist() == [0, 2, 2, 5]
+
+    def test_subset_and_order(self):
+        indptr = np.array([0, 2, 2, 5, 9], dtype=np.int64)
+        flat, seg = gather_row_ranges(indptr, np.array([3, 0]))
+        assert flat.tolist() == [5, 6, 7, 8, 0, 1]
+        assert seg.tolist() == [0, 4, 6]
+
+    def test_empty_rows_only(self):
+        indptr = np.array([0, 0, 0], dtype=np.int64)
+        flat, seg = gather_row_ranges(indptr, np.array([0, 1]))
+        assert len(flat) == 0
+        assert seg.tolist() == [0, 0, 0]
+
+    def test_empty_selection(self):
+        indptr = np.array([0, 3], dtype=np.int64)
+        flat, seg = gather_row_ranges(indptr, np.array([], dtype=np.int64))
+        assert len(flat) == 0 and seg.tolist() == [0]
+
+    def test_repeated_rows(self):
+        indptr = np.array([0, 2, 4], dtype=np.int64)
+        flat, _ = gather_row_ranges(indptr, np.array([1, 1]))
+        assert flat.tolist() == [2, 3, 2, 3]
+
+
+class TestSegmentOps:
+    def test_segment_ids(self):
+        assert segment_ids(np.array([0, 2, 2, 5])).tolist() == [0, 0, 2, 2, 2]
+
+    def test_segment_sums_with_empty_segments(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        seg = np.array([0, 2, 2, 4])
+        assert segment_sums(vals, seg).tolist() == [3.0, 0.0, 7.0]
+
+    def test_segment_sums_empty_input(self):
+        out = segment_sums(np.array([]), np.array([0, 0, 0]))
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_segment_sums_matches_reduceat_semantics(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 5, size=50)
+        seg = counts_to_indptr(counts)
+        vals = rng.standard_normal(int(seg[-1]))
+        expected = [vals[seg[i] : seg[i + 1]].sum() for i in range(50)]
+        assert np.allclose(segment_sums(vals, seg), expected)
+
+    def test_segment_sums_preserves_float32(self):
+        vals = np.ones(4, dtype=np.float32)
+        out = segment_sums(vals, np.array([0, 2, 4]))
+        assert out.dtype == np.float32
