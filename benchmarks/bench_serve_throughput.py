@@ -1,0 +1,160 @@
+"""Serving-layer throughput: plan-cache amortization over a mixed workload.
+
+Replays the repeated-matrix traffic the paper's Table 5 economics argue
+for — a tour that builds every plan once (misses + evictions), a hot
+phase that reuses cached plans (hits), a coalesced same-matrix batch,
+and a failing planner that degrades to the level-set baseline — and
+checks that cache-hit requests skip preprocessing entirely: hit-path
+mean simulated latency must be under 50% of the miss-path mean.
+
+Writes ``BENCH_serve.json`` at the repository root (and the rendered
+table to ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import TITAN_RTX_SCALED, register_solver, unregister_solver
+from repro.core.solver import TriangularSolver
+from repro.serve import ServiceConfig, SolveRequest, SolveService
+from repro.serve.workload import mixed_workload
+
+from conftest import publish
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+N_MATRICES = 6
+CACHE_CAPACITY = 4
+HOT_MATRICES = 3
+HOT_REQUESTS = 24
+BATCH_REQUESTS = 8
+
+
+class _ExplodingSolver(TriangularSolver):
+    """A planner that always fails: exercises graceful degradation."""
+
+    method = "exploding"
+
+    def _prepare(self, L):
+        raise RuntimeError("planner exploded (benchmark-injected failure)")
+
+
+def run() -> dict:
+    workload = mixed_workload(
+        N_MATRICES + HOT_REQUESTS,
+        scale=0.05,
+        n_matrices=N_MATRICES,
+        hot_matrices=HOT_MATRICES,
+        seed=7,
+    )
+    config = ServiceConfig(
+        method="recursive-block",
+        device=TITAN_RTX_SCALED,
+        cache_capacity=CACHE_CAPACITY,
+        max_workers=4,
+    )
+    register_solver("exploding", _ExplodingSolver, replace=True)
+    try:
+        with SolveService(config) as service:
+            # Phase 1+2 — tour then hot set, sequentially so the LRU
+            # eviction sequence is deterministic.
+            for name, b in workload.stream:
+                service.solve(workload.matrices[name], b)
+            # Phase 3 — a coalesced batch on the hottest matrix.
+            hot_name = workload.stream[-1][0]
+            hot = workload.matrices[hot_name]
+            rng = np.random.default_rng(11)
+            batch = [
+                SolveRequest(A=hot, b=rng.standard_normal(hot.n_rows))
+                for _ in range(BATCH_REQUESTS)
+            ]
+            for req, res in zip(batch, service.solve_batch(batch)):
+                resid = float(np.abs(hot.matvec(np.asarray(res.x)) - req.b).max())
+                assert resid < 1e-8, resid
+            # Phase 4 — a method whose planner fails, twice: first builds
+            # and caches the level-set fallback plan, second hits it.
+            small_name = workload.stream[0][0]
+            small = workload.matrices[small_name]
+            for _ in range(2):
+                res = service.solve(small, np.ones(small.n_rows), method="exploding")
+                assert res.fallback and res.method == "levelset"
+            stats = service.stats()
+            records = [r.as_dict() for r in service.records()]
+    finally:
+        unregister_solver("exploding")
+
+    hit_mean = stats.hit_mean_latency_s
+    miss_mean = stats.miss_mean_latency_s
+    result = {
+        "workload": {
+            "n_matrices": N_MATRICES,
+            "cache_capacity": CACHE_CAPACITY,
+            "hot_matrices": HOT_MATRICES,
+            "hot_requests": HOT_REQUESTS,
+            "coalesced_batch": BATCH_REQUESTS,
+            "fallback_requests": 2,
+            "matrices": {
+                name: {"n": A.n_rows, "nnz": A.nnz}
+                for name, A in workload.matrices.items()
+            },
+        },
+        "stats": stats.as_dict(),
+        "hit_mean_latency_s": hit_mean,
+        "miss_mean_latency_s": miss_mean,
+        "hit_over_miss_latency": hit_mean / miss_mean if miss_mean else None,
+        "records": records,
+    }
+    return result
+
+
+def render(result: dict) -> str:
+    s = result["stats"]
+    lines = [
+        "serve throughput (plan-caching SolveService, recursive-block)",
+        f"  requests {s['requests']}  hits {s['cache_hits']}  "
+        f"misses {s['cache_misses']}  evictions {s['evictions']}  "
+        f"fallbacks {s['fallbacks']}  coalesced {s['coalesced_requests']}",
+        f"  miss-path mean latency {result['miss_mean_latency_s'] * 1e3:9.4f} ms "
+        "(pays preprocessing)",
+        f"  hit-path  mean latency {result['hit_mean_latency_s'] * 1e3:9.4f} ms "
+        "(plan reused)",
+        f"  hit/miss latency ratio {result['hit_over_miss_latency']:.3f} "
+        "(acceptance: < 0.5)",
+    ]
+    return "\n".join(lines)
+
+
+def check(result: dict) -> None:
+    s = result["stats"]
+    total = N_MATRICES + HOT_REQUESTS + BATCH_REQUESTS + 2
+    assert s["requests"] == total, s
+    # One miss per distinct plan: 6 toured matrices + 1 fallback plan.
+    assert s["cache_misses"] == N_MATRICES + 1, s
+    assert s["cache_hits"] == total - s["cache_misses"], s
+    # The tour inserts 6 plans into 4 slots (+1 later for the fallback
+    # plan, which evicts another): 2 + 1 evictions.
+    assert s["evictions"] == (N_MATRICES - CACHE_CAPACITY) + 1, s
+    assert s["fallbacks"] == 2, s
+    assert s["coalesced_requests"] == BATCH_REQUESTS, s
+    assert s["failed"] == 0 and s["timeouts"] == 0, s
+    # The headline: cached plans skip preprocessing entirely.
+    assert result["hit_over_miss_latency"] < 0.5, result["hit_over_miss_latency"]
+
+
+def test_serve_throughput(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(result)
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    publish("serve_throughput", render(result))
+
+
+if __name__ == "__main__":
+    result = run()
+    check(result)
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    print(render(result))
+    print(f"wrote {BENCH_JSON}")

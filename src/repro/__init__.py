@@ -18,7 +18,7 @@ Quickstart::
     print(report.gflops, report.launches)
 """
 
-from repro.api import solve_triangular
+from repro.api import SolveResult, solve_triangular
 from repro.core.adaptive import (
     AdaptiveSelector,
     CALIBRATED_THRESHOLDS,
@@ -26,20 +26,26 @@ from repro.core.adaptive import (
     SelectionThresholds,
 )
 from repro.core.solver import (
+    available_methods,
     ColumnBlockSolver,
     CuSparseSolver,
     LevelSetSolver,
     PreparedSolve,
     RecursiveBlockSolver,
+    register_solver,
     RowBlockSolver,
     SerialSolver,
     SOLVERS,
     SyncFreeSolver,
     TriangularSolver,
+    unregister_solver,
 )
 from repro.errors import (
     NotTriangularError,
     ReproError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
     ShapeMismatchError,
     SingularMatrixError,
     SparseFormatError,
@@ -61,12 +67,20 @@ from repro.gpu.device import (
     known_devices,
 )
 from repro.gpu.report import KernelReport, SolveReport
+from repro.serve import (
+    ServiceConfig,
+    ServiceStats,
+    ServiceTimeoutError,
+    SolveRequest,
+    SolveService,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "solve_triangular",
+    "SolveResult",
     # formats
     "CSRMatrix",
     "CSCMatrix",
@@ -84,6 +98,15 @@ __all__ = [
     "RowBlockSolver",
     "RecursiveBlockSolver",
     "SOLVERS",
+    "register_solver",
+    "unregister_solver",
+    "available_methods",
+    # serving layer
+    "SolveService",
+    "SolveRequest",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServiceTimeoutError",
     # adaptive selection
     "AdaptiveSelector",
     "SelectionThresholds",
@@ -105,4 +128,7 @@ __all__ = [
     "NotTriangularError",
     "SingularMatrixError",
     "ShapeMismatchError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
 ]

@@ -3,13 +3,22 @@
 For callers who don't need the prepare/solve split (or upper-triangular
 handling) spelled out: pick a method by name, solve, get the solution
 and the simulated report.
+
+:func:`solve_triangular` returns a :class:`SolveResult` — a named view
+(``result.x``, ``result.report``, ``result.method``, …) that still
+unpacks as the historical two-tuple, so ``x, report = solve_triangular(...)``
+keeps working unchanged.
 """
 
 from __future__ import annotations
 
+import inspect
+from dataclasses import dataclass
+from typing import Iterator
+
 import numpy as np
 
-from repro.core.solver import SOLVERS
+from repro.core.solver import SOLVERS, TriangularSolver
 from repro.errors import NotTriangularError
 from repro.formats.csr import CSRMatrix
 from repro.formats.triangular import (
@@ -20,7 +29,80 @@ from repro.formats.triangular import (
 from repro.gpu.device import TITAN_RTX_SCALED, DeviceModel
 from repro.gpu.report import SolveReport
 
-__all__ = ["solve_triangular"]
+__all__ = ["SolveResult", "solve_triangular", "validate_solver_options"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solve, tuple-compatible with ``(x, report)``.
+
+    Attributes
+    ----------
+    x:
+        The exact solution vector (or matrix, for multi-RHS solves).
+    report:
+        The simulated :class:`SolveReport` for the solve phase.
+    method:
+        The method that actually executed (after any fallback).
+    cache_hit:
+        True when a cached :class:`PreparedSolve` plan was reused and no
+        preprocessing ran (always False outside the serving layer).
+    fallback:
+        True when the requested method failed to plan and the solve was
+        downgraded to the level-set baseline.
+    """
+
+    x: np.ndarray
+    report: SolveReport
+    method: str
+    cache_hit: bool = False
+    fallback: bool = False
+
+    def __iter__(self) -> Iterator:
+        # Legacy unpacking: ``x, report = solve_triangular(...)``.
+        yield self.x
+        yield self.report
+
+
+def validate_solver_options(method: str, options: dict) -> None:
+    """Check ``options`` against the constructor of ``SOLVERS[method]``.
+
+    Raises a :class:`ValueError` naming the offending option and listing
+    the valid ones, instead of the bare ``TypeError`` a typo used to
+    surface from deep inside the solver's ``__init__``.
+    """
+    cls = SOLVERS[method]
+    init = cls.__init__ if isinstance(cls, type) else cls
+    try:
+        sig = inspect.signature(init)
+    except (TypeError, ValueError):  # builtins without signatures
+        return
+    params = [p for n, p in sig.parameters.items() if n != "self"]
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+        return  # the solver accepts anything; let it decide
+    valid = {
+        p.name
+        for p in params
+        if p.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+    # ``device`` is supplied by the caller of this helper, not via options.
+    settable = sorted(valid - {"device"})
+    for key in options:
+        if key not in valid or key == "device":
+            raise ValueError(
+                f"unknown option {key!r} for method {method!r}; "
+                f"valid options: {settable}"
+            )
+
+
+def _make_solver(
+    method: str, device: DeviceModel, solver_options: dict
+) -> TriangularSolver:
+    if method not in SOLVERS:
+        raise ValueError(f"unknown method {method!r}; choose from {sorted(SOLVERS)}")
+    validate_solver_options(method, solver_options)
+    return SOLVERS[method](device=device, **solver_options)
 
 
 def solve_triangular(
@@ -31,7 +113,7 @@ def solve_triangular(
     method: str = "recursive-block",
     device: DeviceModel = TITAN_RTX_SCALED,
     **solver_options,
-) -> tuple[np.ndarray, SolveReport]:
+) -> SolveResult:
     """Solve ``A x = b`` for triangular ``A`` with any registered method.
 
     Parameters
@@ -45,21 +127,22 @@ def solve_triangular(
         mapped onto equivalent lower ones with the anti-diagonal mirror
         and solved by the same kernels.
     method:
-        One of ``repro.SOLVERS`` (default: the paper's recursive block
-        algorithm).
+        One of :func:`repro.available_methods` (default: the paper's
+        recursive block algorithm).
     device:
         Simulated device model for the timing report.
     solver_options:
         Forwarded to the solver constructor (e.g. ``depth=3``,
-        ``reorder=False``).
+        ``reorder=False``) after validation against its signature.
 
     Returns
     -------
-    (x, report):
-        Exact solution and the simulated :class:`SolveReport`.
+    SolveResult:
+        Named fields (``x``, ``report``, ``method``, ``cache_hit``,
+        ``fallback``) that also unpack as the legacy ``(x, report)``
+        tuple.
     """
-    if method not in SOLVERS:
-        raise ValueError(f"unknown method {method!r}; choose from {sorted(SOLVERS)}")
+    solver = _make_solver(method, device, solver_options)
     if lower is None:
         if is_lower_triangular(A):
             lower = True
@@ -70,11 +153,11 @@ def solve_triangular(
                 "matrix is neither lower- nor upper-triangular; use "
                 "repro.lower_triangular_from to prepare it first"
             )
-    solver = SOLVERS[method](device=device, **solver_options)
     if lower:
-        return solver.prepare(A).solve(np.asarray(b))
+        x, report = solver.prepare(A).solve(np.asarray(b))
+        return SolveResult(x=x, report=report, method=method)
     L, perm = upper_to_lower_mirror(A.sort_indices())
     y, report = solver.prepare(L).solve(np.asarray(b)[perm])
     x = np.empty_like(y)
     x[perm] = y
-    return x, report
+    return SolveResult(x=x, report=report, method=method)

@@ -13,6 +13,9 @@ Commands
     Regenerate one of the paper's tables/figures.
 ``suite``
     Print the scaled benchmark suite with structural statistics.
+``serve``
+    Replay a mixed solve workload through the plan-caching
+    :class:`repro.serve.SolveService` and print throughput statistics.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import numpy as np
 
 from repro.analysis.inspect import describe_plan, level_histogram, spy
 from repro.core.solver import SOLVERS
+from repro.errors import SparseFormatError
 from repro.formats.csr import CSRMatrix
 from repro.formats.triangular import lower_triangular_from
 from repro.gpu.device import known_devices
@@ -44,13 +48,13 @@ def _load_matrix(args) -> tuple[str, CSRMatrix]:
         return name, by_name[name].build()
     try:
         A = read_matrix_market(name)
-    except (OSError, Exception) as exc:  # noqa: BLE001 - report either way
-        if name not in by_name:
-            raise SystemExit(
-                f"unknown matrix {name!r}: not a suite/representative name "
-                f"and not a readable MatrixMarket file ({exc})"
-            )
-        raise
+    except FileNotFoundError:
+        raise SystemExit(
+            f"unknown matrix {name!r}: not a suite/representative name and "
+            f"no such file (see `python -m repro suite` for known names)"
+        )
+    except (OSError, ValueError, SparseFormatError) as exc:
+        raise SystemExit(f"could not parse MatrixMarket file {name!r}: {exc}")
     return name, lower_triangular_from(A)
 
 
@@ -102,6 +106,47 @@ def cmd_solve(args) -> int:
         )
         if args.plan and hasattr(prepared, "plan"):
             print(describe_plan(prepared.plan))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.serve import ServiceConfig, SolveService
+    from repro.serve.workload import mixed_workload, replay
+
+    device = known_devices()[args.device]
+    workload = mixed_workload(
+        args.requests,
+        scale=args.scale,
+        n_matrices=args.matrices,
+        n_rhs=args.rhs,
+        seed=args.seed,
+    )
+    try:
+        config = ServiceConfig(
+            method=args.method,
+            device=device,
+            cache_capacity=args.capacity,
+            max_workers=args.workers,
+        )
+        service = SolveService(config)
+    except ValueError as exc:
+        raise SystemExit(f"bad service configuration: {exc}")
+    with service:
+        replay(service, workload, batch_size=args.batch)
+        stats = service.stats()
+    print(
+        f"replayed {workload.n_requests} requests over "
+        f"{len(workload.matrices)} matrices on {device.name} "
+        f"(method {args.method}, cache {args.capacity}, "
+        f"workers {args.workers}, batch {args.batch})"
+    )
+    print(stats.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(stats.as_dict(), fh, indent=2)
+        print(f"stats written to {args.json}")
     return 0
 
 
@@ -164,6 +209,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spy", action="store_true", help="ASCII sparsity plot")
     p.add_argument("--levels", action="store_true", help="level histogram")
     p.set_defaults(fn=cmd_solve)
+
+    p = sub.add_parser("serve", help="replay a workload through SolveService")
+    p.add_argument("--requests", type=int, default=40, help="stream length")
+    p.add_argument("--matrices", type=int, default=6, help="distinct systems")
+    p.add_argument("--rhs", type=int, default=1, help="columns per request")
+    p.add_argument("--method", default="recursive-block", choices=list(SOLVERS))
+    p.add_argument("--device", default="titan_rtx_scaled",
+                   choices=list(known_devices()))
+    p.add_argument("--capacity", type=int, default=8, help="plan-cache slots")
+    p.add_argument("--workers", type=int, default=4, help="executor threads")
+    p.add_argument("--batch", type=int, default=1,
+                   help="submit in batches of this size (enables coalescing)")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", help="also write the stats snapshot to this path")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("calibrate", help="run the Figure 5 sweep")
     p.add_argument("--device", default="titan_rtx_scaled",

@@ -52,6 +52,9 @@ __all__ = [
     "RowBlockSolver",
     "RecursiveBlockSolver",
     "SOLVERS",
+    "register_solver",
+    "unregister_solver",
+    "available_methods",
 ]
 
 
@@ -363,3 +366,69 @@ SOLVERS: dict[str, type[TriangularSolver]] = {
     "row-block": RowBlockSolver,
     "recursive-block": RecursiveBlockSolver,
 }
+
+#: the methods shipped with the library; never removable via the public API
+_BUILTIN_METHODS = frozenset(SOLVERS)
+
+
+def available_methods() -> list[str]:
+    """Registered method names, in registration order."""
+    return list(SOLVERS)
+
+
+def register_solver(
+    name: str, cls: type[TriangularSolver], *, replace: bool = False
+) -> type[TriangularSolver]:
+    """Add a solver class to the public registry.
+
+    External kernels plug in here instead of mutating ``SOLVERS``:
+    once registered the method is usable from :func:`repro.solve_triangular`,
+    the CLI, and the serving layer by name.
+
+    Parameters
+    ----------
+    name:
+        Registry key (also what ``method=...`` selects). Must be a
+        non-empty string not already taken unless ``replace=True``.
+    cls:
+        A :class:`TriangularSolver` subclass — or any class exposing the
+        same interface: a ``prepare(L)`` method and a constructor
+        accepting a ``device`` keyword.
+    replace:
+        Allow overwriting a previously registered *external* method.
+        Built-in methods can never be replaced.
+
+    Returns
+    -------
+    ``cls`` unchanged, so the function can be used as a decorator factory.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"solver name must be a non-empty string, got {name!r}")
+    if name in SOLVERS and not replace:
+        raise ValueError(
+            f"method {name!r} is already registered "
+            f"({SOLVERS[name].__name__}); pass replace=True to override"
+        )
+    if name in _BUILTIN_METHODS:
+        raise ValueError(f"method {name!r} is built in and cannot be replaced")
+    if not isinstance(cls, type):
+        raise TypeError(f"expected a solver class, got {cls!r}")
+    if not issubclass(cls, TriangularSolver):
+        prepare = getattr(cls, "prepare", None)
+        if not callable(prepare):
+            raise TypeError(
+                f"{cls.__name__} does not implement the TriangularSolver "
+                "interface: it needs a prepare(L) -> PreparedSolve method "
+                "(subclass repro.TriangularSolver to get validation for free)"
+            )
+    SOLVERS[name] = cls
+    return cls
+
+
+def unregister_solver(name: str) -> type[TriangularSolver]:
+    """Remove an externally registered solver; returns the removed class."""
+    if name in _BUILTIN_METHODS:
+        raise ValueError(f"method {name!r} is built in and cannot be removed")
+    if name not in SOLVERS:
+        raise KeyError(f"method {name!r} is not registered")
+    return SOLVERS.pop(name)

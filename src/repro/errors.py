@@ -8,6 +8,9 @@ __all__ = [
     "NotTriangularError",
     "SingularMatrixError",
     "ShapeMismatchError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
 ]
 
 
@@ -29,3 +32,15 @@ class SingularMatrixError(ReproError):
 
 class ShapeMismatchError(ReproError):
     """Operand shapes are incompatible for the requested operation."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded admission queue is full; retry later."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that has been shut down."""

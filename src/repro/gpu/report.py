@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["KernelReport", "SolveReport", "merge_reports"]
+__all__ = ["KernelReport", "SolveReport", "merge_reports", "merge_solve_reports"]
 
 
 @dataclass
@@ -59,6 +59,24 @@ class SolveReport:
     def kernel_count(self, prefix: str) -> int:
         return sum(1 for k in self.kernels if k.kernel.startswith(prefix))
 
+    def scaled(self, factor: float, **detail) -> "SolveReport":
+        """Report with time/flops/traffic scaled by ``factor``.
+
+        Used to attribute a per-request share of a coalesced multi-RHS
+        solve: the launch count is the batch's (the kernels really ran
+        once for everyone), while the continuous quantities divide."""
+        merged = dict(self.detail)
+        merged.update(detail)
+        return SolveReport(
+            method=self.method,
+            time_s=self.time_s * factor,
+            flops=self.flops * factor,
+            launches=self.launches,
+            bytes_moved=self.bytes_moved * factor,
+            kernels=list(self.kernels),
+            detail=merged,
+        )
+
 
 def merge_reports(method: str, reports: list[KernelReport], **detail) -> SolveReport:
     """Sum sub-kernel reports into one :class:`SolveReport`."""
@@ -70,4 +88,16 @@ def merge_reports(method: str, reports: list[KernelReport], **detail) -> SolveRe
         bytes_moved=sum(r.bytes_moved for r in reports),
         kernels=list(reports),
         detail=dict(detail),
+    )
+
+
+def merge_solve_reports(method: str, reports: list[SolveReport], **detail) -> SolveReport:
+    """Sum whole-solve reports (e.g. a service's aggregate over requests)."""
+    return SolveReport(
+        method=method,
+        time_s=sum(r.time_s for r in reports),
+        flops=sum(r.flops for r in reports),
+        launches=sum(r.launches for r in reports),
+        bytes_moved=sum(r.bytes_moved for r in reports),
+        detail={"merged": len(reports), **detail},
     )

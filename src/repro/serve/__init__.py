@@ -1,0 +1,34 @@
+"""Serving layer: plan caching, request batching, and observability.
+
+See :class:`SolveService` for the front door.  The layer exists because
+the paper's preprocessing-amortization argument (Table 5) *is* a serving
+argument: pay the block analysis once per matrix, then answer a stream
+of solve requests at kernel speed.
+"""
+
+from repro.serve.cache import CacheStats, PlanCache
+from repro.serve.fingerprint import matrix_fingerprint, plan_key
+from repro.serve.service import (
+    ServiceConfig,
+    ServiceTimeoutError,
+    SolveRequest,
+    SolveService,
+)
+from repro.serve.stats import RequestRecord, ServiceStats
+from repro.serve.workload import Workload, mixed_workload, replay
+
+__all__ = [
+    "Workload",
+    "mixed_workload",
+    "replay",
+    "CacheStats",
+    "PlanCache",
+    "matrix_fingerprint",
+    "plan_key",
+    "ServiceConfig",
+    "ServiceTimeoutError",
+    "SolveRequest",
+    "SolveService",
+    "RequestRecord",
+    "ServiceStats",
+]

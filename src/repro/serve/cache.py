@@ -1,0 +1,128 @@
+"""A thread-safe LRU cache of prepared solve plans.
+
+This is the amortization engine of the serving layer: the first request
+for a matrix pays the paper's Table 5 preprocessing cost, every later
+request reuses the plan for the cost of a hash lookup.  Capacity is
+bounded (plans hold the blocked matrix, so memory is real even in the
+simulation); least-recently-used plans are evicted and counted.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+__all__ = ["CacheStats", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters snapshot; ``hits``/``misses`` count lookups, not requests
+    (a coalesced batch of k same-matrix requests is one lookup)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """LRU mapping from :func:`plan_key` tuples to prepared plans.
+
+    ``get_or_build`` is single-flight per key: concurrent misses on the
+    same matrix build the plan once while other keys proceed in
+    parallel.  Building happens outside the cache-wide lock so a slow
+    preprocessing never blocks unrelated lookups.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._key_locks: dict[Hashable, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value (refreshing recency) or ``None``; counts."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._put_locked(key, value)
+
+    def _put_locked(self, key: Hashable, value: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], Any]) -> tuple[Any, bool]:
+        """``(value, was_hit)``; ``builder()`` runs at most once per miss."""
+        value = self.get(key)
+        if value is not None:
+            return value, True
+        with self._lock:
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            # Double-check: another thread may have built it while we waited.
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    return self._entries[key], True
+            value = builder()
+            with self._lock:
+                self._put_locked(key, value)
+                self._key_locks.pop(key, None)
+            return value, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

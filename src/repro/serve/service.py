@@ -1,0 +1,424 @@
+"""`SolveService`: a plan-caching, batching front end over the solvers.
+
+The paper's Table 5 argument — preprocessing is paid once and amortized
+over many solves — is exactly the access pattern of a triangular-solve
+*service*: ILU-preconditioned Krylov loops and repeated right-hand-side
+streams hit the same factor over and over.  This module packages that
+economy behind one object:
+
+* incoming CSR matrices are fingerprinted (content hash) and their
+  :class:`PreparedSolve` plans kept in a bounded LRU cache — a repeated
+  matrix skips preprocessing entirely;
+* same-matrix requests inside a batch are coalesced into one fused
+  ``solve_multi`` call (the matrix streams once for all of them);
+* independent requests run concurrently on a thread pool behind a
+  bounded admission queue, with per-request deadlines;
+* a planner failure degrades gracefully to the level-set baseline and
+  is recorded as a fallback;
+* every request emits a :class:`RequestRecord`; :meth:`SolveService.stats`
+  aggregates them into a :class:`ServiceStats` snapshot.
+
+>>> with SolveService(max_workers=4, cache_capacity=16) as svc:
+...     r = svc.solve(L, b)                 # miss: prepares, caches
+...     r2 = svc.solve(L, b2)               # hit: plan reused
+...     print(r2.cache_hit, svc.stats().hit_speedup)
+"""
+
+from __future__ import annotations
+
+import time
+import threading
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.api import SolveResult, validate_solver_options
+from repro.core.solver import SOLVERS, PreparedSolve
+from repro.errors import (
+    NotTriangularError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.formats.csr import CSRMatrix
+from repro.formats.triangular import (
+    is_lower_triangular,
+    is_upper_triangular,
+    upper_to_lower_mirror,
+)
+from repro.gpu.device import TITAN_RTX_SCALED, DeviceModel
+from repro.serve.cache import PlanCache
+from repro.serve.fingerprint import matrix_fingerprint, plan_key
+from repro.serve.stats import RequestRecord, ServiceStats
+
+__all__ = [
+    "ServiceConfig",
+    "SolveRequest",
+    "SolveService",
+    "ServiceTimeoutError",
+]
+
+
+class ServiceTimeoutError(ServiceError):
+    """A request's deadline expired before its solve could run."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of a :class:`SolveService`."""
+
+    #: default method for requests that don't name one
+    method: str = "recursive-block"
+    device: DeviceModel = TITAN_RTX_SCALED
+    #: LRU capacity of the prepared-plan cache (plans, not bytes)
+    cache_capacity: int = 32
+    #: worker threads executing requests
+    max_workers: int = 4
+    #: bound on admitted-but-unfinished requests (backpressure)
+    queue_limit: int = 256
+    #: default per-request deadline in wall seconds (None = no deadline)
+    timeout_s: float | None = None
+    #: degrade to ``fallback_method`` when the requested planner fails
+    fallback: bool = True
+    fallback_method: str = "levelset"
+    #: how many request records to keep for stats
+    history_limit: int = 100_000
+    #: options forwarded to the default method's constructor
+    solver_options: dict = field(default_factory=dict)
+
+
+@dataclass
+class SolveRequest:
+    """One unit of work: solve ``A x = b`` (``b`` may be 2D multi-RHS)."""
+
+    A: CSRMatrix
+    b: np.ndarray
+    method: str | None = None
+
+
+@dataclass
+class _PlanEntry:
+    """What the cache stores: a prepared plan plus how it was obtained."""
+
+    prepared: PreparedSolve
+    method: str
+    fallback: bool
+    #: mirror permutation for upper-triangular inputs (None for lower)
+    perm: np.ndarray | None = None
+
+
+class SolveService:
+    """Concurrent, plan-caching triangular-solve service.
+
+    Parameters mirror :class:`ServiceConfig`; pass either a ``config``
+    or keyword overrides::
+
+        svc = SolveService(method="recursive-block", cache_capacity=8)
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, **overrides) -> None:
+        cfg = config or ServiceConfig()
+        if overrides:
+            cfg = replace(cfg, **overrides)
+        if cfg.method not in SOLVERS:
+            raise ValueError(
+                f"unknown method {cfg.method!r}; choose from {sorted(SOLVERS)}"
+            )
+        validate_solver_options(cfg.method, cfg.solver_options)
+        self.config = cfg
+        self.cache = PlanCache(cfg.cache_capacity)
+        self._pool = ThreadPoolExecutor(
+            max_workers=cfg.max_workers, thread_name_prefix="repro-serve"
+        )
+        self._admission = threading.BoundedSemaphore(cfg.queue_limit)
+        self._records: deque[RequestRecord] = deque(maxlen=cfg.history_limit)
+        self._records_lock = threading.Lock()
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Finish in-flight requests and reject new ones."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def _take_ids(self, k: int) -> list[int]:
+        with self._id_lock:
+            ids = list(range(self._next_id, self._next_id + k))
+            self._next_id += k
+        return ids
+
+    def _admit(self, k: int) -> None:
+        acquired = 0
+        for _ in range(k):
+            if self._admission.acquire(blocking=False):
+                acquired += 1
+            else:
+                for _ in range(acquired):
+                    self._admission.release()
+                raise ServiceOverloadedError(
+                    f"admission queue full ({self.config.queue_limit} in flight); "
+                    "retry later or raise queue_limit"
+                )
+
+    def _release(self, k: int) -> None:
+        for _ in range(k):
+            self._admission.release()
+
+    def _deadline(self, timeout_s: float | None) -> float | None:
+        t = self.config.timeout_s if timeout_s is None else timeout_s
+        return None if t is None else time.monotonic() + t
+
+    def submit(
+        self,
+        A: CSRMatrix,
+        b: np.ndarray,
+        *,
+        method: str | None = None,
+        timeout_s: float | None = None,
+    ) -> Future:
+        """Enqueue one request; the future resolves to a :class:`SolveResult`.
+
+        Raises :class:`ServiceOverloadedError` when the bounded queue is
+        full and :class:`ServiceClosedError` after :meth:`close`.
+        """
+        if self._closed:
+            raise ServiceClosedError("service has been shut down")
+        self._admit(1)
+        rid = self._take_ids(1)[0]
+        deadline = self._deadline(timeout_s)
+        request = SolveRequest(A=A, b=np.asarray(b), method=method)
+        try:
+            return self._pool.submit(self._run_group, [rid], request.A,
+                                     [request.b], request.method, deadline)
+        except RuntimeError:
+            self._release(1)
+            raise ServiceClosedError("service has been shut down")
+
+    def solve(
+        self,
+        A: CSRMatrix,
+        b: np.ndarray,
+        *,
+        method: str | None = None,
+        timeout_s: float | None = None,
+    ) -> SolveResult:
+        """Synchronous single solve through the full service path."""
+        return self.submit(A, b, method=method, timeout_s=timeout_s).result()[0]
+
+    def solve_batch(
+        self,
+        requests: list[SolveRequest | tuple],
+        *,
+        timeout_s: float | None = None,
+    ) -> list[SolveResult]:
+        """Solve a batch, coalescing same-matrix requests into one
+        fused multi-RHS call each; independent groups run concurrently.
+
+        ``requests`` items are :class:`SolveRequest` or ``(A, b)`` tuples.
+        Results come back in request order.
+        """
+        if self._closed:
+            raise ServiceClosedError("service has been shut down")
+        reqs = [
+            r if isinstance(r, SolveRequest) else SolveRequest(A=r[0], b=np.asarray(r[1]))
+            for r in requests
+        ]
+        if not reqs:
+            return []
+        self._admit(len(reqs))
+        ids = self._take_ids(len(reqs))
+        deadline = self._deadline(timeout_s)
+        # Group by (matrix content, method): one fused solve per group.
+        groups: dict[tuple, list[int]] = {}
+        fingerprints = [matrix_fingerprint(r.A) for r in reqs]
+        for pos, (r, fp) in enumerate(zip(reqs, fingerprints)):
+            groups.setdefault((fp, r.method), []).append(pos)
+        futures: list[tuple[list[int], Future]] = []
+        submitted = 0
+        try:
+            for (fp, method), positions in groups.items():
+                fut = self._pool.submit(
+                    self._run_group,
+                    [ids[p] for p in positions],
+                    reqs[positions[0]].A,
+                    [reqs[p].b for p in positions],
+                    method,
+                    deadline,
+                    fp,
+                )
+                submitted += len(positions)
+                futures.append((positions, fut))
+        except RuntimeError:
+            self._release(len(reqs) - submitted)
+            raise ServiceClosedError("service has been shut down")
+        out: list[SolveResult | None] = [None] * len(reqs)
+        pending_error: Exception | None = None
+        for positions, fut in futures:
+            try:
+                results = fut.result()
+            except Exception as exc:  # noqa: BLE001 - propagate after draining
+                pending_error = exc
+                continue
+            for pos, res in zip(positions, results):
+                out[pos] = res
+        if pending_error is not None:
+            raise pending_error
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Execution (worker threads)
+    # ------------------------------------------------------------------ #
+    def _record(self, rec: RequestRecord) -> None:
+        with self._records_lock:
+            self._records.append(rec)
+
+    def _build_entry(self, A: CSRMatrix, method: str) -> _PlanEntry:
+        """Prepare a plan, mirroring upper systems and degrading on failure."""
+        if is_lower_triangular(A):
+            L, perm = A, None
+        elif is_upper_triangular(A):
+            L, perm = upper_to_lower_mirror(A.sort_indices())
+        else:
+            raise NotTriangularError(
+                "matrix is neither lower- nor upper-triangular; use "
+                "repro.lower_triangular_from to prepare it first"
+            )
+        options = self.config.solver_options if method == self.config.method else {}
+        try:
+            validate_solver_options(method, options)
+            solver = SOLVERS[method](device=self.config.device, **options)
+            prepared = solver.prepare(L)
+            return _PlanEntry(prepared=prepared, method=method, fallback=False, perm=perm)
+        except NotTriangularError:
+            raise
+        except Exception:
+            if not self.config.fallback or method == self.config.fallback_method:
+                raise
+            solver = SOLVERS[self.config.fallback_method](device=self.config.device)
+            prepared = solver.prepare(L)
+            return _PlanEntry(
+                prepared=prepared,
+                method=self.config.fallback_method,
+                fallback=True,
+                perm=perm,
+            )
+
+    def _check_deadline(self, deadline: float | None) -> None:
+        if deadline is not None and time.monotonic() > deadline:
+            raise ServiceTimeoutError("request deadline expired")
+
+    def _run_group(
+        self,
+        rids: list[int],
+        A: CSRMatrix,
+        bs: list[np.ndarray],
+        method: str | None,
+        deadline: float | None,
+        fingerprint: str | None = None,
+    ) -> list[SolveResult]:
+        t0 = time.perf_counter()
+        method = method or self.config.method
+        coalesced = len(rids)
+        fp = fingerprint or matrix_fingerprint(A)
+        ncols = [1 if b.ndim == 1 else b.shape[1] for b in bs]
+
+        def fail_records(error: str | None, timed_out: bool = False) -> None:
+            wall = time.perf_counter() - t0
+            for rid, k in zip(rids, ncols):
+                self._record(RequestRecord(
+                    request_id=rid, fingerprint=fp, method=method,
+                    n=A.n_rows, nnz=A.nnz, n_rhs=k, coalesced=coalesced,
+                    wall_time_s=wall, error=error, timed_out=timed_out,
+                ))
+
+        try:
+            if method not in SOLVERS:
+                raise ValueError(
+                    f"unknown method {method!r}; choose from {sorted(SOLVERS)}"
+                )
+            self._check_deadline(deadline)
+            key = plan_key(fp, method, self.config.device,
+                           self.config.solver_options
+                           if method == self.config.method else {})
+            entry, hit = self.cache.get_or_build(
+                key, lambda: self._build_entry(A, method)
+            )
+            # The plan (possibly just built and cached) survives a
+            # deadline miss — the next request amortizes it anyway.
+            self._check_deadline(deadline)
+
+            cols = [b[:, None] if b.ndim == 1 else b for b in bs]
+            B = cols[0] if len(cols) == 1 else np.concatenate(cols, axis=1)
+            if entry.perm is not None:
+                B = B[entry.perm]
+            total = B.shape[1]
+            if total == 1:
+                y, report = entry.prepared.solve(B[:, 0])
+                Y = y[:, None]
+            else:
+                Y, report = entry.prepared.solve_multi(B)
+            if entry.perm is not None:
+                X = np.empty_like(Y)
+                X[entry.perm] = Y
+            else:
+                X = Y
+
+            wall = time.perf_counter() - t0
+            prep_s = 0.0 if hit else entry.prepared.preprocessing_time_s
+            results: list[SolveResult] = []
+            col = 0
+            for rid, b, k in zip(rids, bs, ncols):
+                share = (
+                    report if total == k
+                    else report.scaled(k / total, coalesced=coalesced)
+                )
+                x = X[:, col] if b.ndim == 1 else X[:, col:col + k]
+                col += k
+                results.append(SolveResult(
+                    x=x, report=share, method=entry.method,
+                    cache_hit=hit, fallback=entry.fallback,
+                ))
+                self._record(RequestRecord(
+                    request_id=rid, fingerprint=fp, method=entry.method,
+                    n=A.n_rows, nnz=A.nnz, n_rhs=k, cache_hit=hit,
+                    fallback=entry.fallback, coalesced=coalesced,
+                    prep_time_s=prep_s, solve_time_s=share.time_s,
+                    launches=share.launches, gflops=share.gflops,
+                    wall_time_s=wall,
+                ))
+            return results
+        except ServiceTimeoutError:
+            fail_records(None, timed_out=True)
+            raise
+        except Exception as exc:
+            fail_records(f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            self._release(len(rids))
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def records(self) -> list[RequestRecord]:
+        """Copy of the retained per-request records (oldest first)."""
+        with self._records_lock:
+            return list(self._records)
+
+    def stats(self) -> ServiceStats:
+        """Aggregate snapshot over retained records + cache counters."""
+        return ServiceStats.from_records(self.records(), self.cache.stats())

@@ -1,0 +1,188 @@
+"""Observability records for the solve service.
+
+Every request produces one :class:`RequestRecord` with the numbers the
+paper's economics argue about — did preprocessing run or was it
+amortized away, how long did the simulated solve take, how many kernel
+launches, what effective GFLOPS.  :class:`ServiceStats` aggregates the
+records (plus the plan cache's counters) into the snapshot the CLI and
+benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.cache import CacheStats
+
+__all__ = ["RequestRecord", "ServiceStats"]
+
+
+@dataclass
+class RequestRecord:
+    """Structured outcome of one request (one RHS column group)."""
+
+    request_id: int
+    fingerprint: str
+    method: str
+    n: int
+    nnz: int
+    n_rhs: int
+    cache_hit: bool = False
+    fallback: bool = False
+    coalesced: int = 1
+    #: simulated preprocessing time actually paid by this request (0 on hits)
+    prep_time_s: float = 0.0
+    #: simulated solve time attributed to this request (its share of a batch)
+    solve_time_s: float = 0.0
+    launches: int = 0
+    gflops: float = 0.0
+    #: host wall-clock spent servicing the request (queueing + numerics)
+    wall_time_s: float = 0.0
+    error: str | None = None
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.timed_out
+
+    @property
+    def sim_latency_s(self) -> float:
+        """Simulated end-to-end latency: preprocessing (if paid) + solve."""
+        return self.prep_time_s + self.solve_time_s
+
+    def as_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "fingerprint": self.fingerprint,
+            "method": self.method,
+            "n": self.n,
+            "nnz": self.nnz,
+            "n_rhs": self.n_rhs,
+            "cache_hit": self.cache_hit,
+            "fallback": self.fallback,
+            "coalesced": self.coalesced,
+            "prep_time_s": self.prep_time_s,
+            "solve_time_s": self.solve_time_s,
+            "sim_latency_s": self.sim_latency_s,
+            "launches": self.launches,
+            "gflops": self.gflops,
+            "wall_time_s": self.wall_time_s,
+            "error": self.error,
+            "timed_out": self.timed_out,
+        }
+
+
+def _mean(xs: list[float]) -> float:
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate snapshot over the records a service has kept."""
+
+    requests: int = 0
+    completed: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    fallbacks: int = 0
+    coalesced_requests: int = 0
+    distinct_matrices: int = 0
+    total_rhs: int = 0
+    total_prep_time_s: float = 0.0
+    total_solve_time_s: float = 0.0
+    total_launches: int = 0
+    mean_gflops: float = 0.0
+    hit_mean_latency_s: float = 0.0
+    miss_mean_latency_s: float = 0.0
+    mean_wall_time_s: float = 0.0
+    cache: CacheStats | None = None
+    detail: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_records(
+        cls, records: list[RequestRecord], cache: CacheStats | None = None
+    ) -> "ServiceStats":
+        ok = [r for r in records if r.ok]
+        hits = [r for r in ok if r.cache_hit]
+        misses = [r for r in ok if not r.cache_hit]
+        return cls(
+            requests=len(records),
+            completed=len(ok),
+            failed=sum(1 for r in records if r.error is not None),
+            timeouts=sum(1 for r in records if r.timed_out),
+            cache_hits=len(hits),
+            cache_misses=len(misses),
+            evictions=cache.evictions if cache else 0,
+            fallbacks=sum(1 for r in ok if r.fallback),
+            coalesced_requests=sum(1 for r in ok if r.coalesced > 1),
+            distinct_matrices=len({r.fingerprint for r in records}),
+            total_rhs=sum(r.n_rhs for r in ok),
+            total_prep_time_s=sum(r.prep_time_s for r in ok),
+            total_solve_time_s=sum(r.solve_time_s for r in ok),
+            total_launches=sum(r.launches for r in ok),
+            mean_gflops=_mean([r.gflops for r in ok]),
+            hit_mean_latency_s=_mean([r.sim_latency_s for r in hits]),
+            miss_mean_latency_s=_mean([r.sim_latency_s for r in misses]),
+            mean_wall_time_s=_mean([r.wall_time_s for r in ok]),
+            cache=cache,
+        )
+
+    @property
+    def hit_speedup(self) -> float:
+        """Mean miss latency over mean hit latency (the amortization win)."""
+        if self.hit_mean_latency_s <= 0:
+            return 0.0
+        return self.miss_mean_latency_s / self.hit_mean_latency_s
+
+    def as_dict(self) -> dict:
+        out = {
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "timeouts": self.timeouts,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "evictions": self.evictions,
+            "fallbacks": self.fallbacks,
+            "coalesced_requests": self.coalesced_requests,
+            "distinct_matrices": self.distinct_matrices,
+            "total_rhs": self.total_rhs,
+            "total_prep_time_s": self.total_prep_time_s,
+            "total_solve_time_s": self.total_solve_time_s,
+            "total_launches": self.total_launches,
+            "mean_gflops": self.mean_gflops,
+            "hit_mean_latency_s": self.hit_mean_latency_s,
+            "miss_mean_latency_s": self.miss_mean_latency_s,
+            "hit_speedup": self.hit_speedup,
+            "mean_wall_time_s": self.mean_wall_time_s,
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.as_dict()
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+    def render(self) -> str:
+        """Human-readable snapshot for the CLI."""
+        lines = [
+            "service stats",
+            f"  requests      {self.requests:6d}   completed {self.completed}, "
+            f"failed {self.failed}, timeouts {self.timeouts}",
+            f"  cache         {self.cache_hits:6d} hits / {self.cache_misses} misses"
+            f" / {self.evictions} evictions"
+            + (f"  (lookup hit rate {self.cache.hit_rate:.0%})" if self.cache else ""),
+            f"  fallbacks     {self.fallbacks:6d}   coalesced requests "
+            f"{self.coalesced_requests}   distinct matrices {self.distinct_matrices}",
+            f"  simulated     prep {self.total_prep_time_s * 1e3:10.3f} ms   "
+            f"solve {self.total_solve_time_s * 1e3:10.3f} ms   "
+            f"launches {self.total_launches}",
+            f"  latency       hit mean {self.hit_mean_latency_s * 1e3:9.4f} ms   "
+            f"miss mean {self.miss_mean_latency_s * 1e3:9.4f} ms   "
+            f"(speedup {self.hit_speedup:.1f}x)",
+            f"  throughput    {self.mean_gflops:.3f} mean simulated GFLOPS over "
+            f"{self.total_rhs} right-hand sides",
+        ]
+        return "\n".join(lines)

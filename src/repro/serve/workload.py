@@ -1,0 +1,98 @@
+"""Synthetic request workloads for exercising a :class:`SolveService`.
+
+Models the traffic the serving layer is designed for: a small working
+set of matrices (ILU factors of active systems) hit repeatedly with
+fresh right-hand sides, a long tail of one-off matrices, and occasional
+multi-RHS blocks.  Used by the ``repro serve`` CLI command and
+``benchmarks/bench_serve_throughput.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.matrices.suite import scaled_suite
+from repro.serve.service import SolveRequest, SolveService
+
+__all__ = ["Workload", "mixed_workload", "replay"]
+
+
+@dataclass
+class Workload:
+    """A named matrix pool plus an ordered request stream over it."""
+
+    matrices: dict[str, CSRMatrix]
+    #: request stream: (matrix name, RHS array) in arrival order
+    stream: list[tuple[str, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.stream)
+
+    def requests(self) -> list[SolveRequest]:
+        return [SolveRequest(A=self.matrices[name], b=b) for name, b in self.stream]
+
+
+def mixed_workload(
+    n_requests: int = 40,
+    *,
+    scale: float = 0.05,
+    n_matrices: int = 6,
+    hot_matrices: int = 3,
+    n_rhs: int = 1,
+    seed: int = 0,
+) -> Workload:
+    """A tour of ``n_matrices`` suite systems followed by hot-set traffic.
+
+    The stream opens with one request per matrix (every plan must be
+    built once), then ``n_requests - n_matrices`` requests drawn from the
+    ``hot_matrices`` most recently toured systems — the repeated-factor
+    pattern of a Krylov loop.  Deterministic for a given seed.
+    """
+    specs = scaled_suite(scale)
+    # Stride through the suite so the pool spans structural groups.
+    stride = max(1, len(specs) // n_matrices)
+    chosen = [specs[i * stride] for i in range(n_matrices)]
+    matrices = {spec.name: spec.build() for spec in chosen}
+    rng = np.random.default_rng(seed)
+
+    def rhs(name: str) -> np.ndarray:
+        n = matrices[name].n_rows
+        if n_rhs == 1:
+            return rng.standard_normal(n)
+        return rng.standard_normal((n, n_rhs))
+
+    names = [spec.name for spec in chosen]
+    stream = [(name, rhs(name)) for name in names]
+    hot = names[-hot_matrices:] if hot_matrices else names
+    for _ in range(max(0, n_requests - len(names))):
+        name = hot[int(rng.integers(len(hot)))]
+        stream.append((name, rhs(name)))
+    # A stream shorter than the pool stays at exactly n_requests: the
+    # remaining matrices are built but never requested.
+    return Workload(matrices=matrices, stream=stream[:n_requests])
+
+
+def replay(
+    service: SolveService,
+    workload: Workload,
+    *,
+    batch_size: int = 1,
+) -> list:
+    """Push the workload through the service; returns the SolveResults.
+
+    ``batch_size > 1`` submits requests in batches (enabling same-matrix
+    coalescing); ``batch_size == 1`` submits each request individually
+    and lets the thread pool overlap them.
+    """
+    requests = workload.requests()
+    if batch_size <= 1:
+        futures = [service.submit(r.A, r.b) for r in requests]
+        return [f.result()[0] for f in futures]
+    results = []
+    for i in range(0, len(requests), batch_size):
+        results.extend(service.solve_batch(requests[i:i + batch_size]))
+    return results

@@ -3,13 +3,21 @@
 import numpy as np
 import pytest
 
-from repro.api import solve_triangular
+from repro.api import SolveResult, solve_triangular
 from repro.analysis.inspect import describe_plan, level_histogram, spy
 from repro.cli import build_parser, main
-from repro.core.solver import RecursiveBlockSolver
+from repro.core.solver import (
+    LevelSetSolver,
+    RecursiveBlockSolver,
+    SOLVERS,
+    available_methods,
+    register_solver,
+    unregister_solver,
+)
 from repro.errors import NotTriangularError
 from repro.formats import CSRMatrix
 from repro.gpu.device import TITAN_RTX_SCALED
+from repro.gpu.report import SolveReport
 from repro.kernels import solve_serial
 
 from conftest import random_lower, random_square
@@ -50,6 +58,86 @@ class TestSolveTriangular:
         b = rng.standard_normal(150)
         x, _ = solve_triangular(L, b, depth=2, reorder=False)
         assert np.allclose(L.matvec(x), b, atol=1e-9)
+
+    def test_returns_named_result(self, rng):
+        L = random_lower(90, 0.06, seed=7)
+        b = rng.standard_normal(90)
+        res = solve_triangular(L, b)
+        assert isinstance(res, SolveResult)
+        assert isinstance(res.report, SolveReport)
+        assert res.method == "recursive-block"
+        assert not res.cache_hit and not res.fallback
+        # Tuple compatibility: unpacks exactly like the old (x, report).
+        x, report = res
+        assert x is res.x and report is res.report
+
+    def test_rejects_unknown_option(self, small_lower):
+        with pytest.raises(ValueError, match="dpeth.*valid options.*depth"):
+            solve_triangular(small_lower, np.ones(small_lower.n_rows), dpeth=2)
+
+    def test_rejects_option_for_wrong_method(self, small_lower):
+        # ``depth`` belongs to recursive-block, not to the baselines.
+        with pytest.raises(ValueError, match="depth"):
+            solve_triangular(small_lower, np.ones(small_lower.n_rows),
+                             method="levelset", depth=2)
+
+    @pytest.mark.parametrize("method", ["levelset", "syncfree", "recursive-block"])
+    def test_upper_mirror_matches_dense_solve(self, rng, method):
+        """Permutation round-trip: the mirrored solve equals numpy's."""
+        U = random_lower(70, 0.08, seed=8).transpose()
+        b = rng.standard_normal(70)
+        res = solve_triangular(U, b, method=method)
+        expected = np.linalg.solve(U.to_dense(), b)
+        assert np.allclose(res.x, expected, rtol=1e-8, atol=1e-10)
+
+
+class TestSolverRegistry:
+    def test_available_methods_lists_builtins(self):
+        methods = available_methods()
+        assert "recursive-block" in methods and "levelset" in methods
+        assert methods == list(SOLVERS)
+
+    def test_register_and_use(self, rng):
+        class Custom(LevelSetSolver):
+            method = "registry-test"
+
+        register_solver("registry-test", Custom)
+        try:
+            assert "registry-test" in available_methods()
+            L = random_lower(60, 0.1, seed=9)
+            b = rng.standard_normal(60)
+            res = solve_triangular(L, b, method="registry-test")
+            assert np.allclose(L.matvec(res.x), b, atol=1e-9)
+        finally:
+            unregister_solver("registry-test")
+        assert "registry-test" not in available_methods()
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_solver("levelset", LevelSetSolver)
+
+    def test_builtin_not_replaceable_or_removable(self):
+        with pytest.raises(ValueError, match="built in"):
+            register_solver("levelset", LevelSetSolver, replace=True)
+        with pytest.raises(ValueError, match="built in"):
+            unregister_solver("recursive-block")
+
+    def test_interface_check(self):
+        class NotASolver:
+            pass
+
+        with pytest.raises(TypeError, match="prepare"):
+            register_solver("bogus", NotASolver)
+        with pytest.raises(TypeError):
+            register_solver("bogus", object())  # not even a class
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_solver("", LevelSetSolver)
+
+    def test_unregister_unknown(self):
+        with pytest.raises(KeyError):
+            unregister_solver("never-registered")
 
 
 class TestInspect:
@@ -120,6 +208,33 @@ class TestCLI:
     def test_solve_unknown_matrix(self):
         with pytest.raises(SystemExit):
             main(["solve", "no_such_matrix_anywhere"])
+
+    def test_solve_unknown_matrix_message(self):
+        with pytest.raises(SystemExit, match="unknown matrix"):
+            main(["solve", "no_such_matrix_anywhere"])
+
+    def test_solve_unparsable_file_message(self, tmp_path):
+        bad = tmp_path / "bad.mtx"
+        bad.write_text("this is not a MatrixMarket file\n")
+        with pytest.raises(SystemExit, match="could not parse"):
+            main(["solve", str(bad)])
+
+    def test_serve_replays_workload(self, capsys):
+        assert main(["serve", "--requests", "6", "--matrices", "2",
+                     "--scale", "0.02", "--workers", "2", "--capacity", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "service stats" in out
+        assert "hits" in out and "speedup" in out
+
+    def test_serve_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "stats.json"
+        assert main(["serve", "--requests", "5", "--matrices", "2",
+                     "--scale", "0.02", "--json", str(path)]) == 0
+        import json
+
+        stats = json.loads(path.read_text())
+        assert stats["requests"] == 5
+        assert stats["cache_misses"] == 2 and stats["cache_hits"] == 3
 
     def test_calibrate_quick(self, capsys):
         assert main(["calibrate", "--quick", "--rows", "256"]) == 0
