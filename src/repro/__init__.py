@@ -49,6 +49,7 @@ from repro.errors import (
     ShapeMismatchError,
     SingularMatrixError,
     SparseFormatError,
+    ValidationError,
 )
 from repro.formats import (
     CSCMatrix,
@@ -73,6 +74,15 @@ from repro.serve import (
     ServiceTimeoutError,
     SolveRequest,
     SolveService,
+)
+from repro.validate import (
+    DEFAULT_RESIDUAL_TOL,
+    FaultInjector,
+    InjectedFaultError,
+    check_plan,
+    check_residual,
+    residual_norm,
+    run_fuzz,
 )
 
 __version__ = "1.1.0"
@@ -122,6 +132,14 @@ __all__ = [
     "known_devices",
     "KernelReport",
     "SolveReport",
+    # validation harness
+    "DEFAULT_RESIDUAL_TOL",
+    "check_plan",
+    "check_residual",
+    "residual_norm",
+    "run_fuzz",
+    "FaultInjector",
+    "InjectedFaultError",
     # errors
     "ReproError",
     "SparseFormatError",
@@ -131,4 +149,5 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceClosedError",
+    "ValidationError",
 ]

@@ -112,6 +112,8 @@ def solve_triangular(
     lower: bool | None = None,
     method: str = "recursive-block",
     device: DeviceModel = TITAN_RTX_SCALED,
+    check: bool = False,
+    check_tol: float | None = None,
     **solver_options,
 ) -> SolveResult:
     """Solve ``A x = b`` for triangular ``A`` with any registered method.
@@ -131,6 +133,15 @@ def solve_triangular(
         recursive block algorithm).
     device:
         Simulated device model for the timing report.
+    check:
+        When true, verify plan well-formedness after ``prepare()`` (the
+        segments must tile ``[0, n)``, conserve nnz, and respect the
+        solved-prefix dependency order) and the residual ``‖A x − b‖``
+        after the solve.  Violations raise
+        :class:`repro.errors.ValidationError`.
+    check_tol:
+        Relative residual tolerance for ``check=True`` (default:
+        :data:`repro.validate.DEFAULT_RESIDUAL_TOL`).
     solver_options:
         Forwarded to the solver constructor (e.g. ``depth=3``,
         ``reorder=False``) after validation against its signature.
@@ -154,10 +165,27 @@ def solve_triangular(
                 "repro.lower_triangular_from to prepare it first"
             )
     if lower:
-        x, report = solver.prepare(A).solve(np.asarray(b))
-        return SolveResult(x=x, report=report, method=method)
-    L, perm = upper_to_lower_mirror(A.sort_indices())
-    y, report = solver.prepare(L).solve(np.asarray(b)[perm])
-    x = np.empty_like(y)
-    x[perm] = y
+        L, perm = A, None
+        rhs = np.asarray(b)
+    else:
+        L, perm = upper_to_lower_mirror(A.sort_indices())
+        rhs = np.asarray(b)[perm]
+    prepared = solver.prepare(L)
+    if check:
+        from repro.validate.invariants import check_plan
+
+        plan = getattr(prepared, "plan", None)
+        if plan is not None:
+            check_plan(plan, L, context=method)
+    y, report = prepared.solve(rhs)
+    if perm is None:
+        x = y
+    else:
+        x = np.empty_like(y)
+        x[perm] = y
+    if check:
+        from repro.validate.invariants import DEFAULT_RESIDUAL_TOL, check_residual
+
+        tol = DEFAULT_RESIDUAL_TOL if check_tol is None else check_tol
+        check_residual(A, x, np.asarray(b), tol=tol, context=method)
     return SolveResult(x=x, report=report, method=method)

@@ -16,6 +16,10 @@ Commands
 ``serve``
     Replay a mixed solve workload through the plan-caching
     :class:`repro.serve.SolveService` and print throughput statistics.
+``fuzz``
+    Differentially fuzz every method (and the service path) against the
+    serial reference; exits non-zero with a paste-ready reproduction
+    command on the first mismatch.
 """
 
 from __future__ import annotations
@@ -150,6 +154,78 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.validate.fuzz import (
+        FuzzCase,
+        broken_solver,
+        run_case,
+        run_fuzz,
+    )
+
+    device = known_devices()[args.device]
+    methods = args.methods.split(",") if args.methods else None
+    families = args.families.split(",") if args.families else None
+
+    if args.replay:
+        try:
+            case = FuzzCase.from_token(args.replay)
+        except ValueError as exc:
+            raise SystemExit(f"bad --replay token: {exc}")
+        from repro.core.solver import available_methods
+
+        replay_methods = methods or available_methods()
+        unknown = [m for m in replay_methods if m not in SOLVERS]
+        if unknown:
+            raise SystemExit(
+                f"unknown methods {unknown}; choose from {sorted(SOLVERS)}"
+            )
+        failures = run_case(case, replay_methods, device, args.tol)
+        print(f"replaying case {case.token()} with methods {replay_methods}")
+        if not failures:
+            print("  all methods agree with the serial reference")
+            return 0
+        for f in failures:
+            print("  " + f.describe().replace("\n", "\n  "))
+        return 1
+
+    if args.self_test:
+        # Prove the harness catches a broken kernel: a sign-flipped
+        # solver must fail on round one and come back minimized.
+        with broken_solver() as name:
+            report = run_fuzz(
+                rounds=min(args.rounds, 5),
+                seed=args.seed,
+                methods=[name],
+                families=families,
+                base_size=args.size,
+                tol=args.tol,
+                include_service=False,
+                device=device,
+            )
+        if report.ok:
+            print("SELF-TEST FAILED: the sign-flipped solver was not caught")
+            return 1
+        print(report.render())
+        print("self-test OK: the harness catches a deliberately broken kernel")
+        return 0
+
+    report = run_fuzz(
+        rounds=args.rounds,
+        seed=args.seed,
+        methods=methods,
+        families=families,
+        base_size=args.size,
+        tol=args.tol,
+        include_service=not args.no_service,
+        device=device,
+        minimize=not args.no_minimize,
+        max_failures=args.max_failures,
+        log=print if args.verbose else None,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_calibrate(args) -> int:
     from repro.core.calibrate import run_calibration
 
@@ -225,6 +301,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", help="also write the stats snapshot to this path")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz all methods against the serial reference",
+        description="Sample random triangular systems across every generator "
+        "family, run every method (and the SolveService path) on them, and "
+        "cross-check against the Algorithm 1 serial oracle.  Exits non-zero "
+        "with a reproduction command on the first mismatch.  Family names: "
+        "layered, hypersparse, chain, grid2d, grid3d, banded, uniform, "
+        "rmat, ilu.",
+    )
+    p.add_argument("--rounds", type=int, default=50, help="systems to sample")
+    p.add_argument("--seed", type=int, default=0, help="master seed")
+    p.add_argument("--methods", default="",
+                   help="comma-separated method names (default: all)")
+    p.add_argument("--families", default="",
+                   help="comma-separated generator families (default: all)")
+    p.add_argument("--size", type=int, default=140,
+                   help="upper bound on sampled system size")
+    p.add_argument("--tol", type=float, default=1e-8,
+                   help="relative comparison/residual tolerance")
+    p.add_argument("--device", default="titan_rtx_scaled",
+                   choices=list(known_devices()))
+    p.add_argument("--max-failures", type=int, default=10,
+                   help="stop after this many failures")
+    p.add_argument("--no-service", action="store_true",
+                   help="skip the SolveService path")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="report failing cases without shrinking them")
+    p.add_argument("--replay", default="",
+                   help="re-run one case token (family:seed:size:L|U:k:dtype)")
+    p.add_argument("--self-test", action="store_true",
+                   help="verify the harness catches a sign-flipped solver")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-round failure progress")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("calibrate", help="run the Figure 5 sweep")
     p.add_argument("--device", default="titan_rtx_scaled",

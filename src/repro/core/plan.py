@@ -22,7 +22,7 @@ import numpy as np
 from repro.errors import ShapeMismatchError
 from repro.gpu.device import DeviceModel
 from repro.gpu.report import KernelReport, SolveReport, merge_reports
-from repro.kernels.base import SpTRSVKernel
+from repro.kernels.base import SpTRSVKernel, solve_dtype
 from repro.kernels.spmv import SpMVKernel
 
 __all__ = ["TriSegment", "SpMVSegment", "ExecutionPlan"]
@@ -86,8 +86,13 @@ class ExecutionPlan:
         b = np.asarray(b)
         if b.shape != (self.n,):
             raise ShapeMismatchError(f"b must have shape ({self.n},)")
-        work_b = b[self.perm].copy() if self.perm is not None else b.copy()
-        x = np.zeros(self.n, dtype=work_b.dtype)
+        # Work buffers must be floating even for an integer b, or every
+        # triangular division below silently truncates.
+        dtype = solve_dtype(b)
+        work_b = (b[self.perm] if self.perm is not None else b).astype(
+            dtype, copy=True
+        )
+        x = np.zeros(self.n, dtype=dtype)
         reports: list[KernelReport] = []
         for seg in self.segments:
             if isinstance(seg, TriSegment):
@@ -123,7 +128,10 @@ class ExecutionPlan:
         B = np.asarray(B)
         if B.ndim != 2 or B.shape[0] != self.n:
             raise ShapeMismatchError(f"B must have shape ({self.n}, k)")
-        work_B = B[self.perm].copy() if self.perm is not None else B.copy()
+        dtype = solve_dtype(B)
+        work_B = (B[self.perm] if self.perm is not None else B).astype(
+            dtype, copy=True
+        )
         X = np.zeros_like(work_B)
         reports: list[KernelReport] = []
         for seg in self.segments:

@@ -11,6 +11,7 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceClosedError",
+    "ValidationError",
 ]
 
 
@@ -44,3 +45,24 @@ class ServiceOverloadedError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """A request was submitted to a service that has been shut down."""
+
+
+class ValidationError(ReproError):
+    """A runtime correctness check failed (see :mod:`repro.validate`).
+
+    Structured so callers can dispatch on what went wrong:
+
+    Attributes
+    ----------
+    kind:
+        Machine-readable category, e.g. ``"plan-structure"``,
+        ``"plan-nnz"``, ``"plan-perm"``, ``"residual"``.
+    detail:
+        Dict of the numbers behind the failure (offending segment
+        bounds, measured residual, tolerance, ...).
+    """
+
+    def __init__(self, message: str, *, kind: str = "validation", detail: dict | None = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.detail = dict(detail or {})

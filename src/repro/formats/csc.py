@@ -129,8 +129,15 @@ class CSCMatrix:
         return csc_to_csr(self)
 
     def astype(self, dtype) -> "CSCMatrix":
+        """Independent copy with values cast to ``dtype`` (index arrays
+        copied too, so mutating the result never touches this matrix)."""
         return CSCMatrix(
-            self.n_rows, self.n_cols, self.indptr, self.indices, self.data.astype(dtype)
+            self.n_rows,
+            self.n_cols,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.astype(dtype, copy=True),
+            _validated=True,
         )
 
     def copy(self) -> "CSCMatrix":

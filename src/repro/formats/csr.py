@@ -202,9 +202,15 @@ class CSRMatrix:
         return DCSRMatrix.from_csr(self)
 
     def astype(self, dtype) -> "CSRMatrix":
-        """Copy with values cast to ``dtype``."""
+        """Independent copy with values cast to ``dtype`` (index arrays
+        copied too, so mutating the result never touches this matrix)."""
         return CSRMatrix(
-            self.n_rows, self.n_cols, self.indptr, self.indices, self.data.astype(dtype)
+            self.n_rows,
+            self.n_cols,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.astype(dtype, copy=True),
+            _validated=True,
         )
 
     def copy(self) -> "CSRMatrix":

@@ -125,10 +125,20 @@ class DCSRMatrix:
         return self.data.dtype
 
     def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """``y = A @ x``; only active rows produce output."""
+        """``y = A @ x``; only active rows produce output.
+
+        ``out``, when given, is *overwritten* (zeroed first, then the
+        active rows are written) — the same semantics as allocating a
+        fresh result.  It must have shape ``(n_rows,)``; callers that
+        want accumulation must add the result themselves.
+        """
         x = np.asarray(x)
         if x.shape[0] != self.n_cols:
             raise ShapeMismatchError("matvec length mismatch")
+        if out is not None and out.shape != (self.n_rows,):
+            raise ShapeMismatchError(
+                f"out has shape {out.shape}, expected ({self.n_rows},)"
+            )
         products = self.data * x[self.indices]
         active_sums = segment_sums(products, self.indptr)
         y = out if out is not None else np.zeros(
@@ -154,13 +164,21 @@ class DCSRMatrix:
         return self.to_csr().to_dense()
 
     def astype(self, dtype) -> "DCSRMatrix":
+        """Independent copy with values cast to ``dtype``.
+
+        The index arrays are copied too: ``ascontiguousarray`` with an
+        unchanged dtype is a no-op, so passing them through uncopied
+        would alias the converted matrix to this one — mutating one
+        would corrupt the other.
+        """
         return DCSRMatrix(
             self.n_rows,
             self.n_cols,
-            self.row_ids,
-            self.indptr,
-            self.indices,
-            self.data.astype(dtype),
+            self.row_ids.copy(),
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.astype(dtype, copy=True),
+            _validated=True,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -32,6 +32,7 @@ __all__ = [
     "reference_dense_solve",
     "index_bytes",
     "solve_flops",
+    "solve_dtype",
 ]
 
 #: bytes of one column/row index on device (int32, as in the paper's CSR)
@@ -48,6 +49,21 @@ def solve_flops(nnz: int) -> float:
     """The paper's flop count for SpTRSV GFlops: 2 flops per nonzero
     (multiply-add for off-diagonals; subtract-divide for the diagonal)."""
     return 2.0 * nnz
+
+
+def solve_dtype(*operands) -> np.dtype:
+    """Floating work-buffer dtype for a triangular solve.
+
+    The NumPy result type of the operands, promoted to ``float64``
+    whenever it is not already a floating type: an integer right-hand
+    side must never allocate integer work buffers (every triangular
+    division would silently truncate).  Float operands keep their
+    precision, so single-precision paths stay single precision.
+    """
+    dt = np.result_type(*operands)
+    if not np.issubdtype(dt, np.inexact):
+        dt = np.result_type(dt, np.float64)
+    return dt
 
 
 @dataclass

@@ -16,7 +16,13 @@ from repro.formats.csr import CSRMatrix
 from repro.gpu.cost import CostModel
 from repro.gpu.device import DeviceModel
 from repro.gpu.report import KernelReport
-from repro.kernels.base import PreparedLower, SpTRSVKernel, prepare_lower, solve_flops
+from repro.kernels.base import (
+    PreparedLower,
+    SpTRSVKernel,
+    prepare_lower,
+    solve_dtype,
+    solve_flops,
+)
 
 __all__ = ["solve_serial", "SerialKernel"]
 
@@ -37,7 +43,7 @@ def solve_serial(L: CSRMatrix, b: np.ndarray) -> np.ndarray:
         for j in range(row_ptr[i], row_ptr[i + 1] - 1):
             left_sum[i] += val[j] * x[col_idx[j]]
         x[i] = (b[i] - left_sum[i]) / val[row_ptr[i + 1] - 1]
-    return np.asarray(x, dtype=np.result_type(L.data, b))
+    return np.asarray(x, dtype=solve_dtype(L.data, b))
 
 
 class SerialKernel(SpTRSVKernel):

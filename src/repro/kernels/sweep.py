@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.errors import ShapeMismatchError
 from repro.graph.levels import cached_levels, level_sets
-from repro.kernels.base import PreparedLower
+from repro.kernels.base import PreparedLower, solve_dtype
 from repro.utils.arrays import counts_to_indptr, gather_row_ranges, segment_ids
 
 __all__ = [
@@ -120,7 +120,7 @@ def sweep_solve(sched: LevelSchedule, b: np.ndarray) -> np.ndarray:
     b = np.asarray(b)
     if b.shape[0] != n:
         raise ShapeMismatchError(f"b has length {b.shape[0]}, expected {n}")
-    dtype = np.result_type(prep.L.data, b)
+    dtype = solve_dtype(prep.L.data, b)
     x = np.zeros(n, dtype=dtype)
     diag = prep.diag
     level_ptr = sched.level_ptr
@@ -157,7 +157,7 @@ def sweep_solve_multi(sched: LevelSchedule, B: np.ndarray) -> np.ndarray:
     B = np.asarray(B)
     if B.ndim != 2 or B.shape[0] != n:
         raise ShapeMismatchError(f"B must have shape ({n}, k)")
-    dtype = np.result_type(prep.L.data, B)
+    dtype = solve_dtype(prep.L.data, B)
     X = np.zeros((n, B.shape[1]), dtype=dtype)
     diag = prep.diag
     for lv in range(sched.nlevels):

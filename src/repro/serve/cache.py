@@ -101,17 +101,27 @@ class PlanCache:
             return value, True
         with self._lock:
             key_lock = self._key_locks.setdefault(key, threading.Lock())
-        with key_lock:
-            # Double-check: another thread may have built it while we waited.
+        try:
+            with key_lock:
+                # Double-check: another thread may have built it while we
+                # waited.  Its get() above already counted a miss, so
+                # reclassify the lookup as the hit it turned out to be.
+                with self._lock:
+                    if key in self._entries:
+                        self._entries.move_to_end(key)
+                        self._hits += 1
+                        self._misses -= 1
+                        return self._entries[key], True
+                value = builder()
+                with self._lock:
+                    self._put_locked(key, value)
+                return value, False
+        finally:
+            # Always drop the per-key lock entry — including when
+            # builder() raises — or repeated failing keys (e.g.
+            # non-triangular submissions) leak one entry each.
             with self._lock:
-                if key in self._entries:
-                    self._entries.move_to_end(key)
-                    return self._entries[key], True
-            value = builder()
-            with self._lock:
-                self._put_locked(key, value)
                 self._key_locks.pop(key, None)
-            return value, False
 
     def clear(self) -> None:
         with self._lock:

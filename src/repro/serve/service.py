@@ -52,6 +52,11 @@ from repro.gpu.device import TITAN_RTX_SCALED, DeviceModel
 from repro.serve.cache import PlanCache
 from repro.serve.fingerprint import matrix_fingerprint, plan_key
 from repro.serve.stats import RequestRecord, ServiceStats
+from repro.validate.invariants import (
+    DEFAULT_RESIDUAL_TOL,
+    check_plan,
+    check_residual,
+)
 
 __all__ = [
     "ServiceConfig",
@@ -87,6 +92,11 @@ class ServiceConfig:
     history_limit: int = 100_000
     #: options forwarded to the default method's constructor
     solver_options: dict = field(default_factory=dict)
+    #: verify plan well-formedness after prepare() and the residual
+    #: ``‖A x − b‖`` after every solve (raises ValidationError)
+    check: bool = False
+    #: relative residual tolerance used when ``check`` is on
+    check_tol: float = DEFAULT_RESIDUAL_TOL
 
 
 @dataclass
@@ -118,7 +128,13 @@ class SolveService:
         svc = SolveService(method="recursive-block", cache_capacity=8)
     """
 
-    def __init__(self, config: ServiceConfig | None = None, **overrides) -> None:
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        fault_injector=None,
+        **overrides,
+    ) -> None:
         cfg = config or ServiceConfig()
         if overrides:
             cfg = replace(cfg, **overrides)
@@ -137,7 +153,21 @@ class SolveService:
         self._records_lock = threading.Lock()
         self._id_lock = threading.Lock()
         self._next_id = 0
+        self._rejected = 0
         self._closed = False
+        self._fault_injector = fault_injector
+
+    def install_fault_injector(self, injector) -> None:
+        """Install (or, with ``None``, remove) a fault injector.
+
+        The injector — typically a
+        :class:`repro.validate.FaultInjector` — is consulted at two
+        hook points: inside plan construction (``before_build``, where a
+        raise exercises the fallback path like a real planner failure)
+        and after the cache lookup (``before_solve``, where a delay
+        deterministically expires deadlines).
+        """
+        self._fault_injector = injector
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -170,6 +200,8 @@ class SolveService:
             else:
                 for _ in range(acquired):
                     self._admission.release()
+                with self._records_lock:
+                    self._rejected += 1
                 raise ServiceOverloadedError(
                     f"admission queue full ({self.config.queue_limit} in flight); "
                     "retry later or raise queue_limit"
@@ -302,7 +334,11 @@ class SolveService:
         try:
             validate_solver_options(method, options)
             solver = SOLVERS[method](device=self.config.device, **options)
+            if self._fault_injector is not None:
+                self._fault_injector.before_build(method)
             prepared = solver.prepare(L)
+            if self.config.check and getattr(prepared, "plan", None) is not None:
+                check_plan(prepared.plan, L, context=f"service:{method}")
             return _PlanEntry(prepared=prepared, method=method, fallback=False, perm=perm)
         except NotTriangularError:
             raise
@@ -311,6 +347,11 @@ class SolveService:
                 raise
             solver = SOLVERS[self.config.fallback_method](device=self.config.device)
             prepared = solver.prepare(L)
+            if self.config.check and getattr(prepared, "plan", None) is not None:
+                check_plan(
+                    prepared.plan, L,
+                    context=f"service:{self.config.fallback_method} (fallback)",
+                )
             return _PlanEntry(
                 prepared=prepared,
                 method=self.config.fallback_method,
@@ -358,14 +399,15 @@ class SolveService:
             entry, hit = self.cache.get_or_build(
                 key, lambda: self._build_entry(A, method)
             )
+            if self._fault_injector is not None:
+                self._fault_injector.before_solve(entry.method)
             # The plan (possibly just built and cached) survives a
             # deadline miss — the next request amortizes it anyway.
             self._check_deadline(deadline)
 
             cols = [b[:, None] if b.ndim == 1 else b for b in bs]
-            B = cols[0] if len(cols) == 1 else np.concatenate(cols, axis=1)
-            if entry.perm is not None:
-                B = B[entry.perm]
+            B0 = cols[0] if len(cols) == 1 else np.concatenate(cols, axis=1)
+            B = B0 if entry.perm is None else B0[entry.perm]
             total = B.shape[1]
             if total == 1:
                 y, report = entry.prepared.solve(B[:, 0])
@@ -377,6 +419,11 @@ class SolveService:
                 X[entry.perm] = Y
             else:
                 X = Y
+            if self.config.check:
+                check_residual(
+                    A, X, B0, tol=self.config.check_tol,
+                    context=f"service:{entry.method}",
+                )
 
             wall = time.perf_counter() - t0
             prep_s = 0.0 if hit else entry.prepared.preprocessing_time_s
@@ -421,4 +468,9 @@ class SolveService:
 
     def stats(self) -> ServiceStats:
         """Aggregate snapshot over retained records + cache counters."""
-        return ServiceStats.from_records(self.records(), self.cache.stats())
+        with self._records_lock:
+            records = list(self._records)
+            rejected = self._rejected
+        return ServiceStats.from_records(
+            records, self.cache.stats(), rejected=rejected
+        )

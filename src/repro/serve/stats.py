@@ -84,6 +84,9 @@ class ServiceStats:
     completed: int = 0
     failed: int = 0
     timeouts: int = 0
+    #: submissions refused at the admission gate (no record is created
+    #: for these — they never entered the queue)
+    rejected: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     evictions: int = 0
@@ -103,7 +106,11 @@ class ServiceStats:
 
     @classmethod
     def from_records(
-        cls, records: list[RequestRecord], cache: CacheStats | None = None
+        cls,
+        records: list[RequestRecord],
+        cache: CacheStats | None = None,
+        *,
+        rejected: int = 0,
     ) -> "ServiceStats":
         ok = [r for r in records if r.ok]
         hits = [r for r in ok if r.cache_hit]
@@ -113,6 +120,7 @@ class ServiceStats:
             completed=len(ok),
             failed=sum(1 for r in records if r.error is not None),
             timeouts=sum(1 for r in records if r.timed_out),
+            rejected=rejected,
             cache_hits=len(hits),
             cache_misses=len(misses),
             evictions=cache.evictions if cache else 0,
@@ -143,6 +151,7 @@ class ServiceStats:
             "completed": self.completed,
             "failed": self.failed,
             "timeouts": self.timeouts,
+            "rejected": self.rejected,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "evictions": self.evictions,
@@ -170,7 +179,8 @@ class ServiceStats:
         lines = [
             "service stats",
             f"  requests      {self.requests:6d}   completed {self.completed}, "
-            f"failed {self.failed}, timeouts {self.timeouts}",
+            f"failed {self.failed}, timeouts {self.timeouts}, "
+            f"rejected {self.rejected}",
             f"  cache         {self.cache_hits:6d} hits / {self.cache_misses} misses"
             f" / {self.evictions} evictions"
             + (f"  (lookup hit rate {self.cache.hit_rate:.0%})" if self.cache else ""),

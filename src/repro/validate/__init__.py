@@ -1,0 +1,60 @@
+"""Correctness harness: differential fuzzing, invariants, fault injection.
+
+The paper's contribution is that many different schedules compute the
+same ``x``; this package makes that property continuously checkable:
+
+* :mod:`repro.validate.invariants` — structural plan checks and residual
+  verification behind ``check=True`` on :func:`repro.solve_triangular`
+  and :class:`repro.serve.ServiceConfig`;
+* :mod:`repro.validate.fuzz` — the differential fuzzer behind
+  ``python -m repro fuzz`` (every method × every generator family
+  cross-checked against the serial reference, failures minimized to a
+  paste-ready reproduction command);
+* :mod:`repro.validate.faults` — a :class:`FaultInjector` that forces
+  the serving layer's fallback / timeout / overload paths
+  deterministically.
+"""
+
+from repro.errors import ValidationError
+from repro.validate.faults import FaultInjector, InjectedFaultError
+from repro.validate.fuzz import (
+    BROKEN_METHOD,
+    FAMILIES,
+    BrokenSignFlipSolver,
+    FuzzCase,
+    FuzzFailure,
+    FuzzReport,
+    broken_solver,
+    minimize_failure,
+    run_case,
+    run_fuzz,
+)
+from repro.validate.invariants import (
+    DEFAULT_RESIDUAL_TOL,
+    check_plan,
+    check_residual,
+    residual_norm,
+)
+
+__all__ = [
+    "ValidationError",
+    # invariants
+    "DEFAULT_RESIDUAL_TOL",
+    "check_plan",
+    "check_residual",
+    "residual_norm",
+    # fuzzing
+    "FAMILIES",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_fuzz",
+    "run_case",
+    "minimize_failure",
+    "broken_solver",
+    "BrokenSignFlipSolver",
+    "BROKEN_METHOD",
+    # fault injection
+    "FaultInjector",
+    "InjectedFaultError",
+]

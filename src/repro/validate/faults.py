@@ -1,0 +1,135 @@
+"""Deterministic fault injection for the serving layer.
+
+The hard paths of :class:`repro.serve.SolveService` — planner failure
+falling back to the level-set baseline, deadline expiry raising
+:class:`ServiceTimeoutError`, and admission-queue overflow raising
+:class:`ServiceOverloadedError` — only fire under conditions that are
+awkward to produce organically (a planner bug, a slow build racing a
+deadline, a full queue).  A :class:`FaultInjector` makes them
+first-class test targets: install one into a service and it forces
+those conditions at well-defined hook points, no monkeypatching of
+internals required::
+
+    inj = FaultInjector(build_error=True, max_faults=1)
+    svc = SolveService(max_workers=2, fault_injector=inj)
+    r = svc.solve(L, b)          # planner "fails" once -> fallback path
+    assert r.fallback and svc.stats().fallbacks == 1
+
+The service calls :meth:`FaultInjector.before_build` inside its plan
+construction (where a raise is indistinguishable from a real planner
+failure) and :meth:`FaultInjector.before_solve` after the cache lookup
+(where a delay deterministically expires a deadline even on cache hits).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ReproError
+
+__all__ = ["FaultInjector", "InjectedFaultError"]
+
+
+class InjectedFaultError(ReproError):
+    """The synthetic planner failure raised by a :class:`FaultInjector`."""
+
+
+class FaultInjector:
+    """Forces failure modes of a :class:`~repro.serve.SolveService`.
+
+    Parameters
+    ----------
+    build_error:
+        When truthy, :meth:`before_build` raises — ``True`` raises an
+        :class:`InjectedFaultError`, an exception instance is raised
+        as-is, an exception class is instantiated and raised.  The
+        service's planner ``try`` block catches it like any real
+        planner failure, exercising the fallback (or error) path.
+    build_delay_s:
+        Sleep this long inside plan construction — holds a worker,
+        letting tests deterministically expire deadlines during builds
+        or fill the bounded admission queue (overload).
+    solve_delay_s:
+        Sleep this long after the cache lookup, before the numeric
+        solve — expires deadlines even when the plan was a cache hit.
+    methods:
+        Restrict injection to these method names (``None`` = all).
+    max_faults:
+        Stop injecting after this many fired faults (``None`` =
+        unlimited).  A fired fault is one raise or one sleep.
+
+    The injector is thread-safe; :attr:`faults_fired`,
+    :attr:`builds_seen` and :attr:`solves_seen` expose what happened.
+    """
+
+    def __init__(
+        self,
+        *,
+        build_error: bool | BaseException | type[BaseException] | None = None,
+        build_delay_s: float = 0.0,
+        solve_delay_s: float = 0.0,
+        methods: set[str] | frozenset[str] | None = None,
+        max_faults: int | None = None,
+    ) -> None:
+        if build_delay_s < 0 or solve_delay_s < 0:
+            raise ValueError("fault delays must be >= 0")
+        self.build_error = build_error
+        self.build_delay_s = build_delay_s
+        self.solve_delay_s = solve_delay_s
+        self.methods = frozenset(methods) if methods is not None else None
+        self.max_faults = max_faults
+        self._lock = threading.Lock()
+        self.faults_fired = 0
+        self.builds_seen = 0
+        self.solves_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def _should_fire(self, method: str) -> bool:
+        """Atomically claim one fault budget slot for ``method``."""
+        if self.methods is not None and method not in self.methods:
+            return False
+        with self._lock:
+            if self.max_faults is not None and self.faults_fired >= self.max_faults:
+                return False
+            self.faults_fired += 1
+            return True
+
+    def reset(self) -> None:
+        """Zero the counters (reuse one injector across test phases)."""
+        with self._lock:
+            self.faults_fired = 0
+            self.builds_seen = 0
+            self.solves_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # Hooks called by SolveService
+    # ------------------------------------------------------------------ #
+    def before_build(self, method: str) -> None:
+        """Called inside plan construction, before the planner runs."""
+        with self._lock:
+            self.builds_seen += 1
+        if (self.build_error or self.build_delay_s) and self._should_fire(method):
+            if self.build_delay_s:
+                time.sleep(self.build_delay_s)
+            if self.build_error:
+                raise self._make_error(method)
+
+    def before_solve(self, method: str) -> None:
+        """Called after the cache lookup, before the numeric solve."""
+        with self._lock:
+            self.solves_seen += 1
+        if self.solve_delay_s and self._should_fire(method):
+            time.sleep(self.solve_delay_s)
+
+    def _make_error(self, method: str) -> BaseException:
+        err = self.build_error
+        if isinstance(err, BaseException):
+            return err
+        if isinstance(err, type) and issubclass(err, BaseException):
+            return err(f"injected planner failure for method {method!r}")
+        return InjectedFaultError(
+            f"injected planner failure for method {method!r}"
+        )

@@ -1,0 +1,613 @@
+"""Differential fuzzing of every solve path against the serial oracle.
+
+The paper's central claim is that three structurally different block
+schedules plus four adaptive kernels all compute the *same* ``x`` as the
+serial sweep of Algorithm 1.  This module turns that claim into an
+executable property: sample random triangular systems across every
+generator family (hypersparse power-law structures that trigger the DCSR
+path, deep chains, PDE grids, real ILU(0) factors, ...), optionally
+mirror them to upper-triangular form or attach a multi-RHS block or an
+integer right-hand side, run every registered method — and the
+:class:`~repro.serve.SolveService` path — and cross-check each solution
+against :func:`repro.kernels.sptrsv_serial.solve_serial` plus the
+residual ``‖A x − b‖``.
+
+Failures are *minimized* (shrink the system, drop the RHS block, drop
+the mirror) and reported with a self-contained reproduction command, so
+a fuzz hit becomes a regression test in one paste.  A deliberately
+broken solver (:func:`broken_solver`, a sign flip) is shipped for
+testing the harness itself and for the ``repro fuzz --self-test`` CLI
+path.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.solver import (
+    SOLVERS,
+    LevelSetSolver,
+    PreparedSolve,
+    available_methods,
+    register_solver,
+    unregister_solver,
+)
+from repro.errors import ValidationError
+from repro.formats.triangular import is_lower_triangular, upper_to_lower_mirror
+from repro.gpu.device import TITAN_RTX_SCALED, DeviceModel
+from repro.kernels.sptrsv_serial import solve_serial
+from repro.matrices import generators as gen
+from repro.validate.invariants import DEFAULT_RESIDUAL_TOL, check_plan
+
+__all__ = [
+    "FAMILIES",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_fuzz",
+    "run_case",
+    "minimize_failure",
+    "broken_solver",
+    "BrokenSignFlipSolver",
+    "BROKEN_METHOD",
+]
+
+#: salt mixed into every case seed so fuzz streams don't collide with
+#: other seeded users of default_rng in the same process
+_SEED_SALT = 0x5EED
+
+
+# --------------------------------------------------------------------- #
+# Generator families
+# --------------------------------------------------------------------- #
+def _fam_layered(rng: np.random.Generator, n: int):
+    nlv = int(rng.integers(3, max(4, n // 6)))
+    sizes = rng.multinomial(n - nlv, np.full(nlv, 1.0 / nlv)) + 1
+    return gen.layered_random(
+        sizes, nnz_per_row=float(rng.uniform(2.0, 6.0)), rng=rng
+    )
+
+
+def _fam_hypersparse(rng: np.random.Generator, n: int):
+    # Power-law rows/hub columns: the class whose recursive squares go
+    # hypersparse and exercise the DCSR storage + kernels (§3.3).
+    return gen.powerlaw_matrix(
+        n,
+        float(rng.uniform(1.5, 3.0)),
+        rng,
+        alpha=1.05 + float(rng.random()) * 0.4,
+    )
+
+
+def _fam_chain(rng: np.random.Generator, n: int):
+    # nlevels == n: the deep, parallelism-free regime (tmt_sym).
+    return gen.chain_matrix(
+        n,
+        band=int(rng.integers(1, 3)),
+        extra_nnz_per_row=float(rng.uniform(0.0, 1.5)),
+        rng=rng,
+    )
+
+
+def _fam_grid2d(rng: np.random.Generator, n: int):
+    nx = max(2, int(np.sqrt(n)))
+    return gen.grid_laplacian_2d(nx, max(2, n // nx), rng)
+
+
+def _fam_grid3d(rng: np.random.Generator, n: int):
+    side = max(2, round(n ** (1.0 / 3.0)))
+    return gen.grid_laplacian_3d(side, side, side, rng)
+
+
+def _fam_banded(rng: np.random.Generator, n: int):
+    return gen.banded_random(
+        n,
+        bandwidth=int(rng.integers(1, max(2, n // 8))),
+        avg_nnz_per_row=float(rng.uniform(2.0, 6.0)),
+        rng=rng,
+    )
+
+
+def _fam_uniform(rng: np.random.Generator, n: int):
+    return gen.random_uniform(n, float(rng.uniform(2.0, 8.0)), rng)
+
+
+def _fam_rmat(rng: np.random.Generator, n: int):
+    scale = max(3, int(np.log2(max(8, n))))
+    return gen.rmat_matrix(scale, float(rng.uniform(2.0, 4.0)), rng)
+
+
+def _fam_ilu(rng: np.random.Generator, n: int):
+    nx = max(2, int(np.sqrt(n)))
+    return gen.ilu_factor_2d(nx, max(2, n // nx), rng)
+
+
+#: family name -> builder(rng, approx_size) -> lower-triangular CSRMatrix
+FAMILIES = {
+    "layered": _fam_layered,
+    "hypersparse": _fam_hypersparse,
+    "chain": _fam_chain,
+    "grid2d": _fam_grid2d,
+    "grid3d": _fam_grid3d,
+    "banded": _fam_banded,
+    "uniform": _fam_uniform,
+    "rmat": _fam_rmat,
+    "ilu": _fam_ilu,
+}
+
+#: right-hand-side dtypes rotated through by the sampler; the integer
+#: entries guard the promotion fix in ExecutionPlan.solve/solve_multi
+_B_DTYPES = ("float64", "float64", "int64", "float64", "int32", "float64")
+
+
+# --------------------------------------------------------------------- #
+# Cases
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FuzzCase:
+    """A fully deterministic test system: (matrix, rhs) from six fields."""
+
+    family: str
+    seed: int
+    size: int
+    upper: bool = False
+    n_rhs: int = 1
+    b_dtype: str = "float64"
+
+    def build(self):
+        """Materialize ``(A, b)``; same fields always give same system."""
+        rng = np.random.default_rng([_SEED_SALT, self.seed])
+        L = FAMILIES[self.family](rng, self.size)
+        n = L.n_rows
+        if self.upper:
+            A = L.permute_symmetric(np.arange(n)[::-1].copy())
+        else:
+            A = L
+        shape = (n,) if self.n_rhs == 1 else (n, self.n_rhs)
+        dt = np.dtype(self.b_dtype)
+        if dt.kind in "iu":
+            b = rng.integers(-9, 10, size=shape).astype(dt)
+        else:
+            b = (rng.standard_normal(shape) * 2.0).astype(dt)
+        return A, b
+
+    def token(self) -> str:
+        """Compact ``--replay`` token: ``family:seed:size:L|U:k:dtype``."""
+        return (
+            f"{self.family}:{self.seed}:{self.size}:"
+            f"{'U' if self.upper else 'L'}:{self.n_rhs}:{self.b_dtype}"
+        )
+
+    @classmethod
+    def from_token(cls, token: str) -> "FuzzCase":
+        parts = token.split(":")
+        if len(parts) != 6:
+            raise ValueError(
+                f"bad case token {token!r}; expected "
+                "family:seed:size:L|U:n_rhs:b_dtype"
+            )
+        family, seed, size, tri, n_rhs, b_dtype = parts
+        if family not in FAMILIES:
+            raise ValueError(
+                f"unknown family {family!r}; choose from {sorted(FAMILIES)}"
+            )
+        if tri not in ("L", "U"):
+            raise ValueError(f"triangle flag must be L or U, got {tri!r}")
+        try:
+            np.dtype(b_dtype)
+        except TypeError as exc:
+            raise ValueError(f"bad b_dtype in token {token!r}: {exc}") from exc
+        return cls(
+            family=family,
+            seed=int(seed),
+            size=int(size),
+            upper=(tri == "U"),
+            n_rhs=int(n_rhs),
+            b_dtype=b_dtype,
+        )
+
+
+def sample_case(
+    seed: int, round_no: int, families: list[str], base_size: int
+) -> FuzzCase:
+    """Deterministic case for one fuzz round.
+
+    Families rotate so every round block covers all of them; every third
+    case is mirrored upper-triangular, every fourth carries a multi-RHS
+    block, and RHS dtypes rotate through the integer types.
+    """
+    case_seed = seed * 1_000_003 + round_no
+    rng = np.random.default_rng([_SEED_SALT, case_seed, 0])
+    family = families[round_no % len(families)]
+    size = int(rng.integers(max(12, base_size // 4), base_size + 1))
+    upper = round_no % 3 == 1
+    n_rhs = int(rng.integers(2, 5)) if round_no % 4 == 2 else 1
+    return FuzzCase(
+        family=family,
+        seed=case_seed,
+        size=size,
+        upper=upper,
+        n_rhs=n_rhs,
+        b_dtype=_B_DTYPES[round_no % len(_B_DTYPES)],
+    )
+
+
+# --------------------------------------------------------------------- #
+# Failures and reports
+# --------------------------------------------------------------------- #
+@dataclass
+class FuzzFailure:
+    """One method disagreeing with the oracle on one case."""
+
+    case: FuzzCase
+    method: str
+    kind: str  # "mismatch" | "residual" | "invariant" | "exception"
+    via: str = "direct"  # "direct" | "service"
+    message: str = ""
+    max_err: float | None = None
+    minimized: FuzzCase | None = None
+
+    @property
+    def repro_command(self) -> str:
+        """Paste-ready command reproducing the (minimized) failure."""
+        case = self.minimized or self.case
+        return (
+            "PYTHONPATH=src python -m repro fuzz "
+            f"--replay {case.token()} --methods {self.method}"
+        )
+
+    def describe(self) -> str:
+        case = self.minimized or self.case
+        err = f", max err {self.max_err:.3e}" if self.max_err is not None else ""
+        return (
+            f"{self.kind} [{self.via}] method={self.method} "
+            f"case={case.token()}{err}: {self.message}\n"
+            f"  reproduce: {self.repro_command}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz run."""
+
+    rounds: int
+    seed: int
+    methods: list[str]
+    families: list[str]
+    n_cases: int = 0
+    n_checks: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        head = (
+            f"fuzz: {self.n_checks} checks over {self.n_cases} cases "
+            f"({len(self.methods)} methods x {len(self.families)} families, "
+            f"seed {self.seed}) in {self.elapsed_s:.1f}s"
+        )
+        if self.ok:
+            return head + "\n  all methods agree with the serial reference"
+        lines = [head, f"  {len(self.failures)} FAILURE(S):"]
+        for f in self.failures:
+            lines.append("  " + f.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------- #
+def _reference_solve(A, b: np.ndarray) -> np.ndarray:
+    """The Algorithm 1 oracle, mirrored for upper systems; always float64."""
+    if is_lower_triangular(A):
+        L, perm = A, None
+    else:
+        L, perm = upper_to_lower_mirror(A.sort_indices())
+
+    def one(col: np.ndarray) -> np.ndarray:
+        c = col if perm is None else col[perm]
+        y = solve_serial(L, c)
+        if perm is None:
+            return y
+        x = np.empty_like(y)
+        x[perm] = y
+        return x
+
+    b = np.asarray(b)
+    if b.ndim == 1:
+        return one(b)
+    return np.stack([one(b[:, j]) for j in range(b.shape[1])], axis=1)
+
+
+def _method_solve(
+    A,
+    b: np.ndarray,
+    method: str,
+    device: DeviceModel,
+    *,
+    check_invariants: bool = True,
+) -> np.ndarray:
+    """Run one registered method end to end (handles upper + multi-RHS)."""
+    solver = SOLVERS[method](device=device)
+    if is_lower_triangular(A):
+        L, perm = A, None
+    else:
+        L, perm = upper_to_lower_mirror(A.sort_indices())
+    prepared = solver.prepare(L)
+    if check_invariants and isinstance(prepared, PreparedSolve):
+        check_plan(prepared.plan, L, context=method)
+    b = np.asarray(b)
+    w = b if perm is None else b[perm]
+    if b.ndim == 1:
+        x, _ = prepared.solve(w)
+    else:
+        x, _ = prepared.solve_multi(w)
+    if perm is not None:
+        out = np.empty_like(x)
+        out[perm] = x
+        x = out
+    return x
+
+
+def _compare(x, x_ref: np.ndarray, tol: float) -> tuple[bool, float]:
+    x = np.asarray(x, dtype=np.float64)
+    err = float(np.max(np.abs(x - x_ref))) if x_ref.size else 0.0
+    scale = max(1.0, float(np.max(np.abs(x_ref))) if x_ref.size else 0.0)
+    return err <= tol * scale, err
+
+
+def _case_tol(case: FuzzCase, tol: float) -> float:
+    # float32 right-hand sides run some paths in single precision.
+    if np.dtype(case.b_dtype).kind == "f" and np.dtype(case.b_dtype).itemsize < 8:
+        return max(tol, 5e-3)
+    return tol
+
+
+def run_case(
+    case: FuzzCase,
+    methods: list[str],
+    device: DeviceModel = TITAN_RTX_SCALED,
+    tol: float = DEFAULT_RESIDUAL_TOL,
+    *,
+    service=None,
+    service_method: str | None = None,
+    check_invariants: bool = True,
+) -> list[FuzzFailure]:
+    """Differentially test one case; returns the (possibly empty) failures.
+
+    ``service``, when given, must be a :class:`repro.serve.SolveService`;
+    the case is additionally routed through ``service.solve`` with
+    ``service_method`` to exercise the caching/batching front end.
+    """
+    A, b = case.build()
+    x_ref = _reference_solve(A, b)
+    ctol = _case_tol(case, tol)
+    failures: list[FuzzFailure] = []
+    for method in methods:
+        try:
+            x = _method_solve(
+                A, b, method, device, check_invariants=check_invariants
+            )
+        except ValidationError as exc:
+            failures.append(FuzzFailure(
+                case=case, method=method, kind="invariant",
+                message=f"{exc} (kind={exc.kind})",
+            ))
+            continue
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            failures.append(FuzzFailure(
+                case=case, method=method, kind="exception",
+                message=f"{type(exc).__name__}: {exc}",
+            ))
+            continue
+        agree, err = _compare(x, x_ref, ctol)
+        if not agree:
+            failures.append(FuzzFailure(
+                case=case, method=method, kind="mismatch", max_err=err,
+                message=f"solution deviates from the serial reference by {err:.3e}",
+            ))
+    if service is not None:
+        smethod = service_method or methods[0]
+        try:
+            result = service.solve(A, b, method=smethod)
+        except Exception as exc:  # noqa: BLE001
+            failures.append(FuzzFailure(
+                case=case, method=smethod, kind="exception", via="service",
+                message=f"{type(exc).__name__}: {exc}",
+            ))
+        else:
+            x = result.x if case.n_rhs == 1 else np.asarray(result.x)
+            agree, err = _compare(x, x_ref, ctol)
+            if not agree:
+                failures.append(FuzzFailure(
+                    case=case, method=smethod, kind="mismatch", via="service",
+                    max_err=err,
+                    message=(
+                        "service solution deviates from the serial "
+                        f"reference by {err:.3e}"
+                        + (" (fallback)" if result.fallback else "")
+                    ),
+                ))
+    return failures
+
+
+def minimize_failure(
+    failure: FuzzFailure,
+    device: DeviceModel = TITAN_RTX_SCALED,
+    tol: float = DEFAULT_RESIDUAL_TOL,
+) -> FuzzCase:
+    """Shrink a failing case while it keeps failing for the same method.
+
+    Greedily keeps every simplification that still reproduces: drop the
+    multi-RHS block, drop the upper mirror, normalize the RHS dtype,
+    then halve the system size down to 8 rows.  Only direct failures
+    are minimized (service failures depend on service state).
+    """
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        try:
+            return bool(run_case(
+                candidate, [failure.method], device, tol, service=None
+            ))
+        except Exception:  # noqa: BLE001 - a crash still reproduces a bug
+            return True
+
+    best = failure.case
+    # Greedy: keep each simplification that still reproduces the failure.
+    for fields in ({"n_rhs": 1}, {"upper": False}, {"b_dtype": "float64"}):
+        candidate = replace(best, **fields)
+        if candidate != best and still_fails(candidate):
+            best = candidate
+    while best.size > 8:
+        candidate = replace(best, size=max(8, best.size // 2))
+        if still_fails(candidate):
+            best = candidate
+        else:
+            break
+    return best
+
+
+def run_fuzz(
+    rounds: int = 50,
+    seed: int = 0,
+    *,
+    methods: list[str] | None = None,
+    families: list[str] | None = None,
+    base_size: int = 140,
+    tol: float = DEFAULT_RESIDUAL_TOL,
+    include_service: bool = True,
+    device: DeviceModel = TITAN_RTX_SCALED,
+    minimize: bool = True,
+    max_failures: int = 10,
+    log=None,
+) -> FuzzReport:
+    """Differentially fuzz every method (and the service path).
+
+    Parameters
+    ----------
+    rounds:
+        Number of random systems to generate.
+    seed:
+        Master seed; the whole run is a pure function of
+        ``(rounds, seed, methods, families, base_size)``.
+    methods:
+        Method names to test (default: :func:`repro.available_methods`).
+    families:
+        Generator family names (default: all of :data:`FAMILIES`).
+    base_size:
+        Upper bound on the sampled system size.
+    include_service:
+        Also route each case through a :class:`SolveService` with
+        ``check=True`` (plan + residual invariants on).
+    minimize:
+        Shrink failing cases before reporting.
+    max_failures:
+        Stop fuzzing early after this many failures.
+    log:
+        Optional callable taking progress strings.
+    """
+    t0 = time.perf_counter()
+    methods = list(methods) if methods is not None else available_methods()
+    families = list(families) if families is not None else list(FAMILIES)
+    unknown = [f for f in families if f not in FAMILIES]
+    if unknown:
+        raise ValueError(
+            f"unknown families {unknown}; choose from {sorted(FAMILIES)}"
+        )
+    missing = [m for m in methods if m not in SOLVERS]
+    if missing:
+        raise ValueError(
+            f"unknown methods {missing}; choose from {sorted(SOLVERS)}"
+        )
+    report = FuzzReport(
+        rounds=rounds, seed=seed, methods=methods, families=families
+    )
+    service = None
+    if include_service:
+        from repro.serve.service import SolveService
+
+        service = SolveService(
+            device=device, cache_capacity=8, max_workers=2, check=True
+        )
+    try:
+        for r in range(rounds):
+            case = sample_case(seed, r, families, base_size)
+            report.n_cases += 1
+            report.n_checks += len(methods) + (1 if service else 0)
+            failures = run_case(
+                case,
+                methods,
+                device,
+                tol,
+                service=service,
+                service_method=methods[r % len(methods)],
+            )
+            if failures and log:
+                log(f"round {r}: {len(failures)} failure(s) on {case.token()}")
+            report.failures.extend(failures)
+            if len(report.failures) >= max_failures:
+                if log:
+                    log(f"stopping early after {len(report.failures)} failures")
+                break
+    finally:
+        if service is not None:
+            service.close()
+    if minimize:
+        for f in report.failures:
+            if f.via == "direct":
+                f.minimized = minimize_failure(f, device, tol)
+    report.elapsed_s = time.perf_counter() - t0
+    return report
+
+
+# --------------------------------------------------------------------- #
+# Deliberately broken solver (harness self-test)
+# --------------------------------------------------------------------- #
+BROKEN_METHOD = "broken-sign-flip"
+
+
+class _SignFlippedPrepared(PreparedSolve):
+    """A prepared solve whose answers are negated — every case must fail."""
+
+    def solve(self, b):
+        x, rep = self.plan.solve(b, self.device)
+        return -x, rep
+
+    def solve_multi(self, B, *, fused=True):
+        B = np.asarray(B)
+        if B.ndim == 1:
+            return self.solve(B)
+        X, rep = self.plan.solve_multi(B, self.device)
+        return -X, rep
+
+
+class BrokenSignFlipSolver(LevelSetSolver):
+    """Level-set solver with a sign flip: the fuzzer's canary."""
+
+    method = BROKEN_METHOD
+
+    def _prepare(self, L):
+        ps = super()._prepare(L)
+        return _SignFlippedPrepared(
+            method=self.method,
+            plan=ps.plan,
+            device=ps.device,
+            preprocess_report=ps.preprocess_report,
+        )
+
+
+@contextmanager
+def broken_solver(name: str = BROKEN_METHOD):
+    """Temporarily register the sign-flipped solver under ``name``."""
+    register_solver(name, BrokenSignFlipSolver)
+    try:
+        yield name
+    finally:
+        unregister_solver(name)

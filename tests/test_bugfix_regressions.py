@@ -1,0 +1,225 @@
+"""Regression tests for bugs surfaced by the correctness harness:
+
+* ``PlanCache.get_or_build`` leaked a per-key lock when the builder
+  raised, and mis-counted the double-check path as a miss;
+* ``ExecutionPlan.solve``/``solve_multi`` (and the kernel entry points)
+  silently truncated integer right-hand sides;
+* ``astype`` on CSR/CSC/DCSR aliased the index arrays of the source
+  matrix into the converted copy.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import SolveService, solve_triangular
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dcsr import DCSRMatrix
+from repro.kernels.base import prepare_lower, solve_dtype
+from repro.kernels.sptrsv_serial import solve_serial
+from repro.kernels.sweep import build_level_schedule, sweep_solve, sweep_solve_multi
+from repro.serve.cache import PlanCache
+
+from conftest import random_lower
+
+
+class TestCacheLockLeak:
+    def test_raising_builder_does_not_leak_key_lock(self):
+        cache = PlanCache(capacity=4)
+        for i in range(25):
+            with pytest.raises(RuntimeError):
+                cache.get_or_build(f"bad-{i}", self._boom)
+        assert len(cache._key_locks) == 0
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("planner failure")
+
+    def test_key_usable_after_builder_failure(self):
+        cache = PlanCache(capacity=4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_build("k", self._boom)
+        value, hit = cache.get_or_build("k", lambda: "v")
+        assert (value, hit) == ("v", False)
+        assert cache.get("k") == "v"
+
+    def test_success_path_also_cleans_up(self):
+        cache = PlanCache(capacity=4)
+        cache.get_or_build("k", lambda: "v")
+        assert len(cache._key_locks) == 0
+
+
+class TestCacheHitAccounting:
+    def test_double_check_winner_counts_as_hit(self):
+        cache = PlanCache(capacity=4)
+        started = threading.Event()
+        release = threading.Event()
+        results = []
+
+        def slow_builder():
+            started.set()
+            release.wait(timeout=5)
+            return "plan"
+
+        def first():
+            results.append(cache.get_or_build("k", slow_builder))
+
+        def second():
+            started.wait(timeout=5)
+            # Enters while the first build is in flight; waits on the key
+            # lock, then finds the value in the double-check.
+            results.append(cache.get_or_build("k", lambda: "other"))
+
+        t1 = threading.Thread(target=first)
+        t2 = threading.Thread(target=second)
+        t1.start()
+        t2.start()
+        started.wait(timeout=5)
+        time.sleep(0.05)  # let t2 reach the key lock
+        release.set()
+        t1.join()
+        t2.join()
+        assert ("plan", False) in results and ("plan", True) in results
+        st = cache.stats()
+        # One true miss (the build), one lookup reclassified as a hit.
+        assert st.misses == 1 and st.hits == 1
+
+    def test_concurrent_storm_counters_consistent(self):
+        cache = PlanCache(capacity=8)
+        built = []
+
+        def builder():
+            time.sleep(0.01)
+            built.append(1)
+            return "v"
+
+        threads = [
+            threading.Thread(target=lambda: cache.get_or_build("k", builder))
+            for _ in range(12)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(built) == 1  # single-flight
+        st = cache.stats()
+        assert st.misses == 1
+        assert st.hits + st.misses == 12
+        assert len(cache._key_locks) == 0
+
+
+class TestIntegerRhsPromotion:
+    def setup_method(self):
+        self.L = random_lower(50, 0.15, seed=21)
+        self.b_int = np.arange(1, 51, dtype=np.int64)
+        self.x_ref = np.linalg.solve(self.L.to_dense(), self.b_int.astype(float))
+
+    @pytest.mark.parametrize(
+        "method", ["serial", "levelset", "syncfree", "column-block",
+                   "row-block", "recursive-block"]
+    )
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_solve_triangular_int_b(self, method, dtype):
+        r = solve_triangular(self.L, self.b_int.astype(dtype), method=method)
+        assert np.issubdtype(r.x.dtype, np.floating)
+        np.testing.assert_allclose(r.x, self.x_ref, rtol=1e-8, atol=1e-8)
+
+    def test_solve_multi_int_B(self):
+        B = np.stack([self.b_int, 2 * self.b_int], axis=1)
+        from repro.core.solver import SOLVERS
+        from repro.gpu.device import TITAN_RTX_SCALED
+
+        prepared = SOLVERS["recursive-block"](device=TITAN_RTX_SCALED).prepare(self.L)
+        X, _ = prepared.solve_multi(B)
+        assert np.issubdtype(X.dtype, np.floating)
+        np.testing.assert_allclose(X[:, 0], self.x_ref, rtol=1e-8, atol=1e-8)
+        np.testing.assert_allclose(X[:, 1], 2 * self.x_ref, rtol=1e-8, atol=1e-8)
+
+    def test_serial_kernel_int_b(self):
+        x = solve_serial(self.L, self.b_int)
+        assert np.issubdtype(x.dtype, np.floating)
+        np.testing.assert_allclose(x, self.x_ref, rtol=1e-8, atol=1e-8)
+
+    def test_sweep_kernels_int_b(self):
+        sched = build_level_schedule(prepare_lower(self.L))
+        x = sweep_solve(sched, self.b_int)
+        assert np.issubdtype(x.dtype, np.floating)
+        np.testing.assert_allclose(x, self.x_ref, rtol=1e-8, atol=1e-8)
+        X = sweep_solve_multi(sched, np.stack([self.b_int, self.b_int], axis=1))
+        assert np.issubdtype(X.dtype, np.floating)
+        np.testing.assert_allclose(X[:, 0], self.x_ref, rtol=1e-8, atol=1e-8)
+
+    def test_service_int_b_round_trip(self):
+        with SolveService(max_workers=2, check=True) as svc:
+            r = svc.solve(self.L, self.b_int)
+        assert np.issubdtype(r.x.dtype, np.floating)
+        np.testing.assert_allclose(r.x, self.x_ref, rtol=1e-8, atol=1e-8)
+
+    def test_float32_stays_float32(self):
+        # The promotion must not widen already-floating inputs: the
+        # float32 pipeline is an intentional precision/bandwidth choice.
+        L32 = self.L.astype(np.float32)
+        b32 = self.b_int.astype(np.float32)
+        assert solve_dtype(L32.data, b32) == np.float32
+        sched = build_level_schedule(prepare_lower(L32))
+        assert sweep_solve(sched, b32).dtype == np.float32
+
+
+class TestAstypeAliasing:
+    def _mutation_isolated(self, A, B):
+        """Mutating every array of B must leave A unchanged."""
+        before = A.to_dense().copy()
+        B.data[:] = -999.0
+        for name in ("indptr", "indices", "row_ids"):
+            arr = getattr(B, name, None)
+            if arr is not None and len(arr):
+                arr[0] = arr[0]  # touch
+                arr[:] = np.roll(arr, 1)
+        assert np.array_equal(A.to_dense(), before)
+
+    def test_csr_astype_same_dtype_is_independent(self):
+        A = random_lower(30, 0.2, seed=31)
+        self._mutation_isolated(A, A.astype(np.float64))
+
+    def test_csr_astype_new_dtype_is_independent(self):
+        A = random_lower(30, 0.2, seed=31)
+        self._mutation_isolated(A, A.astype(np.float32))
+
+    def test_csc_astype_is_independent(self):
+        A = random_lower(30, 0.2, seed=32).to_csc()
+        assert isinstance(A, CSCMatrix)
+        self._mutation_isolated(A, A.astype(np.float64))
+
+    def test_dcsr_astype_is_independent(self):
+        csr = random_lower(40, 0.08, seed=33)
+        A = DCSRMatrix.from_csr(csr)
+        B = A.astype(np.float64)
+        assert isinstance(B, DCSRMatrix)
+        self._mutation_isolated(A, B)
+
+    def test_dcsr_astype_values_cast(self):
+        csr = random_lower(20, 0.2, seed=34)
+        A = DCSRMatrix.from_csr(csr)
+        B = A.astype(np.float32)
+        assert B.dtype == np.float32
+        np.testing.assert_allclose(B.to_dense(), A.to_dense(), rtol=1e-6)
+
+    def test_dcsr_matvec_out_overwrites(self):
+        csr = random_lower(25, 0.1, seed=35)
+        A = DCSRMatrix.from_csr(csr)
+        x = np.ones(25)
+        out = np.full(25, 7.0)
+        y = A.matvec(x, out=out)
+        assert y is out
+        np.testing.assert_allclose(out, A.matvec(x))
+
+    def test_dcsr_matvec_out_shape_checked(self):
+        csr = random_lower(25, 0.1, seed=35)
+        A = DCSRMatrix.from_csr(csr)
+        from repro.errors import ShapeMismatchError
+
+        with pytest.raises(ShapeMismatchError):
+            A.matvec(np.ones(25), out=np.zeros(24))

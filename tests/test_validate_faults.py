@@ -1,0 +1,159 @@
+"""Fault injection: drive the service's fallback/timeout/overload paths
+deterministically, with no monkeypatching of internals."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import (
+    FaultInjector,
+    InjectedFaultError,
+    ServiceOverloadedError,
+    SolveService,
+)
+from repro.serve.service import ServiceTimeoutError
+
+from conftest import random_lower
+
+
+class TestInjectorUnit:
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(build_delay_s=-1.0)
+
+    def test_method_filter_and_budget(self):
+        inj = FaultInjector(build_error=True, methods={"levelset"}, max_faults=1)
+        inj.before_build("recursive-block")  # filtered: no raise
+        with pytest.raises(InjectedFaultError):
+            inj.before_build("levelset")
+        inj.before_build("levelset")  # budget spent: no raise
+        assert inj.faults_fired == 1 and inj.builds_seen == 3
+        inj.reset()
+        assert inj.faults_fired == 0 and inj.builds_seen == 0
+        with pytest.raises(InjectedFaultError):
+            inj.before_build("levelset")
+
+    def test_error_instance_and_class(self):
+        sentinel = RuntimeError("planner exploded")
+        inj = FaultInjector(build_error=sentinel)
+        with pytest.raises(RuntimeError) as ei:
+            inj.before_build("any")
+        assert ei.value is sentinel
+
+        inj = FaultInjector(build_error=KeyError)
+        with pytest.raises(KeyError):
+            inj.before_build("any")
+
+    def test_thread_safe_budget(self):
+        inj = FaultInjector(build_error=True, max_faults=5)
+        raised = []
+
+        def worker():
+            try:
+                inj.before_build("m")
+            except InjectedFaultError:
+                raised.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(20)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(raised) == 5 and inj.faults_fired == 5
+
+
+class TestFallbackPath:
+    def test_injected_planner_failure_lands_in_stats(self):
+        L = random_lower(50, 0.12, seed=1)
+        b = np.ones(50)
+        inj = FaultInjector(build_error=True, max_faults=1)
+        with SolveService(max_workers=2, fault_injector=inj) as svc:
+            r = svc.solve(L, b, method="recursive-block")
+            assert r.fallback and r.method == "levelset"
+            assert np.max(np.abs(L.matvec(r.x) - b)) < 1e-8
+            stats = svc.stats()
+        assert stats.fallbacks == 1
+        assert inj.builds_seen == 1 and inj.faults_fired == 1
+
+    def test_install_after_construction(self):
+        L = random_lower(40, 0.12, seed=2)
+        with SolveService(max_workers=1) as svc:
+            r0 = svc.solve(L, np.ones(40))
+            assert not r0.fallback
+            svc.install_fault_injector(FaultInjector(build_error=True))
+            M = random_lower(40, 0.12, seed=3)  # different matrix: cache miss
+            r1 = svc.solve(M, np.ones(40))
+            assert r1.fallback
+
+    def test_fallback_disabled_propagates_injected_error(self):
+        L = random_lower(40, 0.12, seed=4)
+        inj = FaultInjector(build_error=True)
+        with SolveService(max_workers=1, fallback=False, fault_injector=inj) as svc:
+            with pytest.raises(InjectedFaultError):
+                svc.solve(L, np.ones(40))
+            assert svc.stats().failed == 1
+
+    def test_cached_plan_bypasses_build_fault(self):
+        L = random_lower(40, 0.12, seed=5)
+        inj = FaultInjector(build_error=True)
+        with SolveService(max_workers=1) as svc:
+            assert not svc.solve(L, np.ones(40)).fallback  # plan cached
+            svc.install_fault_injector(inj)
+            r = svc.solve(L, np.ones(40))  # cache hit: builder never runs
+            assert r.cache_hit and not r.fallback
+        assert inj.builds_seen == 0
+
+
+class TestTimeoutPath:
+    def test_solve_delay_expires_deadline(self):
+        L = random_lower(40, 0.12, seed=6)
+        inj = FaultInjector(solve_delay_s=0.2)
+        with SolveService(max_workers=1, fault_injector=inj) as svc:
+            with pytest.raises(ServiceTimeoutError):
+                svc.solve(L, np.ones(40), timeout_s=0.05)
+            stats = svc.stats()
+        assert stats.timeouts == 1
+        assert inj.solves_seen == 1
+
+    def test_delay_under_deadline_succeeds(self):
+        L = random_lower(40, 0.12, seed=6)
+        inj = FaultInjector(solve_delay_s=0.01)
+        with SolveService(max_workers=1, fault_injector=inj) as svc:
+            r = svc.solve(L, np.ones(40), timeout_s=5.0)
+        assert np.max(np.abs(L.matvec(r.x) - np.ones(40))) < 1e-8
+
+
+class TestOverloadPath:
+    def test_queue_overflow_rejected_and_counted(self):
+        L = random_lower(40, 0.12, seed=7)
+        b = np.ones(40)
+        # One worker held busy by an injected slow solve, queue of one:
+        # the second submit must bounce.
+        inj = FaultInjector(solve_delay_s=0.5)
+        with SolveService(
+            max_workers=1, queue_limit=1, fault_injector=inj
+        ) as svc:
+            fut = svc.submit(L, b)
+            with pytest.raises(ServiceOverloadedError):
+                svc.submit(L, b)
+            stats_during = svc.stats()
+            fut.result()
+        assert stats_during.rejected == 1
+        # The admitted request still completed normally.
+        assert svc.stats().completed == 1
+        assert svc.stats().rejected == 1
+
+    def test_rejected_appears_in_render_and_dict(self):
+        L = random_lower(30, 0.15, seed=8)
+        inj = FaultInjector(solve_delay_s=0.5)
+        with SolveService(
+            max_workers=1, queue_limit=1, fault_injector=inj
+        ) as svc:
+            fut = svc.submit(L, np.ones(30))
+            with pytest.raises(ServiceOverloadedError):
+                svc.submit(L, np.ones(30))
+            fut.result()
+            stats = svc.stats()
+        assert stats.as_dict()["rejected"] == 1
+        assert "rejected 1" in stats.render()

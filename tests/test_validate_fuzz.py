@@ -1,0 +1,178 @@
+"""Tests for the differential fuzzer: determinism, coverage, self-test."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.formats.triangular import is_lower_triangular, is_upper_triangular
+from repro.validate.fuzz import (
+    BROKEN_METHOD,
+    FAMILIES,
+    FuzzCase,
+    broken_solver,
+    minimize_failure,
+    run_case,
+    run_fuzz,
+    sample_case,
+)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_builders_emit_lower_triangular(self, family):
+        rng = np.random.default_rng(42)
+        L = FAMILIES[family](rng, 50)
+        assert L.n_rows == L.n_cols
+        assert is_lower_triangular(L)
+        assert np.all(L.diagonal() != 0)
+
+    def test_hypersparse_family_is_hypersparse(self):
+        # The family exists to drive the DCSR path: nnz per row must be
+        # far below the matrix dimension.
+        rng = np.random.default_rng(0)
+        L = FAMILIES["hypersparse"](rng, 200)
+        assert L.nnz / L.n_rows < 10
+
+
+class TestFuzzCase:
+    def test_build_is_deterministic(self):
+        case = FuzzCase(family="uniform", seed=7, size=40)
+        A1, b1 = case.build()
+        A2, b2 = case.build()
+        assert np.array_equal(A1.to_dense(), A2.to_dense())
+        assert np.array_equal(b1, b2)
+
+    def test_upper_flag_mirrors(self):
+        case = FuzzCase(family="banded", seed=3, size=30, upper=True)
+        A, _ = case.build()
+        assert is_upper_triangular(A.sort_indices())
+
+    def test_multi_rhs_and_int_dtype(self):
+        case = FuzzCase(family="chain", seed=5, size=25, n_rhs=3, b_dtype="int32")
+        _, b = case.build()
+        assert b.shape == (25, 3) and b.dtype == np.int32
+
+    def test_token_round_trip(self):
+        case = FuzzCase(
+            family="grid2d", seed=11, size=64, upper=True, n_rhs=2, b_dtype="int64"
+        )
+        assert FuzzCase.from_token(case.token()) == case
+
+    @pytest.mark.parametrize(
+        "token",
+        [
+            "nonsense",
+            "nofamily:1:10:L:1:float64",
+            "uniform:1:10:X:1:float64",
+            "uniform:1:10:L:1:notadtype",
+        ],
+    )
+    def test_bad_tokens_rejected(self, token):
+        with pytest.raises(ValueError):
+            FuzzCase.from_token(token)
+
+    def test_sampler_covers_variants(self):
+        fams = list(FAMILIES)
+        cases = [sample_case(0, r, fams, 100) for r in range(24)]
+        assert {c.family for c in cases} == set(fams)
+        assert any(c.upper for c in cases)
+        assert any(c.n_rhs > 1 for c in cases)
+        assert any(np.dtype(c.b_dtype).kind == "i" for c in cases)
+        # Same (seed, round) -> same case.
+        assert cases[5] == sample_case(0, 5, fams, 100)
+        assert cases[5] != sample_case(1, 5, fams, 100)
+
+
+class TestRunFuzz:
+    def test_clean_run_all_methods(self):
+        report = run_fuzz(rounds=12, seed=0, base_size=60, include_service=True)
+        assert report.ok, report.render()
+        assert report.n_cases == 12
+        assert report.n_checks > 12
+        assert "all methods agree" in report.render()
+
+    def test_broken_solver_is_caught_and_minimized(self):
+        with broken_solver() as name:
+            report = run_fuzz(
+                rounds=4,
+                seed=0,
+                methods=[name],
+                base_size=80,
+                include_service=False,
+            )
+        assert not report.ok
+        f = report.failures[0]
+        assert f.method == BROKEN_METHOD and f.kind == "mismatch"
+        # Minimization shrank the case and kept it failing.
+        assert f.minimized is not None
+        assert f.minimized.size <= f.case.size
+        assert f.minimized.size <= 10
+        # The reproduction command is paste-ready and carries the token.
+        assert f.minimized.token() in f.repro_command
+        assert "-m repro fuzz --replay" in f.repro_command
+        assert f.repro_command in report.render()
+
+    def test_minimize_drops_rhs_and_mirror(self):
+        with broken_solver() as name:
+            case = FuzzCase(
+                family="uniform", seed=2, size=64, upper=True, n_rhs=3
+            )
+            failures = run_case(case, [name])
+            assert failures
+            small = minimize_failure(failures[0])
+        assert small.n_rhs == 1 and not small.upper
+        assert small.size <= 16
+
+    def test_early_stop_on_max_failures(self):
+        with broken_solver() as name:
+            report = run_fuzz(
+                rounds=50,
+                seed=0,
+                methods=[name],
+                include_service=False,
+                minimize=False,
+                max_failures=3,
+            )
+        assert len(report.failures) >= 3
+        assert report.n_cases < 50
+
+    def test_unknown_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            run_fuzz(rounds=1, families=["galaxy"])
+        with pytest.raises(ValueError):
+            run_fuzz(rounds=1, methods=["warp-drive"])
+
+
+class TestFuzzCli:
+    def test_cli_clean_run_exits_zero(self, capsys):
+        rc = cli_main(["fuzz", "--rounds", "6", "--seed", "0", "--size", "50"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all methods agree" in out
+
+    def test_cli_self_test_exits_zero(self, capsys):
+        rc = cli_main(["fuzz", "--self-test", "--rounds", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "self-test OK" in out
+        assert "--replay" in out  # reproduction commands printed
+
+    def test_cli_replay_good_case(self, capsys):
+        rc = cli_main(
+            ["fuzz", "--replay", "chain:2:12:L:1:int64", "--methods", "syncfree"]
+        )
+        assert rc == 0
+        assert "agree" in capsys.readouterr().out
+
+    def test_cli_replay_detects_broken_method(self, capsys):
+        with broken_solver() as name:
+            rc = cli_main(
+                ["fuzz", "--replay", "uniform:1:16:L:1:float64", "--methods", name]
+            )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "mismatch" in out and "reproduce:" in out
+
+    def test_cli_bad_replay_token_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fuzz", "--replay", "not-a-token"])

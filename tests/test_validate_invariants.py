@@ -1,0 +1,189 @@
+"""Tests for repro.validate.invariants: plan checks and residual checks."""
+
+import numpy as np
+import pytest
+
+from repro import ValidationError, solve_triangular
+from repro.core.plan import ExecutionPlan, SpMVSegment, TriSegment
+from repro.core.solver import SOLVERS
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.validate.invariants import (
+    DEFAULT_RESIDUAL_TOL,
+    check_plan,
+    check_residual,
+    residual_norm,
+)
+
+from conftest import random_lower
+
+METHODS = ["levelset", "syncfree", "column-block", "row-block", "recursive-block"]
+
+
+def _prepare(method, n=80, seed=3, **options):
+    L = random_lower(n, 0.12, seed=seed)
+    solver = SOLVERS[method](device=TITAN_RTX_SCALED, **options)
+    return L, solver.prepare(L)
+
+
+class TestCheckPlanAccepts:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_real_plans_pass(self, method):
+        L, prepared = _prepare(method)
+        check_plan(prepared.plan, L, context=method)
+
+    def test_hypersparse_dcsr_plan_passes(self):
+        from repro.matrices.generators import powerlaw_matrix
+
+        rng = np.random.default_rng(7)
+        L = powerlaw_matrix(120, 2.0, rng, alpha=1.1)
+        prepared = SOLVERS["recursive-block"](device=TITAN_RTX_SCALED).prepare(L)
+        check_plan(prepared.plan, L, context="recursive-block")
+
+
+class TestCheckPlanRejects:
+    def test_gap_between_tri_segments(self):
+        L, prepared = _prepare("column-block", nseg=4)
+        plan = prepared.plan
+        tri = [s for s in plan.segments if isinstance(s, TriSegment)]
+        assert len(tri) >= 2
+        tri[1].lo += 1  # introduce a one-row gap
+        with pytest.raises(ValidationError) as ei:
+            check_plan(plan, L)
+        assert ei.value.kind == "plan-structure"
+        assert "solved" in ei.value.detail
+
+    def test_spmv_reads_unsolved_columns(self):
+        L, prepared = _prepare("column-block", nseg=4)
+        plan = prepared.plan
+        spmv = [s for s in plan.segments if isinstance(s, SpMVSegment)]
+        assert spmv
+        spmv[0].col_hi = plan.n  # claims to read every x entry
+        with pytest.raises(ValidationError) as ei:
+            check_plan(plan)
+        assert ei.value.kind == "plan-structure"
+
+    def test_spmv_updates_solved_rows(self):
+        L, prepared = _prepare("row-block", nseg=4)
+        plan = prepared.plan
+        spmv = [s for s in plan.segments if isinstance(s, SpMVSegment)]
+        assert spmv
+        spmv[-1].row_lo = 0  # claims to update already-solved rows
+        with pytest.raises(ValidationError):
+            check_plan(plan)
+
+    def test_nnz_conservation(self):
+        L, prepared = _prepare("recursive-block")
+        plan = prepared.plan
+        tri = [s for s in plan.segments if isinstance(s, TriSegment)]
+        tri[0].nnz += 5
+        with pytest.raises(ValidationError) as ei:
+            check_plan(plan, L)
+        assert ei.value.kind == "plan-nnz"
+
+    def test_bad_permutation(self):
+        L, prepared = _prepare("recursive-block")
+        plan = prepared.plan
+        if plan.perm is None:
+            plan.perm = np.arange(plan.n)
+        plan.perm = plan.perm.copy()
+        plan.perm[0] = plan.perm[1]  # duplicate -> not a bijection
+        with pytest.raises(ValidationError) as ei:
+            check_plan(plan)
+        assert ei.value.kind == "plan-perm"
+
+    def test_uncovered_tail(self):
+        plan = ExecutionPlan(method="x", n=10, segments=[])
+        with pytest.raises(ValidationError):
+            check_plan(plan)
+
+
+class TestResidual:
+    def test_norm_vector_and_block(self):
+        L = random_lower(40, 0.15, seed=5)
+        x = np.linalg.solve(L.to_dense(), np.ones(40))
+        assert residual_norm(L, x, np.ones(40)) < 1e-10
+        X = np.stack([x, 2 * x], axis=1)
+        B = np.stack([np.ones(40), 2 * np.ones(40)], axis=1)
+        assert residual_norm(L, X, B) < 1e-10
+
+    def test_check_residual_passes_and_returns_norm(self):
+        L = random_lower(40, 0.15, seed=5)
+        b = np.ones(40)
+        x = np.linalg.solve(L.to_dense(), b)
+        res = check_residual(L, x, b, tol=DEFAULT_RESIDUAL_TOL)
+        assert res < 1e-10
+
+    def test_check_residual_rejects_wrong_solution(self):
+        L = random_lower(40, 0.15, seed=5)
+        b = np.ones(40)
+        x = np.linalg.solve(L.to_dense(), b)
+        with pytest.raises(ValidationError) as ei:
+            check_residual(L, -x, b, tol=1e-8, context="unit")
+        assert ei.value.kind == "residual"
+        assert ei.value.detail["residual"] > 0
+        assert str(ei.value).startswith("unit:")
+
+    def test_check_residual_rejects_nan(self):
+        L = random_lower(10, 0.3, seed=2)
+        with pytest.raises(ValidationError):
+            check_residual(L, np.full(10, np.nan), np.ones(10))
+
+
+class TestApiCheckFlag:
+    @pytest.mark.parametrize("method", ["levelset", "recursive-block"])
+    def test_check_true_clean_solve(self, method):
+        L = random_lower(60, 0.12, seed=9)
+        b = np.arange(60, dtype=float)
+        r = solve_triangular(L, b, method=method, check=True)
+        assert residual_norm(L, r.x, b) < 1e-8
+
+    def test_check_true_upper_system(self):
+        L = random_lower(50, 0.12, seed=4)
+        perm = np.arange(50)[::-1]
+        U = L.permute_symmetric(perm)
+        b = np.linspace(-1, 1, 50)
+        r = solve_triangular(U, b, method="recursive-block", check=True)
+        assert residual_norm(U, r.x, b) < 1e-8
+
+    def test_check_true_catches_broken_kernel(self):
+        from repro.validate.fuzz import broken_solver
+
+        L = random_lower(40, 0.15, seed=6)
+        b = np.ones(40)
+        with broken_solver() as name:
+            with pytest.raises(ValidationError) as ei:
+                solve_triangular(L, b, method=name, check=True)
+        assert ei.value.kind == "residual"
+
+    def test_check_false_lets_broken_kernel_through(self):
+        from repro.validate.fuzz import broken_solver
+
+        L = random_lower(40, 0.15, seed=6)
+        b = np.ones(40)
+        with broken_solver() as name:
+            r = solve_triangular(L, b, method=name)  # no check: no raise
+        assert residual_norm(L, r.x, b) > 1.0
+
+
+class TestServiceCheckFlag:
+    def test_service_check_clean(self):
+        from repro import SolveService
+
+        L = random_lower(60, 0.12, seed=11)
+        b = np.arange(60, dtype=float)
+        with SolveService(check=True, max_workers=2, cache_capacity=4) as svc:
+            r = svc.solve(L, b)
+        assert residual_norm(L, r.x, b) < 1e-8
+
+    def test_service_check_catches_broken_kernel(self):
+        from repro import SolveService
+        from repro.validate.fuzz import broken_solver
+
+        L = random_lower(40, 0.15, seed=12)
+        b = np.ones(40)
+        with broken_solver() as name:
+            # fallback off so the injected wrongness isn't masked
+            with SolveService(check=True, fallback=False, max_workers=1) as svc:
+                with pytest.raises(ValidationError):
+                    svc.solve(L, b, method=name)
+                assert svc.stats().failed >= 1
