@@ -41,7 +41,9 @@ from repro.core.solver import (
     unregister_solver,
 )
 from repro.errors import (
+    DuplicateMetricError,
     NotTriangularError,
+    ObservabilityError,
     ReproError,
     ServiceClosedError,
     ServiceError,
@@ -68,6 +70,11 @@ from repro.gpu.device import (
     known_devices,
 )
 from repro.gpu.report import KernelReport, SolveReport
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    Tracer,
+)
 from repro.serve import (
     ServiceConfig,
     ServiceStats,
@@ -132,6 +139,10 @@ __all__ = [
     "known_devices",
     "KernelReport",
     "SolveReport",
+    # observability
+    "Observability",
+    "Tracer",
+    "MetricsRegistry",
     # validation harness
     "DEFAULT_RESIDUAL_TOL",
     "check_plan",
@@ -150,4 +161,6 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceClosedError",
     "ValidationError",
+    "ObservabilityError",
+    "DuplicateMetricError",
 ]

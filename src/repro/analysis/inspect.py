@@ -15,7 +15,7 @@ from repro.core.plan import ExecutionPlan, SpMVSegment, TriSegment
 from repro.formats.csr import CSRMatrix
 from repro.graph.levels import cached_levels
 
-__all__ = ["spy", "level_histogram", "describe_plan"]
+__all__ = ["spy", "level_histogram", "describe_plan", "render_profile"]
 
 
 def spy(A: CSRMatrix, width: int = 48, *, chars: str = " .:*#") -> str:
@@ -97,4 +97,34 @@ def describe_plan(plan: ExecutionPlan, max_segments: int = 40) -> str:
             )
     if len(plan.segments) > max_segments:
         lines.append(f"  ... {len(plan.segments) - max_segments} more segments")
+    return "\n".join(lines)
+
+
+def render_profile(report, max_segments: int = 40) -> str:
+    """Per-segment timing table from ``SolveReport.profile``.
+
+    The profile is populated only when the solve ran under an active
+    :class:`repro.obs.Observability` (``trace=`` on the API, ``obs=`` on
+    the service); otherwise this reports the table as empty.
+    """
+    profile = getattr(report, "profile", None) or []
+    if not profile:
+        return "profile: (empty — solve ran without observability enabled)"
+    total_sim = sum(row.get("sim_time_s", 0.0) for row in profile)
+    total_wall = sum(row.get("wall_time_s", 0.0) for row in profile)
+    lines = [
+        f"profile: {len(profile)} segments, "
+        f"sim {total_sim * 1e3:.4f} ms, host wall {total_wall * 1e3:.4f} ms",
+        "   idx kind  kernel            rows         nnz   "
+        "sim ms     wall ms  launches",
+    ]
+    for row in profile[:max_segments]:
+        lines.append(
+            f"  {row['index']:4d} {row['kind']:<5s} {row['kernel']:<16s} "
+            f"{row['rows']:>12s} {row['nnz']:>9d} "
+            f"{row['sim_time_s'] * 1e3:8.4f} {row['wall_time_s'] * 1e3:10.4f} "
+            f"{row['launches']:9d}"
+        )
+    if len(profile) > max_segments:
+        lines.append(f"  ... {len(profile) - max_segments} more segments")
     return "\n".join(lines)

@@ -34,6 +34,7 @@ __all__ = [
     "table1_rows",
     "table2_rows",
     "measured_traffic",
+    "predicted_traffic",
     "PARTS_GRID",
 ]
 
@@ -105,3 +106,28 @@ def table2_rows(n: float = 1.0) -> list[tuple[str, list[float]]]:
 def measured_traffic(plan) -> tuple[int, int]:
     """(b items updated, x items loaded) measured from an actual plan."""
     return plan.b_items_updated, plan.x_items_loaded
+
+
+#: closed forms per method, in (b updates, x loads) order
+_PREDICTORS = {
+    "column-block": (column_block_b_updates, column_block_x_loads),
+    "row-block": (row_block_b_updates, row_block_x_loads),
+    "recursive-block": (recursive_block_b_updates, recursive_block_x_loads),
+}
+
+
+def predicted_traffic(plan) -> tuple[float, float] | None:
+    """Tables 1-2 closed-form prediction for an actual plan, or ``None``.
+
+    The closed forms assume a dense triangle cut into a power-of-two
+    number of triangular parts; for such plans they upper-bound the
+    measured counters (sparse matrices drop empty SpMV blocks, so
+    measured <= predicted with equality exactly on dense inputs — the
+    gap is the model drift the observability layer surfaces).  Returns
+    ``None`` for non-block methods or non-power-of-two part counts.
+    """
+    pair = _PREDICTORS.get(plan.method)
+    parts = plan.n_tri_segments
+    if pair is None or parts < 1 or parts & (parts - 1):
+        return None
+    return pair[0](plan.n, parts), pair[1](plan.n, parts)

@@ -28,6 +28,8 @@ from repro.formats.triangular import (
 )
 from repro.gpu.device import TITAN_RTX_SCALED, DeviceModel
 from repro.gpu.report import SolveReport
+from repro.obs.runtime import Observability
+from repro.obs.trace import Tracer
 
 __all__ = ["SolveResult", "solve_triangular", "validate_solver_options"]
 
@@ -114,6 +116,7 @@ def solve_triangular(
     device: DeviceModel = TITAN_RTX_SCALED,
     check: bool = False,
     check_tol: float | None = None,
+    trace: Observability | Tracer | None = None,
     **solver_options,
 ) -> SolveResult:
     """Solve ``A x = b`` for triangular ``A`` with any registered method.
@@ -142,6 +145,14 @@ def solve_triangular(
     check_tol:
         Relative residual tolerance for ``check=True`` (default:
         :data:`repro.validate.DEFAULT_RESIDUAL_TOL`).
+    trace:
+        An :class:`repro.obs.Observability` (or bare
+        :class:`repro.obs.Tracer`, wrapped on the fly) activated around
+        preprocessing and the solve.  Planner phases and per-segment
+        kernel executions appear as nested spans, metrics (kernel
+        launches, live traffic counters) accumulate in its registry, and
+        the returned report carries a per-segment ``profile`` table.
+        ``None`` (default) keeps the zero-overhead path.
     solver_options:
         Forwarded to the solver constructor (e.g. ``depth=3``,
         ``reorder=False``) after validation against its signature.
@@ -170,14 +181,17 @@ def solve_triangular(
     else:
         L, perm = upper_to_lower_mirror(A.sort_indices())
         rhs = np.asarray(b)[perm]
-    prepared = solver.prepare(L)
-    if check:
-        from repro.validate.invariants import check_plan
-
-        plan = getattr(prepared, "plan", None)
-        if plan is not None:
-            check_plan(plan, L, context=method)
-    y, report = prepared.solve(rhs)
+    if isinstance(trace, Tracer):
+        trace = Observability(tracer=trace)
+    if trace is None:
+        prepared = solver.prepare(L)
+        y, report = _checked_solve(prepared, L, rhs, method, check)
+    else:
+        with trace.activate():
+            with trace.span("solve_triangular", method=method,
+                            n=A.n_rows, nnz=A.nnz):
+                prepared = solver.prepare(L)
+                y, report = _checked_solve(prepared, L, rhs, method, check)
     if perm is None:
         x = y
     else:
@@ -189,3 +203,14 @@ def solve_triangular(
         tol = DEFAULT_RESIDUAL_TOL if check_tol is None else check_tol
         check_residual(A, x, np.asarray(b), tol=tol, context=method)
     return SolveResult(x=x, report=report, method=method)
+
+
+def _checked_solve(prepared, L, rhs, method, check):
+    """Plan-invariant check + solve; shared by the traced and plain paths."""
+    if check:
+        from repro.validate.invariants import check_plan
+
+        plan = getattr(prepared, "plan", None)
+        if plan is not None:
+            check_plan(plan, L, context=method)
+    return prepared.solve(rhs)

@@ -226,6 +226,141 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_trace(args) -> int:
+    from repro.analysis.inspect import render_profile
+    from repro.analysis.traffic import measured_traffic, predicted_traffic
+    from repro.obs import Observability
+
+    device = known_devices()[args.device]
+    if args.matrix is None:
+        from repro.matrices.generators import banded_random
+
+        n = args.size
+        L = banded_random(n, max(2, n // 40), 6.0,
+                          rng=np.random.default_rng(args.seed))
+        name = f"generated:banded(n={n})"
+    else:
+        name, L = _load_matrix(args)
+    b = np.ones(L.n_rows)
+    methods = (args.method.split(",") if args.method
+               else ["column-block", "row-block", "recursive-block"])
+    unknown = [m for m in methods if m not in SOLVERS]
+    if unknown:
+        raise SystemExit(
+            f"unknown methods {unknown}; choose from {sorted(SOLVERS)}"
+        )
+    obs = Observability()
+    print(f"matrix {name}: n={L.n_rows}, nnz={L.nnz}; device {device.name}")
+    # Force a real partition so the trace shows SpMV squares, not one
+    # degenerate triangle (the auto-tuner picks nseg=1 on small systems).
+    options = {
+        "column-block": {"nseg": args.nseg},
+        "row-block": {"nseg": args.nseg},
+        "recursive-block": {"depth": max(1, args.nseg.bit_length() - 1)},
+    }
+    reports: dict = {}
+    plans: dict = {}
+    for method in methods:
+        solver = SOLVERS[method](device=device, **options.get(method, {}))
+        with obs.activate():
+            with obs.span("trace.solve", method=method):
+                prepared = solver.prepare(L)
+                _, report = prepared.solve(b)
+        reports[method] = report
+        plans[method] = getattr(prepared, "plan", None)
+
+    print("\nspans:")
+    print(obs.tracer.render_tree())
+    for method in methods:
+        print(f"\n{method}:")
+        print(render_profile(reports[method]))
+
+    m = obs.serve_metrics
+    failed = False
+    header = (f"\n{'method':18s} {'live b/x':>16s} {'measured b/x':>16s} "
+              f"{'Tables 1-2 b/x':>16s}")
+    print(header)
+    for method in methods:
+        plan = plans[method]
+        if plan is None:
+            print(f"{method:18s} (no block plan — traffic model not applicable)")
+            continue
+        live = (int(m.b_writes.value(method=method)),
+                int(m.x_loads.value(method=method)))
+        measured = measured_traffic(plan)
+        predicted = predicted_traffic(plan)
+        pred_s = f"{predicted[0]}/{predicted[1]}" if predicted else "n/a"
+        mark = "" if live == tuple(measured) else "  MISMATCH"
+        if live != tuple(measured):
+            failed = True
+        print(f"{method:18s} {live[0]:>7d}/{live[1]:<8d} "
+              f"{measured[0]:>7d}/{measured[1]:<8d} {pred_s:>16s}{mark}")
+    if m.traffic_mismatch.total() > 0:
+        failed = True
+
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            obs.tracer.export_jsonl(fh)
+        print(f"\nspans written to {args.jsonl}")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(obs.to_prometheus())
+        print(f"metrics written to {args.prom}")
+    if failed:
+        print("TRAFFIC MISMATCH: live counters disagree with "
+              "analysis.traffic.measured_traffic", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_stats(args) -> int:
+    import threading
+
+    from repro.obs import Observability
+    from repro.serve import ServiceConfig, SolveService
+    from repro.serve.workload import mixed_workload, replay
+
+    device = known_devices()[args.device]
+    obs = Observability()
+    workload = mixed_workload(
+        args.requests,
+        scale=args.scale,
+        n_matrices=args.matrices,
+        seed=args.seed,
+    )
+    try:
+        config = ServiceConfig(device=device, obs=obs)
+        service = SolveService(config)
+    except ValueError as exc:
+        raise SystemExit(f"bad service configuration: {exc}")
+    with service:
+        if args.watch:
+            done = threading.Event()
+
+            def _replay() -> None:
+                try:
+                    replay(service, workload, batch_size=args.batch)
+                finally:
+                    done.set()
+
+            worker = threading.Thread(target=_replay, daemon=True)
+            worker.start()
+            while not done.wait(args.interval):
+                snap = service.stats()
+                print(f"--- {snap.completed}/{workload.n_requests} "
+                      f"requests completed ---")
+                print(snap.render())
+            worker.join()
+        else:
+            replay(service, workload, batch_size=args.batch)
+        stats = service.stats()
+    print(f"--- final ({workload.n_requests} requests replayed) ---")
+    print(stats.render())
+    print()
+    print(obs.to_prometheus(), end="")
+    return 0
+
+
 def cmd_calibrate(args) -> int:
     from repro.core.calibrate import run_calibration
 
@@ -337,6 +472,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print per-round failure progress")
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace one solve per method; check live traffic vs the model",
+        description="Run each method on one matrix under a span tracer, "
+        "print the nested span tree (planner phases, every plan segment), "
+        "per-segment profiles, and the live b-write/x-load counters "
+        "cross-checked against analysis.traffic.measured_traffic and the "
+        "closed-form Tables 1-2 predictions.  Exits non-zero on a "
+        "live-vs-measured mismatch.",
+    )
+    p.add_argument("--matrix", default=None,
+                   help="suite/representative name or .mtx path "
+                        "(default: a generated banded system)")
+    p.add_argument("--method", default="",
+                   help="comma-separated methods (default: the three block "
+                        "schemes)")
+    p.add_argument("--device", default="titan_rtx_scaled",
+                   choices=list(known_devices()))
+    p.add_argument("--size", type=int, default=512,
+                   help="rows of the generated default matrix")
+    p.add_argument("--nseg", type=int, default=4,
+                   help="segments per block plan (recursive depth = log2)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=0.2,
+                   help="suite scale when --matrix names a suite entry")
+    p.add_argument("--jsonl", help="write the spans as JSON lines here")
+    p.add_argument("--prom", help="write Prometheus text metrics here")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "stats",
+        help="replay a workload with observability on; print live stats",
+    )
+    p.add_argument("--requests", type=int, default=40)
+    p.add_argument("--matrices", type=int, default=6)
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--device", default="titan_rtx_scaled",
+                   choices=list(known_devices()))
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--watch", action="store_true",
+                   help="print a stats snapshot every --interval seconds "
+                        "while the replay runs")
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="snapshot period for --watch (seconds)")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("calibrate", help="run the Figure 5 sweep")
     p.add_argument("--device", default="titan_rtx_scaled",

@@ -32,6 +32,7 @@ from repro.core.recursive_block import recursive_ranges
 from repro.formats.csr import CSRMatrix
 from repro.gpu.device import DeviceModel
 from repro.graph.reorder import levelset_permutation
+from repro.obs.runtime import span as obs_span
 from repro.utils.arrays import counts_to_indptr, gather_row_ranges, segment_ids
 
 __all__ = ["RecursiveBlockedMatrix", "build_improved_recursive_plan",
@@ -204,10 +205,14 @@ def build_improved_recursive_plan(
         reorder_nnz = 0
         reorder = bool(not np.array_equal(perm, np.arange(n)))
     elif reorder:
-        perm, reorder_nnz, splits = recursive_levelset_reorder(
-            L, depth, align_levels=align_levels
-        )
-        Lp = L.permute_symmetric(perm)
+        with obs_span(
+            "planner.reorder", depth=depth, align_levels=align_levels
+        ) as sp:
+            perm, reorder_nnz, splits = recursive_levelset_reorder(
+                L, depth, align_levels=align_levels
+            )
+            Lp = L.permute_symmetric(perm)
+            sp.set(reorder_nnz=reorder_nnz)
     else:
         perm = np.arange(n, dtype=np.int64)
         reorder_nnz = 0
@@ -223,44 +228,48 @@ def build_improved_recursive_plan(
     builder.charge_reorder(reorder_nnz, 1)
     segments = []
     blocks: list[StoredBlock] = []
-    ops = (
-        ranges_from_splits(0, n, splits)
-        if splits is not None
-        else recursive_ranges(0, n, depth)
-    )
-    for op in ops:
-        if op[0] == "tri":
-            seg = builder.tri_segment(op[1], op[2])
-            segments.append(seg)
-            blocks.append(
-                StoredBlock(
-                    kind="triangle",
-                    fmt="csc",
-                    row_lo=seg.lo,
-                    row_hi=seg.hi,
-                    col_lo=seg.lo,
-                    col_hi=seg.hi,
-                    nnz=seg.nnz,
-                    kernel=seg.kernel.name,
+    with obs_span("planner.partition", depth=depth) as sp:
+        ops = list(
+            ranges_from_splits(0, n, splits)
+            if splits is not None
+            else recursive_ranges(0, n, depth)
+        )
+        sp.set(n_ranges=len(ops))
+    with obs_span("planner.pack", use_dcsr=use_dcsr) as sp:
+        for op in ops:
+            if op[0] == "tri":
+                seg = builder.tri_segment(op[1], op[2])
+                segments.append(seg)
+                blocks.append(
+                    StoredBlock(
+                        kind="triangle",
+                        fmt="csc",
+                        row_lo=seg.lo,
+                        row_hi=seg.hi,
+                        col_lo=seg.lo,
+                        col_hi=seg.hi,
+                        nnz=seg.nnz,
+                        kernel=seg.kernel.name,
+                    )
                 )
-            )
-        else:
-            seg = builder.spmv_segment(op[1], op[2], op[3], op[4])
-            if seg is None:
-                continue
-            segments.append(seg)
-            blocks.append(
-                StoredBlock(
-                    kind="square",
-                    fmt="dcsr" if seg.kernel.wants_dcsr else "csr",
-                    row_lo=seg.row_lo,
-                    row_hi=seg.row_hi,
-                    col_lo=seg.col_lo,
-                    col_hi=seg.col_hi,
-                    nnz=seg.nnz,
-                    kernel=seg.kernel.name,
+            else:
+                seg = builder.spmv_segment(op[1], op[2], op[3], op[4])
+                if seg is None:
+                    continue
+                segments.append(seg)
+                blocks.append(
+                    StoredBlock(
+                        kind="square",
+                        fmt="dcsr" if seg.kernel.wants_dcsr else "csr",
+                        row_lo=seg.row_lo,
+                        row_hi=seg.row_hi,
+                        col_lo=seg.col_lo,
+                        col_hi=seg.col_hi,
+                        nnz=seg.nnz,
+                        kernel=seg.kernel.name,
+                    )
                 )
-            )
+        sp.set(n_segments=len(segments))
     plan = ExecutionPlan(
         method="recursive-block",
         n=n,

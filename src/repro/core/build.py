@@ -20,6 +20,7 @@ from repro.gpu.report import KernelReport
 from repro.graph.stats import square_features, triangle_features
 from repro.kernels import SPMV_KERNELS, SPTRSV_KERNELS
 from repro.kernels.base import prepare_lower
+from repro.obs.runtime import span as obs_span
 
 __all__ = ["SegmentBuilder", "BuildStats"]
 
@@ -87,7 +88,10 @@ class SegmentBuilder:
         else:
             name = self.selector.select_sptrsv(triangle_features(prep.L))
         kernel = SPTRSV_KERNELS[name]()
-        aux, prep_report = kernel.preprocess(prep, self.device)
+        with obs_span(
+            "planner.kernel_prep", kernel=name, rows=f"{lo}:{hi}", nnz=sub.nnz
+        ):
+            aux, prep_report = kernel.preprocess(prep, self.device)
         self.stats.kernel_prep_s += prep_report.time_s
         self.stats.kernel_prep_reports.append(prep_report)
         self.stats.assembly_s += SEGMENT_SETUP_S + sub.nnz * ASSEMBLY_S_PER_NNZ

@@ -17,6 +17,7 @@ from repro.core.plan import ExecutionPlan
 from repro.core.planner import split_boundaries
 from repro.formats.csr import CSRMatrix
 from repro.gpu.device import DeviceModel
+from repro.obs.runtime import span as obs_span
 
 __all__ = ["build_column_block_plan"]
 
@@ -43,15 +44,18 @@ def build_column_block_plan(
         use_dcsr=False,
     )
     n = L.n_rows
-    bounds = split_boundaries(n, nseg)
+    with obs_span("planner.partition", nseg=nseg):
+        bounds = split_boundaries(n, nseg)
     segments = []
-    for si in range(len(bounds) - 1):
-        lo, hi = int(bounds[si]), int(bounds[si + 1])
-        segments.append(builder.tri_segment(lo, hi))
-        if hi < n:
-            spmv = builder.spmv_segment(hi, n, lo, hi)
-            if spmv is not None:
-                segments.append(spmv)
+    with obs_span("planner.pack") as sp:
+        for si in range(len(bounds) - 1):
+            lo, hi = int(bounds[si]), int(bounds[si + 1])
+            segments.append(builder.tri_segment(lo, hi))
+            if hi < n:
+                spmv = builder.spmv_segment(hi, n, lo, hi)
+                if spmv is not None:
+                    segments.append(spmv)
+        sp.set(n_segments=len(segments))
     return ExecutionPlan(
         method="column-block",
         n=n,

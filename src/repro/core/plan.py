@@ -24,6 +24,8 @@ from repro.gpu.device import DeviceModel
 from repro.gpu.report import KernelReport, SolveReport, merge_reports
 from repro.kernels.base import SpTRSVKernel, solve_dtype
 from repro.kernels.spmv import SpMVKernel
+from repro.obs import runtime as obs_runtime
+from repro.obs.clock import monotonic
 
 __all__ = ["TriSegment", "SpMVSegment", "ExecutionPlan"]
 
@@ -81,6 +83,84 @@ class ExecutionPlan:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
+    def _run_segment(self, seg, work, out, device: DeviceModel, multi: bool):
+        """Execute one segment against the shared work/out buffers."""
+        if isinstance(seg, TriSegment):
+            if multi:
+                xs, rep = seg.kernel.solve_multi(
+                    seg.aux, work[seg.lo : seg.hi], device
+                )
+            else:
+                xs, rep = seg.kernel.solve(seg.aux, work[seg.lo : seg.hi], device)
+            out[seg.lo : seg.hi] = xs
+            return rep
+        run = seg.kernel.run_multi if multi else seg.kernel.run
+        return run(
+            seg.matrix,
+            out[seg.col_lo : seg.col_hi],
+            work[seg.row_lo : seg.row_hi],
+            device,
+        )
+
+    def _execute_segments(
+        self, work, out, device: DeviceModel, multi: bool
+    ) -> tuple[list[KernelReport], list | None]:
+        """Run every segment in order; returns (reports, profile).
+
+        With no active :class:`repro.obs.Observability` this is the bare
+        execution loop (one thread-local lookup of overhead).  With one
+        active, every segment runs inside a span carrying its selected
+        kernel name, per-kernel launch counters are incremented, a
+        per-segment profile table is built, and the live Tables 1-2
+        traffic counters are accumulated segment by segment and
+        cross-checked against the plan-level accounting.
+        """
+        obs = obs_runtime.active()
+        reports: list[KernelReport] = []
+        if obs is None:
+            for seg in self.segments:
+                reports.append(self._run_segment(seg, work, out, device, multi))
+            return reports, None
+        metrics = obs.serve_metrics
+        profile: list[dict] = []
+        live_b = 0
+        live_x = 0
+        for idx, seg in enumerate(self.segments):
+            tri = isinstance(seg, TriSegment)
+            t0 = monotonic()
+            with obs.span(
+                "segment.tri" if tri else "segment.spmv",
+                index=idx,
+                kernel=seg.kernel.name,
+            ) as sp:
+                rep = self._run_segment(seg, work, out, device, multi)
+                wall = monotonic() - t0
+                if tri:
+                    rows = f"{seg.lo}:{seg.hi}"
+                    cols = rows
+                    live_b += seg.n_rows
+                else:
+                    rows = f"{seg.row_lo}:{seg.row_hi}"
+                    cols = f"{seg.col_lo}:{seg.col_hi}"
+                    live_b += seg.n_rows
+                    live_x += seg.n_cols
+                sp.set(rows=rows, nnz=seg.nnz, sim_time_s=rep.time_s)
+            metrics.kernel_launches.inc(rep.launches, kernel=seg.kernel.name)
+            profile.append({
+                "index": idx,
+                "kind": "tri" if tri else "spmv",
+                "kernel": seg.kernel.name,
+                "rows": rows,
+                "cols": cols,
+                "nnz": seg.nnz,
+                "sim_time_s": rep.time_s,
+                "wall_time_s": wall,
+                "launches": rep.launches,
+            })
+            reports.append(rep)
+        obs_runtime.record_solve_traffic(obs, self, live_b, live_x)
+        return reports, profile
+
     def solve(self, b: np.ndarray, device: DeviceModel) -> tuple[np.ndarray, SolveReport]:
         """Run the plan; returns the solution in *original* row order."""
         b = np.asarray(b)
@@ -93,19 +173,7 @@ class ExecutionPlan:
             dtype, copy=True
         )
         x = np.zeros(self.n, dtype=dtype)
-        reports: list[KernelReport] = []
-        for seg in self.segments:
-            if isinstance(seg, TriSegment):
-                xs, rep = seg.kernel.solve(seg.aux, work_b[seg.lo : seg.hi], device)
-                x[seg.lo : seg.hi] = xs
-            else:
-                rep = seg.kernel.run(
-                    seg.matrix,
-                    x[seg.col_lo : seg.col_hi],
-                    work_b[seg.row_lo : seg.row_hi],
-                    device,
-                )
-            reports.append(rep)
+        reports, profile = self._execute_segments(work_b, x, device, multi=False)
         if self.perm is not None:
             out = np.empty_like(x)
             out[self.perm] = x
@@ -117,6 +185,8 @@ class ExecutionPlan:
             n_tri=self.n_tri_segments,
             n_spmv=self.n_spmv_segments,
         )
+        if profile is not None:
+            report.profile = profile
         return out, report
 
     def solve_multi(
@@ -133,21 +203,7 @@ class ExecutionPlan:
             dtype, copy=True
         )
         X = np.zeros_like(work_B)
-        reports: list[KernelReport] = []
-        for seg in self.segments:
-            if isinstance(seg, TriSegment):
-                xs, rep = seg.kernel.solve_multi(
-                    seg.aux, work_B[seg.lo : seg.hi], device
-                )
-                X[seg.lo : seg.hi] = xs
-            else:
-                rep = seg.kernel.run_multi(
-                    seg.matrix,
-                    X[seg.col_lo : seg.col_hi],
-                    work_B[seg.row_lo : seg.row_hi],
-                    device,
-                )
-            reports.append(rep)
+        reports, profile = self._execute_segments(work_B, X, device, multi=True)
         if self.perm is not None:
             out = np.empty_like(X)
             out[self.perm] = X
@@ -156,6 +212,8 @@ class ExecutionPlan:
         report = merge_reports(
             self.method, reports, n_rhs=B.shape[1], fused=True
         )
+        if profile is not None:
+            report.profile = profile
         return out, report
 
     # ------------------------------------------------------------------ #

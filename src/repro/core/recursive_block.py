@@ -22,6 +22,7 @@ from repro.core.build import SegmentBuilder
 from repro.core.plan import ExecutionPlan
 from repro.formats.csr import CSRMatrix
 from repro.gpu.device import DeviceModel
+from repro.obs.runtime import span as obs_span
 
 __all__ = ["recursive_ranges", "build_recursive_block_plan"]
 
@@ -67,13 +68,18 @@ def build_recursive_block_plan(
         use_dcsr=use_dcsr,
     )
     segments = []
-    for op in recursive_ranges(0, L.n_rows, depth):
-        if op[0] == "tri":
-            segments.append(builder.tri_segment(op[1], op[2]))
-        else:
-            spmv = builder.spmv_segment(op[1], op[2], op[3], op[4])
-            if spmv is not None:
-                segments.append(spmv)
+    with obs_span("planner.partition", depth=depth) as sp:
+        ops = list(recursive_ranges(0, L.n_rows, depth))
+        sp.set(n_ranges=len(ops))
+    with obs_span("planner.pack") as sp:
+        for op in ops:
+            if op[0] == "tri":
+                segments.append(builder.tri_segment(op[1], op[2]))
+            else:
+                spmv = builder.spmv_segment(op[1], op[2], op[3], op[4])
+                if spmv is not None:
+                    segments.append(spmv)
+        sp.set(n_segments=len(segments))
     return ExecutionPlan(
         method="recursive-block",
         n=L.n_rows,

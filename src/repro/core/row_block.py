@@ -16,6 +16,7 @@ from repro.core.plan import ExecutionPlan
 from repro.core.planner import split_boundaries
 from repro.formats.csr import CSRMatrix
 from repro.gpu.device import DeviceModel
+from repro.obs.runtime import span as obs_span
 
 __all__ = ["build_row_block_plan"]
 
@@ -42,15 +43,18 @@ def build_row_block_plan(
         use_dcsr=False,
     )
     n = L.n_rows
-    bounds = split_boundaries(n, nseg)
+    with obs_span("planner.partition", nseg=nseg):
+        bounds = split_boundaries(n, nseg)
     segments = []
-    for si in range(len(bounds) - 1):
-        lo, hi = int(bounds[si]), int(bounds[si + 1])
-        if lo > 0:
-            spmv = builder.spmv_segment(lo, hi, 0, lo)
-            if spmv is not None:
-                segments.append(spmv)
-        segments.append(builder.tri_segment(lo, hi))
+    with obs_span("planner.pack") as sp:
+        for si in range(len(bounds) - 1):
+            lo, hi = int(bounds[si]), int(bounds[si + 1])
+            if lo > 0:
+                spmv = builder.spmv_segment(lo, hi, 0, lo)
+                if spmv is not None:
+                    segments.append(spmv)
+            segments.append(builder.tri_segment(lo, hi))
+        sp.set(n_segments=len(segments))
     return ExecutionPlan(
         method="row-block",
         n=n,

@@ -40,6 +40,7 @@ from repro.gpu.report import KernelReport, SolveReport
 from repro.kernels import SPTRSV_KERNELS
 from repro.kernels.base import prepare_lower
 from repro.kernels.sptrsv_serial import SerialKernel
+from repro.obs.runtime import span as obs_span
 
 __all__ = [
     "TriangularSolver",
@@ -144,7 +145,10 @@ class TriangularSolver(ABC):
                 "expected a lower-triangular matrix; use "
                 "formats.lower_triangular_from / upper_to_lower_mirror first"
             )
-        return self._prepare(L.sort_indices())
+        with obs_span(
+            "planner.prepare", method=self.method, n=L.n_rows, nnz=L.nnz
+        ):
+            return self._prepare(L.sort_indices())
 
     @abstractmethod
     def _prepare(self, L: CSRMatrix) -> PreparedSolve:

@@ -12,6 +12,8 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceClosedError",
     "ValidationError",
+    "ObservabilityError",
+    "DuplicateMetricError",
 ]
 
 
@@ -45,6 +47,14 @@ class ServiceOverloadedError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """A request was submitted to a service that has been shut down."""
+
+
+class ObservabilityError(ReproError):
+    """Base class for errors raised by the :mod:`repro.obs` layer."""
+
+
+class DuplicateMetricError(ObservabilityError):
+    """A metric name was registered twice in one registry."""
 
 
 class ValidationError(ReproError):

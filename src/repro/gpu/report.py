@@ -46,6 +46,11 @@ class SolveReport:
     bytes_moved: float = 0.0
     kernels: list = field(default_factory=list)
     detail: dict = field(default_factory=dict)
+    #: per-segment timing table (list of dicts: index, kind, kernel,
+    #: rows, nnz, sim_time_s, wall_time_s, launches) — populated only
+    #: when an :class:`repro.obs.Observability` was active during the
+    #: solve; empty otherwise.  See ``repro.analysis.inspect.render_profile``.
+    profile: list = field(default_factory=list)
 
     @property
     def gflops(self) -> float:
@@ -75,6 +80,7 @@ class SolveReport:
             bytes_moved=self.bytes_moved * factor,
             kernels=list(self.kernels),
             detail=merged,
+            profile=list(self.profile),
         )
 
 

@@ -1,0 +1,49 @@
+"""``repro.obs`` — tracing, metrics, and profiling for the solve stack.
+
+Three pieces, composable and test-isolated:
+
+* :mod:`repro.obs.trace` — a span tracer (context-manager API,
+  thread-local span stacks, monotonic clocks, JSON-lines export)
+  covering the full request lifecycle: queue wait, cache lookup,
+  planner phases, and every plan segment's kernel execution;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms in per-instance
+  registries (no process globals), including the live §3.2 traffic
+  counters cross-checked against ``analysis.traffic.measured_traffic``;
+* :mod:`repro.obs.export` — JSON and Prometheus text exporters.
+
+Instrumentation is off by default and near-free when off; enable it via
+``ServiceConfig(obs=Observability())`` on the serving layer or
+``solve_triangular(..., trace=Observability())`` for one call, then read
+``obs.tracer.render_tree()`` / ``obs.to_prometheus()`` — or use the
+``repro trace`` and ``repro stats`` CLI commands.
+"""
+
+from repro.obs.clock import monotonic
+from repro.obs.export import metrics_to_dict, to_prometheus
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.runtime import Observability, ServeMetrics, active, span
+from repro.obs.trace import SPAN_SCHEMA_FIELDS, Span, Tracer
+
+__all__ = [
+    "monotonic",
+    "Span",
+    "Tracer",
+    "SPAN_SCHEMA_FIELDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "Observability",
+    "ServeMetrics",
+    "active",
+    "span",
+    "metrics_to_dict",
+    "to_prometheus",
+]

@@ -1,0 +1,19 @@
+"""The one monotonic clock used by every timing site in the code base.
+
+Before this module existed the serving layer mixed ``time.monotonic()``
+(deadline math) with ``time.perf_counter()`` (wall-time accounting) —
+two clocks with different resolutions whose readings must never be
+compared.  Everything now reads :func:`monotonic`, which is
+``time.perf_counter``: monotonic by contract, and the highest-resolution
+monotonic clock CPython offers.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic"]
+
+#: high-resolution monotonic timestamp in seconds.  Readings are only
+#: meaningful as differences; never compare them to wall-clock time.
+monotonic = time.perf_counter

@@ -1,0 +1,105 @@
+"""Exporters: registry → JSON-friendly dict / Prometheus text exposition.
+
+The Prometheus output follows the text exposition format version 0.0.4:
+``# HELP`` / ``# TYPE`` headers per family, one sample per line,
+histograms expanded to cumulative ``_bucket{le=...}`` samples plus
+``_sum`` and ``_count``.  ``tests/test_obs_metrics.py`` re-parses the
+output with a minimal independent parser to keep the format honest.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["metrics_to_dict", "to_prometheus"]
+
+
+def metrics_to_dict(registry: MetricsRegistry) -> dict:
+    """Every family's samples as plain JSON-serializable data."""
+    out: dict = {}
+    for metric in registry.collect():
+        entry: dict = {"kind": metric.kind, "help": metric.help}
+        if isinstance(metric, (Counter, Gauge)):
+            entry["samples"] = [
+                {"labels": labels, "value": value}
+                for labels, value in metric.samples()
+            ]
+        elif isinstance(metric, Histogram):
+            series = []
+            for labels in metric.series_keys():
+                snap = metric.snapshot(**labels)
+                series.append({
+                    "labels": labels,
+                    "buckets": {
+                        _le(bound): count
+                        for bound, count in snap["buckets"].items()
+                    },
+                    "sum": snap["sum"],
+                    "count": snap["count"],
+                })
+            entry["series"] = series
+        out[metric.name] = entry
+    return out
+
+
+def _le(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return repr(bound)
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labelstr(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in merged.items())
+    return "{" + inner + "}"
+
+
+def _num(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            samples = metric.samples()
+            if not samples and not metric.labelnames:
+                samples = [({}, 0.0)]
+            for labels, value in samples:
+                lines.append(f"{metric.name}{_labelstr(labels)} {_num(value)}")
+        elif isinstance(metric, Histogram):
+            for labels in metric.series_keys():
+                snap = metric.snapshot(**labels)
+                for bound, count in snap["buckets"].items():
+                    ls = _labelstr(labels, {"le": _le(bound)})
+                    lines.append(f"{metric.name}_bucket{ls} {count}")
+                lines.append(
+                    f"{metric.name}_sum{_labelstr(labels)} {_num(snap['sum'])}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_labelstr(labels)} {snap['count']}"
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,251 @@
+"""Ambient observability context: one bundle of tracer + metrics.
+
+An :class:`Observability` owns a :class:`~repro.obs.trace.Tracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry`.  Activating it installs it
+in a *thread-local* slot; instrumentation points deep inside the planner
+and the execution plan look the slot up with :func:`active` and do
+nothing when it is empty — the default.  The serve layer activates its
+configured bundle inside each worker-thread request, so planner phases
+and kernel segments nest under the request span without any signature
+threading.
+
+The disabled path is deliberately cheap: one thread-local ``getattr``
+and a ``None`` check per instrumentation point (the acceptance bar is
+< 3 % overhead on ``bench_serve_throughput`` with observability off).
+
+The metric families (``ServeMetrics``) include the live §3.2 traffic
+counters: every plan execution adds its per-segment ``b`` writes and
+``x`` loads to ``repro_b_writes_total`` / ``repro_x_loads_total``, and
+the sums are cross-checked against
+:func:`repro.analysis.traffic.measured_traffic` — a disagreement bumps
+``repro_traffic_model_mismatch_total``, making model drift visible per
+solve.  Where a closed-form Tables 1–2 prediction exists (power-of-two
+part counts), it is exported alongside as a gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["Observability", "ServeMetrics", "active", "span"]
+
+_tls = threading.local()
+
+
+def active() -> "Observability | None":
+    """The :class:`Observability` activated on this thread, if any."""
+    return getattr(_tls, "obs", None)
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+class _NullSpanCM:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_CM = _NullSpanCM()
+
+
+def span(name: str, **attrs):
+    """A span on the active tracer, or a shared no-op context manager.
+
+    The ambient instrumentation hook for code without an explicit
+    tracer reference (planner phases, kernel preprocessing)."""
+    obs = getattr(_tls, "obs", None)
+    if obs is None:
+        return _NULL_CM
+    return obs.tracer.span(name, **attrs)
+
+
+class _Activation:
+    __slots__ = ("_obs", "_prev")
+
+    def __init__(self, obs: "Observability") -> None:
+        self._obs = obs
+        self._prev = None
+
+    def __enter__(self) -> "Observability":
+        self._prev = getattr(_tls, "obs", None)
+        _tls.obs = self._obs
+        return self._obs
+
+    def __exit__(self, *exc) -> None:
+        _tls.obs = self._prev
+
+
+class ServeMetrics:
+    """The metric families of the solve path, built once per registry.
+
+    Family names are the contract the Prometheus endpoint, the CLI, and
+    the CI smoke job grep for — change them deliberately.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.requests_total = registry.counter(
+            "repro_requests_total",
+            "requests finished by the serve layer, by terminal status",
+            labelnames=("status",),
+        )
+        self.rejected_total = registry.counter(
+            "repro_rejected_total",
+            "submissions refused at the admission gate (queue full)",
+        )
+        self.cache_lookups = registry.counter(
+            "repro_cache_lookups_total",
+            "plan-cache lookups by result",
+            labelnames=("result",),
+        )
+        self.fallbacks_total = registry.counter(
+            "repro_fallbacks_total",
+            "requests degraded to the fallback method after planner failure",
+        )
+        self.kernel_launches = registry.counter(
+            "repro_kernel_launches_total",
+            "simulated kernel launches by kernel name",
+            labelnames=("kernel",),
+        )
+        self.request_latency = registry.histogram(
+            "repro_request_latency_seconds",
+            "host wall-clock per request (queueing + numerics)",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        self.sim_latency = registry.histogram(
+            "repro_sim_latency_seconds",
+            "simulated end-to-end latency per request (prep if paid + solve)",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        self.queue_wait = registry.histogram(
+            "repro_queue_wait_seconds",
+            "wall-clock between submission and worker pickup",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        self.solves_total = registry.counter(
+            "repro_solves_total",
+            "plan executions by method (a fused multi-RHS solve counts once)",
+            labelnames=("method",),
+        )
+        self.b_writes = registry.counter(
+            "repro_b_writes_total",
+            "live Table 1 counter: items written to b, summed per segment",
+            labelnames=("method",),
+        )
+        self.x_loads = registry.counter(
+            "repro_x_loads_total",
+            "live Table 2 counter: x items loaded by SpMV segments",
+            labelnames=("method",),
+        )
+        self.traffic_measured = registry.gauge(
+            "repro_traffic_measured_items",
+            "plan-level measured traffic of the most recent solve",
+            labelnames=("method", "table"),
+        )
+        self.traffic_predicted = registry.gauge(
+            "repro_traffic_predicted_items",
+            "closed-form Tables 1-2 prediction for the most recent solve",
+            labelnames=("method", "table"),
+        )
+        self.traffic_mismatch = registry.counter(
+            "repro_traffic_model_mismatch_total",
+            "solves whose live per-segment traffic disagreed with "
+            "analysis.traffic.measured_traffic(plan)",
+            labelnames=("method",),
+        )
+
+
+class Observability:
+    """Tracer + metrics, activated per thread around instrumented work.
+
+    >>> obs = Observability()
+    >>> with obs.activate():
+    ...     result = solve_triangular(L, b)        # doctest: +SKIP
+    >>> print(obs.tracer.render_tree())            # doctest: +SKIP
+
+    Pass one instance per service (``ServiceConfig(obs=...)``) or per
+    direct call (``solve_triangular(..., trace=obs)``).  Sharing an
+    instance across services aggregates their counters; sharing its
+    ``metrics`` registry with a *new* instance raises
+    :class:`repro.errors.DuplicateMetricError` on first use instead of
+    silently double-registering families.
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        *,
+        max_spans: int = 100_000,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer(max_spans=max_spans)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._serve_lock = threading.Lock()
+        self._serve: ServeMetrics | None = None
+
+    @property
+    def serve_metrics(self) -> ServeMetrics:
+        """The standard solve-path families, registered on first use."""
+        if self._serve is None:
+            with self._serve_lock:
+                if self._serve is None:
+                    self._serve = ServeMetrics(self.metrics)
+        return self._serve
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def activate(self) -> _Activation:
+        """Install this bundle on the current thread (re-entrant)."""
+        return _Activation(self)
+
+    # Convenience exports ------------------------------------------------ #
+    def to_prometheus(self) -> str:
+        from repro.obs.export import to_prometheus
+
+        return to_prometheus(self.metrics)
+
+    def metrics_dict(self) -> dict:
+        from repro.obs.export import metrics_to_dict
+
+        return metrics_to_dict(self.metrics)
+
+
+def record_solve_traffic(
+    obs: Observability, plan, live_b: int, live_x: int
+) -> None:
+    """Publish one plan execution's live traffic and cross-check it.
+
+    ``live_b`` / ``live_x`` are accumulated segment by segment during
+    execution; they must equal the plan-level Tables 1-2 accounting of
+    :func:`repro.analysis.traffic.measured_traffic` — any disagreement
+    means the execution loop and the model have drifted apart.
+    """
+    from repro.analysis.traffic import measured_traffic, predicted_traffic
+
+    m = obs.serve_metrics
+    method = plan.method
+    m.solves_total.inc(method=method)
+    m.b_writes.inc(live_b, method=method)
+    m.x_loads.inc(live_x, method=method)
+    measured_b, measured_x = measured_traffic(plan)
+    m.traffic_measured.set(measured_b, method=method, table="b_writes")
+    m.traffic_measured.set(measured_x, method=method, table="x_loads")
+    if (live_b, live_x) != (measured_b, measured_x):
+        m.traffic_mismatch.inc(method=method)
+    predicted = predicted_traffic(plan)
+    if predicted is not None:
+        m.traffic_predicted.set(predicted[0], method=method, table="b_writes")
+        m.traffic_predicted.set(predicted[1], method=method, table="x_loads")

@@ -1,0 +1,260 @@
+"""A lightweight span tracer for the solve request lifecycle.
+
+Spans form a tree: a context-manager push opens a child of the current
+thread's innermost open span, the matching pop closes it and appends it
+to the tracer's finished list.  The open-span *stack* is thread-local —
+concurrent requests on the serve thread pool each build their own tree
+and cannot adopt each other's spans — while the *finished* list is one
+lock-protected buffer per tracer, so one export sees every thread.
+
+Timing uses :data:`repro.obs.clock.monotonic` exclusively; ``start_s``
+values are only meaningful relative to other spans of the same process.
+
+There is no global tracer.  Code that wants ambient tracing activates an
+:class:`repro.obs.runtime.Observability` (which carries a tracer) on the
+current thread; the default is no tracer and near-zero overhead.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs.clock import monotonic
+
+__all__ = ["Span", "Tracer", "SPAN_SCHEMA_FIELDS"]
+
+#: keys every exported JSON-lines span record carries (the trace schema
+#: the CI smoke job validates).
+SPAN_SCHEMA_FIELDS = (
+    "trace_id",
+    "span_id",
+    "parent_id",
+    "name",
+    "start_s",
+    "duration_s",
+    "thread",
+    "attrs",
+)
+
+
+@dataclass
+class Span:
+    """One timed operation; part of a per-request tree."""
+
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    start_s: float
+    end_s: float = 0.0
+    thread: str = ""
+    attrs: dict = field(default_factory=dict)
+    #: set when the ``with`` body raised (exception type name)
+    error: str | None = None
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def as_dict(self) -> dict:
+        out = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "thread": self.thread,
+            "attrs": self.attrs,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class _OpenSpan:
+    """Context manager guarding one pushed span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.error = exc_type.__name__
+        self._tracer._finish(self._span)
+
+
+class Tracer:
+    """Collects spans; safe for concurrent use from many threads.
+
+    >>> tr = Tracer()
+    >>> with tr.span("request", method="recursive-block"):
+    ...     with tr.span("solve") as sp:
+    ...         sp.set(launches=3)
+    >>> [s.name for s in tr.spans()]
+    ['request', 'solve']
+    """
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self.max_spans = max_spans
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._next_id = 1
+        self._next_trace = 1
+        self.dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _ids(self, new_trace: bool) -> tuple[int, int | None]:
+        with self._lock:
+            sid = self._next_id
+            self._next_id += 1
+            if new_trace:
+                tid = self._next_trace
+                self._next_trace += 1
+                return sid, tid
+            return sid, None
+
+    def span(self, name: str, **attrs) -> _OpenSpan:
+        """Open a span as a child of this thread's innermost open span
+        (a new root/trace when none is open).  Use as a context manager."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        sid, tid = self._ids(new_trace=parent is None)
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id if parent is not None else tid,
+            span_id=sid,
+            parent_id=parent.span_id if parent is not None else None,
+            start_s=monotonic(),
+            thread=threading.current_thread().name,
+            attrs=attrs,
+        )
+        stack.append(span)
+        return _OpenSpan(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end_s = monotonic()
+        stack = self._stack()
+        # Pop through anything the body leaked (it cannot happen with
+        # context-managed children, but stay robust to misuse).
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        with self._lock:
+            if len(self._finished) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self._finished.append(span)
+
+    def record_span(
+        self, name: str, start_s: float, end_s: float, **attrs
+    ) -> Span:
+        """Attach an already-timed interval (e.g. queue wait measured
+        between two threads) as a completed child of the current span."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        sid, tid = self._ids(new_trace=parent is None)
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id if parent is not None else tid,
+            span_id=sid,
+            parent_id=parent.span_id if parent is not None else None,
+            start_s=start_s,
+            end_s=end_s,
+            thread=threading.current_thread().name,
+            attrs=attrs,
+        )
+        with self._lock:
+            if len(self._finished) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self._finished.append(span)
+        return span
+
+    def current(self) -> Span | None:
+        """This thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def open_depth(self) -> int:
+        """How many spans this thread currently has open (0 = balanced)."""
+        return len(self._stack())
+
+    # ------------------------------------------------------------------ #
+    # Inspection / export
+    # ------------------------------------------------------------------ #
+    def spans(self) -> list[Span]:
+        """Finished spans ordered by (trace, start time)."""
+        with self._lock:
+            out = list(self._finished)
+        out.sort(key=lambda s: (s.trace_id, s.start_s, s.span_id))
+        return out
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans() if s.parent_id is None]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self.dropped = 0
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, one line per finished span."""
+        return "\n".join(json.dumps(s.as_dict()) for s in self.spans())
+
+    def export_jsonl(self, fh) -> int:
+        """Write the JSON-lines trace to a file object; returns span count."""
+        spans = self.spans()
+        for s in spans:
+            fh.write(json.dumps(s.as_dict()) + "\n")
+        return len(spans)
+
+    def render_tree(self) -> str:
+        """ASCII rendering of the span forest, durations in ms."""
+        spans = self.spans()
+        children: dict[int | None, list[Span]] = {}
+        for s in spans:
+            children.setdefault(s.parent_id, []).append(s)
+        lines: list[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            attrs = ""
+            if span.attrs:
+                inner = ", ".join(f"{k}={v}" for k, v in span.attrs.items())
+                attrs = f"  {{{inner}}}"
+            err = f"  !{span.error}" if span.error else ""
+            lines.append(
+                f"{'  ' * depth}{span.name:<24s} "
+                f"{span.duration_s * 1e3:9.4f} ms{attrs}{err}"
+            )
+            for child in children.get(span.span_id, []):
+                emit(child, depth + 1)
+
+        for root in children.get(None, []):
+            emit(root, 0)
+        if self.dropped:
+            lines.append(f"... {self.dropped} spans dropped (max_spans reached)")
+        return "\n".join(lines)

@@ -26,7 +26,6 @@ economy behind one object:
 
 from __future__ import annotations
 
-import time
 import threading
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -49,6 +48,8 @@ from repro.formats.triangular import (
     upper_to_lower_mirror,
 )
 from repro.gpu.device import TITAN_RTX_SCALED, DeviceModel
+from repro.obs.clock import monotonic
+from repro.obs.runtime import Observability
 from repro.serve.cache import PlanCache
 from repro.serve.fingerprint import matrix_fingerprint, plan_key
 from repro.serve.stats import RequestRecord, ServiceStats
@@ -97,6 +98,9 @@ class ServiceConfig:
     check: bool = False
     #: relative residual tolerance used when ``check`` is on
     check_tol: float = DEFAULT_RESIDUAL_TOL
+    #: observability bundle (tracer + metrics) activated around every
+    #: request; ``None`` (default) disables instrumentation entirely
+    obs: Observability | None = None
 
 
 @dataclass
@@ -202,6 +206,8 @@ class SolveService:
                     self._admission.release()
                 with self._records_lock:
                     self._rejected += 1
+                if self.config.obs is not None:
+                    self.config.obs.serve_metrics.rejected_total.inc()
                 raise ServiceOverloadedError(
                     f"admission queue full ({self.config.queue_limit} in flight); "
                     "retry later or raise queue_limit"
@@ -213,7 +219,7 @@ class SolveService:
 
     def _deadline(self, timeout_s: float | None) -> float | None:
         t = self.config.timeout_s if timeout_s is None else timeout_s
-        return None if t is None else time.monotonic() + t
+        return None if t is None else monotonic() + t
 
     def submit(
         self,
@@ -236,7 +242,8 @@ class SolveService:
         request = SolveRequest(A=A, b=np.asarray(b), method=method)
         try:
             return self._pool.submit(self._run_group, [rid], request.A,
-                                     [request.b], request.method, deadline)
+                                     [request.b], request.method, deadline,
+                                     None, monotonic())
         except RuntimeError:
             self._release(1)
             raise ServiceClosedError("service has been shut down")
@@ -282,6 +289,7 @@ class SolveService:
             groups.setdefault((fp, r.method), []).append(pos)
         futures: list[tuple[list[int], Future]] = []
         submitted = 0
+        submitted_at = monotonic()
         try:
             for (fp, method), positions in groups.items():
                 fut = self._pool.submit(
@@ -292,6 +300,7 @@ class SolveService:
                     method,
                     deadline,
                     fp,
+                    submitted_at,
                 )
                 submitted += len(positions)
                 futures.append((positions, fut))
@@ -360,7 +369,7 @@ class SolveService:
             )
 
     def _check_deadline(self, deadline: float | None) -> None:
-        if deadline is not None and time.monotonic() > deadline:
+        if deadline is not None and monotonic() > deadline:
             raise ServiceTimeoutError("request deadline expired")
 
     def _run_group(
@@ -371,15 +380,58 @@ class SolveService:
         method: str | None,
         deadline: float | None,
         fingerprint: str | None = None,
+        submitted_at: float | None = None,
     ) -> list[SolveResult]:
-        t0 = time.perf_counter()
+        """Worker-thread entry: activate observability (when configured)
+        around the whole request, then run the group."""
+        t0 = monotonic()
+        obs = self.config.obs
+        if obs is None:
+            return self._run_group_inner(rids, A, bs, method, deadline,
+                                         fingerprint, t0, None)
+        metrics = obs.serve_metrics
+        with obs.activate():
+            with obs.span(
+                "serve.request",
+                method=method or self.config.method,
+                coalesced=len(rids),
+            ):
+                if submitted_at is not None:
+                    obs.tracer.record_span("serve.queue_wait", submitted_at, t0)
+                    metrics.queue_wait.observe(max(0.0, t0 - submitted_at))
+                try:
+                    return self._run_group_inner(rids, A, bs, method, deadline,
+                                                 fingerprint, t0, obs)
+                except ServiceTimeoutError:
+                    metrics.requests_total.inc(len(rids), status="timeout")
+                    raise
+                except Exception:
+                    metrics.requests_total.inc(len(rids), status="error")
+                    raise
+
+    def _run_group_inner(
+        self,
+        rids: list[int],
+        A: CSRMatrix,
+        bs: list[np.ndarray],
+        method: str | None,
+        deadline: float | None,
+        fingerprint: str | None,
+        t0: float,
+        obs: Observability | None,
+    ) -> list[SolveResult]:
         method = method or self.config.method
         coalesced = len(rids)
         fp = fingerprint or matrix_fingerprint(A)
         ncols = [1 if b.ndim == 1 else b.shape[1] for b in bs]
+        if obs is not None:
+            current = obs.tracer.current()
+            if current is not None:
+                current.set(fingerprint=fp, n=A.n_rows, nnz=A.nnz,
+                            n_rhs=sum(ncols))
 
         def fail_records(error: str | None, timed_out: bool = False) -> None:
-            wall = time.perf_counter() - t0
+            wall = monotonic() - t0
             for rid, k in zip(rids, ncols):
                 self._record(RequestRecord(
                     request_id=rid, fingerprint=fp, method=method,
@@ -396,9 +448,19 @@ class SolveService:
             key = plan_key(fp, method, self.config.device,
                            self.config.solver_options
                            if method == self.config.method else {})
-            entry, hit = self.cache.get_or_build(
-                key, lambda: self._build_entry(A, method)
-            )
+            if obs is None:
+                entry, hit = self.cache.get_or_build(
+                    key, lambda: self._build_entry(A, method)
+                )
+            else:
+                with obs.span("serve.cache_lookup", method=method) as sp:
+                    entry, hit = self.cache.get_or_build(
+                        key, lambda: self._build_entry(A, method)
+                    )
+                    sp.set(result="hit" if hit else "miss")
+                obs.serve_metrics.cache_lookups.inc(
+                    result="hit" if hit else "miss"
+                )
             if self._fault_injector is not None:
                 self._fault_injector.before_solve(entry.method)
             # The plan (possibly just built and cached) survives a
@@ -409,11 +471,22 @@ class SolveService:
             B0 = cols[0] if len(cols) == 1 else np.concatenate(cols, axis=1)
             B = B0 if entry.perm is None else B0[entry.perm]
             total = B.shape[1]
-            if total == 1:
-                y, report = entry.prepared.solve(B[:, 0])
-                Y = y[:, None]
+            if obs is None:
+                if total == 1:
+                    y, report = entry.prepared.solve(B[:, 0])
+                    Y = y[:, None]
+                else:
+                    Y, report = entry.prepared.solve_multi(B)
             else:
-                Y, report = entry.prepared.solve_multi(B)
+                with obs.span(
+                    "serve.solve", method=entry.method, n_rhs=total
+                ) as sp:
+                    if total == 1:
+                        y, report = entry.prepared.solve(B[:, 0])
+                        Y = y[:, None]
+                    else:
+                        Y, report = entry.prepared.solve_multi(B)
+                    sp.set(sim_time_s=report.time_s, launches=report.launches)
             if entry.perm is not None:
                 X = np.empty_like(Y)
                 X[entry.perm] = Y
@@ -425,7 +498,7 @@ class SolveService:
                     context=f"service:{entry.method}",
                 )
 
-            wall = time.perf_counter() - t0
+            wall = monotonic() - t0
             prep_s = 0.0 if hit else entry.prepared.preprocessing_time_s
             results: list[SolveResult] = []
             col = 0
@@ -448,6 +521,13 @@ class SolveService:
                     launches=share.launches, gflops=share.gflops,
                     wall_time_s=wall,
                 ))
+                if obs is not None:
+                    metrics = obs.serve_metrics
+                    metrics.requests_total.inc(status="ok")
+                    metrics.request_latency.observe(wall)
+                    metrics.sim_latency.observe(prep_s + share.time_s)
+                    if entry.fallback:
+                        metrics.fallbacks_total.inc()
             return results
         except ServiceTimeoutError:
             fail_records(None, timed_out=True)

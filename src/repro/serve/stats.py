@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.serve.cache import CacheStats
 
-__all__ = ["RequestRecord", "ServiceStats"]
+__all__ = ["RequestRecord", "ServiceStats", "percentile"]
 
 
 @dataclass
@@ -76,6 +76,20 @@ def _mean(xs: list[float]) -> float:
     return sum(xs) / len(xs) if xs else 0.0
 
 
+def percentile(xs: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 on an empty sample.
+
+    Nearest-rank keeps every reported value an actually observed latency
+    — no interpolation between a hit and a miss inventing a latency no
+    request ever saw.
+    """
+    if not xs:
+        return 0.0
+    xs = sorted(xs)
+    rank = max(1, -(-len(xs) * q // 100))  # ceil(len * q / 100), >= 1
+    return xs[min(len(xs), int(rank)) - 1]
+
+
 @dataclass
 class ServiceStats:
     """Aggregate snapshot over the records a service has kept."""
@@ -101,6 +115,12 @@ class ServiceStats:
     hit_mean_latency_s: float = 0.0
     miss_mean_latency_s: float = 0.0
     mean_wall_time_s: float = 0.0
+    p50_wall_time_s: float = 0.0
+    p95_wall_time_s: float = 0.0
+    p99_wall_time_s: float = 0.0
+    p50_sim_latency_s: float = 0.0
+    p95_sim_latency_s: float = 0.0
+    p99_sim_latency_s: float = 0.0
     cache: CacheStats | None = None
     detail: dict = field(default_factory=dict)
 
@@ -115,6 +135,8 @@ class ServiceStats:
         ok = [r for r in records if r.ok]
         hits = [r for r in ok if r.cache_hit]
         misses = [r for r in ok if not r.cache_hit]
+        walls = [r.wall_time_s for r in ok]
+        sims = [r.sim_latency_s for r in ok]
         return cls(
             requests=len(records),
             completed=len(ok),
@@ -134,7 +156,13 @@ class ServiceStats:
             mean_gflops=_mean([r.gflops for r in ok]),
             hit_mean_latency_s=_mean([r.sim_latency_s for r in hits]),
             miss_mean_latency_s=_mean([r.sim_latency_s for r in misses]),
-            mean_wall_time_s=_mean([r.wall_time_s for r in ok]),
+            mean_wall_time_s=_mean(walls),
+            p50_wall_time_s=percentile(walls, 50),
+            p95_wall_time_s=percentile(walls, 95),
+            p99_wall_time_s=percentile(walls, 99),
+            p50_sim_latency_s=percentile(sims, 50),
+            p95_sim_latency_s=percentile(sims, 95),
+            p99_sim_latency_s=percentile(sims, 99),
             cache=cache,
         )
 
@@ -167,6 +195,12 @@ class ServiceStats:
             "miss_mean_latency_s": self.miss_mean_latency_s,
             "hit_speedup": self.hit_speedup,
             "mean_wall_time_s": self.mean_wall_time_s,
+            "p50_wall_time_s": self.p50_wall_time_s,
+            "p95_wall_time_s": self.p95_wall_time_s,
+            "p99_wall_time_s": self.p99_wall_time_s,
+            "p50_sim_latency_s": self.p50_sim_latency_s,
+            "p95_sim_latency_s": self.p95_sim_latency_s,
+            "p99_sim_latency_s": self.p99_sim_latency_s,
         }
         if self.cache is not None:
             out["cache"] = self.cache.as_dict()
@@ -192,6 +226,12 @@ class ServiceStats:
             f"  latency       hit mean {self.hit_mean_latency_s * 1e3:9.4f} ms   "
             f"miss mean {self.miss_mean_latency_s * 1e3:9.4f} ms   "
             f"(speedup {self.hit_speedup:.1f}x)",
+            f"  wall p50/95/99 {self.p50_wall_time_s * 1e3:8.4f} / "
+            f"{self.p95_wall_time_s * 1e3:.4f} / "
+            f"{self.p99_wall_time_s * 1e3:.4f} ms   "
+            f"sim p50/95/99 {self.p50_sim_latency_s * 1e3:.4f} / "
+            f"{self.p95_sim_latency_s * 1e3:.4f} / "
+            f"{self.p99_sim_latency_s * 1e3:.4f} ms",
             f"  throughput    {self.mean_gflops:.3f} mean simulated GFLOPS over "
             f"{self.total_rhs} right-hand sides",
         ]

@@ -22,7 +22,6 @@ path.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 
@@ -41,6 +40,7 @@ from repro.formats.triangular import is_lower_triangular, upper_to_lower_mirror
 from repro.gpu.device import TITAN_RTX_SCALED, DeviceModel
 from repro.kernels.sptrsv_serial import solve_serial
 from repro.matrices import generators as gen
+from repro.obs.clock import monotonic
 from repro.validate.invariants import DEFAULT_RESIDUAL_TOL, check_plan
 
 __all__ = [
@@ -513,7 +513,7 @@ def run_fuzz(
     log:
         Optional callable taking progress strings.
     """
-    t0 = time.perf_counter()
+    t0 = monotonic()
     methods = list(methods) if methods is not None else available_methods()
     families = list(families) if families is not None else list(FAMILIES)
     unknown = [f for f in families if f not in FAMILIES]
@@ -563,7 +563,7 @@ def run_fuzz(
         for f in report.failures:
             if f.via == "direct":
                 f.minimized = minimize_failure(f, device, tol)
-    report.elapsed_s = time.perf_counter() - t0
+    report.elapsed_s = monotonic() - t0
     return report
 
 

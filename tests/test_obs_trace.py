@@ -1,0 +1,150 @@
+"""Span tracer: nesting, thread isolation, error capture, JSONL export."""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import SPAN_SCHEMA_FIELDS, Tracer
+
+
+def test_nesting_builds_parent_child_tree():
+    tr = Tracer()
+    with tr.span("request", method="recursive-block"):
+        with tr.span("prepare"):
+            with tr.span("pack") as sp:
+                sp.set(n_segments=3)
+        with tr.span("solve"):
+            pass
+    spans = {s.name: s for s in tr.spans()}
+    assert set(spans) == {"request", "prepare", "pack", "solve"}
+    root = spans["request"]
+    assert root.parent_id is None
+    assert spans["prepare"].parent_id == root.span_id
+    assert spans["solve"].parent_id == root.span_id
+    assert spans["pack"].parent_id == spans["prepare"].span_id
+    # One trace; every span belongs to it.
+    assert {s.trace_id for s in spans.values()} == {root.trace_id}
+    assert spans["pack"].attrs["n_segments"] == 3
+    assert tr.open_depth() == 0
+
+
+def test_sibling_roots_get_distinct_traces():
+    tr = Tracer()
+    with tr.span("a"):
+        pass
+    with tr.span("b"):
+        pass
+    roots = tr.roots()
+    assert [s.name for s in roots] == ["a", "b"]
+    assert roots[0].trace_id != roots[1].trace_id
+
+
+def test_span_timing_is_monotonic_and_ordered():
+    tr = Tracer()
+    with tr.span("outer"):
+        with tr.span("inner"):
+            pass
+    outer, inner = (
+        {s.name: s for s in tr.spans()}[k] for k in ("outer", "inner")
+    )
+    assert outer.start_s <= inner.start_s
+    assert inner.end_s <= outer.end_s
+    assert outer.duration_s >= inner.duration_s >= 0.0
+
+
+def test_exception_marks_error_and_still_closes():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        with tr.span("request"):
+            with tr.span("solve"):
+                raise ValueError("boom")
+    spans = {s.name: s for s in tr.spans()}
+    assert spans["solve"].error == "ValueError"
+    assert spans["request"].error == "ValueError"
+    assert tr.open_depth() == 0
+
+
+def test_current_and_record_span():
+    tr = Tracer()
+    assert tr.current() is None
+    with tr.span("request") as sp:
+        assert tr.current() is sp
+        queued = tr.record_span("queue_wait", 1.0, 1.25)
+        assert queued.parent_id == sp.span_id
+        assert queued.trace_id == sp.trace_id
+    assert tr.current() is None
+    waits = [s for s in tr.spans() if s.name == "queue_wait"]
+    assert len(waits) == 1 and waits[0].duration_s == pytest.approx(0.25)
+
+
+def test_thread_local_stacks_do_not_adopt_foreign_parents():
+    tr = Tracer()
+    barrier = threading.Barrier(4)
+
+    def request(i: int) -> None:
+        barrier.wait()
+        with tr.span("request", worker=i):
+            with tr.span("child", worker=i):
+                pass
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        list(pool.map(request, range(4)))
+
+    roots = tr.roots()
+    assert len(roots) == 4
+    assert len({r.trace_id for r in roots}) == 4
+    by_id = {s.span_id: s for s in tr.spans()}
+    for s in tr.spans():
+        if s.parent_id is None:
+            continue
+        parent = by_id[s.parent_id]
+        # A child's parent was opened by the same worker on the same
+        # thread — never another request's span.
+        assert parent.attrs["worker"] == s.attrs["worker"]
+        assert parent.thread == s.thread
+        assert s.trace_id == parent.trace_id
+
+
+def test_jsonl_schema_and_roundtrip():
+    tr = Tracer()
+    with tr.span("request", method="row-block"):
+        with tr.span("solve"):
+            pass
+    lines = tr.to_jsonl().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        record = json.loads(line)
+        for key in SPAN_SCHEMA_FIELDS:
+            assert key in record, key
+    # export_jsonl writes the same records and reports the count.
+    import io
+
+    buf = io.StringIO()
+    assert tr.export_jsonl(buf) == 2
+    assert buf.getvalue().strip().splitlines() == lines
+
+
+def test_max_spans_drops_and_reports():
+    tr = Tracer(max_spans=3)
+    for _ in range(5):
+        with tr.span("s"):
+            pass
+    assert len(tr.spans()) == 3
+    assert tr.dropped == 2
+    assert "2 spans dropped" in tr.render_tree()
+    tr.clear()
+    assert tr.spans() == [] and tr.dropped == 0
+
+
+def test_render_tree_indents_children():
+    tr = Tracer()
+    with tr.span("request"):
+        with tr.span("solve"):
+            pass
+    lines = tr.render_tree().splitlines()
+    assert lines[0].startswith("request")
+    assert lines[1].startswith("  solve")
