@@ -25,6 +25,7 @@ from repro.core.adaptive import (
     PAPER_THRESHOLDS,
     SelectionThresholds,
 )
+from repro.core.executor import CompiledPlan, compile_plan
 from repro.core.solver import (
     available_methods,
     ColumnBlockSolver,
@@ -107,6 +108,8 @@ __all__ = [
     # solvers
     "TriangularSolver",
     "PreparedSolve",
+    "CompiledPlan",
+    "compile_plan",
     "SerialSolver",
     "LevelSetSolver",
     "CuSparseSolver",

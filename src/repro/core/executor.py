@@ -1,0 +1,522 @@
+"""Compiled execution plans: the zero-allocation repeated-solve path.
+
+An :class:`ExecutionPlan` is built once and then solved thousands of
+times (the Table 5 economics — ILU factors inside Krylov loops, repeated
+right-hand-side streams).  The plain ``plan.solve`` still pays, on every
+call, per-segment ``isinstance`` dispatch, a re-derived work dtype,
+fresh work/output allocations, and the construction of one
+:class:`KernelReport` per segment even though every built-in kernel's
+report is a pure function of ``(aux, device, n_rhs)``.
+
+:func:`compile_plan` hoists all of that to compile time:
+
+* each segment becomes a prebound step object — kernel, aux, slice
+  bounds and numeric engine resolved once, no type tests on the hot path;
+* one simulated :class:`KernelReport` per segment is *frozen* at compile
+  time (guarded by the kernels' ``pure_report`` contract) and re-merged
+  cheaply per solve;
+* work/scratch buffers come from a per-plan :class:`_ArenaPool`, keyed
+  by ``(dtype, n_rhs)`` and safe under the serve thread pool, so warm
+  solves allocate nothing but the result array they hand back;
+* the dtype-promotion decision (`solve_dtype`) is memoized per input
+  dtype;
+* per triangular segment, a *numeric engine* is chosen at compile time:
+  when SciPy's SuperLU bindings are importable, the segment's factor is
+  converted to CSC once and repeated solves call ``gstrs`` directly
+  (everything ``scipy.sparse.linalg.spsolve_triangular`` re-derives per
+  call — the CSC conversion, diagonal scaling, index casts — is hoisted
+  here).  The engine must *beat the kernel's own sweep on a timed probe
+  and reproduce its result* to be selected; otherwise the kernel's
+  ``solve_numeric`` runs unchanged.  With SciPy absent everything still
+  works on the kernel path.
+
+Observability is preserved by construction: with an active
+:class:`repro.obs.Observability` the compiled plan delegates to
+``plan.solve`` so spans, per-segment profiles and the live traffic
+counters are identical to the uncompiled path; the disabled-obs check
+remains a single thread-local lookup.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError
+from repro.gpu.device import DeviceModel
+from repro.gpu.report import KernelReport, SolveReport, merge_reports
+from repro.kernels.base import PreparedLower, solve_dtype
+from repro.core.plan import ExecutionPlan, TriSegment
+from repro.obs import runtime as obs_runtime
+
+__all__ = ["CompiledPlan", "compile_plan"]
+
+try:  # pragma: no cover - exercised only where SciPy is installed
+    from scipy.sparse import csr_array, diags_array
+    from scipy.sparse.linalg._dsolve import _superlu
+
+    _HAVE_SUPERLU = True
+except Exception:  # pragma: no cover - SciPy absent or layout changed
+    _HAVE_SUPERLU = False
+
+#: engines must reproduce the kernel's probe solution to this relative
+#: tolerance or the segment stays on the kernel path
+ENGINE_VERIFY_RTOL = 1e-9
+#: segments smaller than this never get a SuperLU engine (the per-call
+#: library overhead exceeds any win on a handful of rows)
+ENGINE_MIN_ROWS = 16
+#: arenas retained per (dtype, n_rhs) key when idle
+_POOL_KEEP = 8
+
+
+# --------------------------------------------------------------------- #
+# Numeric engines
+# --------------------------------------------------------------------- #
+class _GstrsEngine:
+    """A hoisted SuperLU forward-substitution for one triangular segment.
+
+    Precomputes what ``scipy.sparse.linalg.spsolve_triangular`` rebuilds
+    on every call: the CSC form of the unit-scaled factor ``L D^{-1}``,
+    the ``intc`` index arrays SuperLU wants, the empty upper factor, and
+    the inverse diagonal applied to the returned solution.
+    """
+
+    __slots__ = (
+        "n", "dtype", "l_nnz", "l_data", "l_indices", "l_indptr",
+        "u_nnz", "u_data", "u_indices", "u_indptr", "invdiag",
+    )
+
+    def __init__(self, prep: PreparedLower, dtype: np.dtype) -> None:
+        L = prep.L
+        n = L.n_rows
+        A = csr_array(
+            (L.data.astype(dtype, copy=False), L.indices, L.indptr),
+            shape=(n, n),
+        ).tocsc()
+        invdiag = (1.0 / prep.diag).astype(dtype, copy=False)
+        A = (A @ diags_array(invdiag)).astype(dtype, copy=False)
+        A.sum_duplicates()
+        self.n = n
+        self.dtype = dtype
+        self.l_nnz = int(A.nnz)
+        self.l_data = A.data
+        self.l_indices = A.indices.astype(np.intc, copy=False)
+        self.l_indptr = A.indptr.astype(np.intc, copy=False)
+        # SuperLU's gstrs interface also takes the (here empty) U factor.
+        self.u_nnz = 0
+        self.u_data = np.zeros(0, dtype=dtype)
+        self.u_indices = np.zeros(0, dtype=np.intc)
+        self.u_indptr = np.zeros(n + 1, dtype=np.intc)
+        self.invdiag = invdiag
+
+    def solve_into(self, bseg: np.ndarray, outseg: np.ndarray,
+                   scratch: np.ndarray) -> None:
+        """``outseg = L^{-1} bseg`` using ``scratch`` as the mutable RHS."""
+        scratch[...] = bseg
+        x, info = _superlu.gstrs(
+            "N",
+            self.n, self.l_nnz, self.l_data, self.l_indices, self.l_indptr,
+            self.n, self.u_nnz, self.u_data, self.u_indices, self.u_indptr,
+            scratch,
+        )
+        if info:
+            raise RuntimeError(f"SuperLU gstrs failed (info={info})")
+        x = x.reshape(scratch.shape)
+        if x.ndim == 2:
+            np.multiply(x, self.invdiag[:, None], out=outseg, casting="unsafe")
+        else:
+            np.multiply(x, self.invdiag, out=outseg, casting="unsafe")
+
+
+# --------------------------------------------------------------------- #
+# Compiled steps
+# --------------------------------------------------------------------- #
+class _TriStep:
+    """One prebound triangular sub-solve."""
+
+    __slots__ = ("lo", "hi", "kernel", "aux", "device", "prep",
+                 "try_engine", "_engines")
+
+    def __init__(self, seg: TriSegment, device: DeviceModel,
+                 try_engine: bool) -> None:
+        self.lo = int(seg.lo)
+        self.hi = int(seg.hi)
+        self.kernel = seg.kernel
+        self.aux = seg.aux
+        self.device = device
+        self.prep = _segment_prep(seg)
+        self.try_engine = bool(
+            try_engine
+            and _HAVE_SUPERLU
+            and self.prep is not None
+            and self.hi - self.lo >= ENGINE_MIN_ROWS
+            and seg.kernel.name != "diagonal"
+        )
+        #: work dtype -> verified engine, or None after a failed attempt
+        self._engines: dict = {}
+
+    # -- engine management ------------------------------------------- #
+    def _build_engine(self, work_dtype: np.dtype):
+        """Build + verify an engine for this work dtype; None on failure."""
+        try:
+            compute = solve_dtype(self.prep.L.data.dtype, work_dtype)
+            engine = _GstrsEngine(self.prep, compute)
+            n = self.hi - self.lo
+            probe = np.linspace(0.5, 1.5, n).astype(work_dtype, copy=False)
+            ref = np.asarray(
+                self.kernel.solve_numeric(self.aux, probe, self.device)
+            )
+            got = np.empty(n, dtype=work_dtype)
+            engine.solve_into(probe, got, np.empty(n, dtype=compute))
+            scale = max(1.0, float(np.max(np.abs(ref))) if n else 0.0)
+            err = float(np.max(np.abs(got - ref))) if n else 0.0
+            if not np.isfinite(err) or err > ENGINE_VERIFY_RTOL * scale:
+                return None
+            # Keep the engine only when it actually beats the kernel's
+            # own numerics on a timed probe (min of 2 reps each).
+            scratch = np.empty(n, dtype=compute)
+            t_eng = _best_of(
+                lambda: engine.solve_into(probe, got, scratch)
+            )
+            t_ker = _best_of(
+                lambda: self.kernel.solve_numeric(self.aux, probe, self.device)
+            )
+            return engine if t_eng < t_ker else None
+        except Exception:
+            return None
+
+    def _engine_for(self, work_dtype):
+        key = work_dtype
+        if key not in self._engines:
+            self._engines[key] = self._build_engine(np.dtype(work_dtype))
+        return self._engines[key]
+
+    # -- hot path ----------------------------------------------------- #
+    def run(self, work: np.ndarray, out: np.ndarray,
+            scratch: np.ndarray | None) -> None:
+        lo, hi = self.lo, self.hi
+        if self.try_engine and scratch is not None:
+            engine = self._engine_for(out.dtype)
+            if engine is not None:
+                engine.solve_into(work[lo:hi], out[lo:hi], scratch[lo:hi])
+                return
+        out[lo:hi] = self.kernel.solve_numeric(
+            self.aux, work[lo:hi], self.device
+        )
+
+    def run_multi(self, work: np.ndarray, out: np.ndarray,
+                  scratch: np.ndarray | None) -> None:
+        lo, hi = self.lo, self.hi
+        if self.try_engine and scratch is not None:
+            engine = self._engine_for(out.dtype)
+            if engine is not None:
+                engine.solve_into(work[lo:hi], out[lo:hi], scratch[lo:hi])
+                return
+        out[lo:hi] = self.kernel.solve_numeric_multi(
+            self.aux, work[lo:hi], self.device
+        )
+
+
+class _SpMVStep:
+    """One prebound rectangular update ``b[rows] -= A @ x[cols]``."""
+
+    __slots__ = ("row_lo", "row_hi", "col_lo", "col_hi", "matrix", "kernel")
+
+    def __init__(self, seg) -> None:
+        self.row_lo = int(seg.row_lo)
+        self.row_hi = int(seg.row_hi)
+        self.col_lo = int(seg.col_lo)
+        self.col_hi = int(seg.col_hi)
+        self.matrix = seg.matrix
+        self.kernel = seg.kernel
+
+    def run(self, work, out, scratch) -> None:
+        self.kernel.run_numeric(
+            self.matrix,
+            out[self.col_lo:self.col_hi],
+            work[self.row_lo:self.row_hi],
+        )
+
+    def run_multi(self, work, out, scratch) -> None:
+        self.kernel.run_numeric_multi(
+            self.matrix,
+            out[self.col_lo:self.col_hi],
+            work[self.row_lo:self.row_hi],
+        )
+
+
+def _segment_prep(seg: TriSegment) -> PreparedLower | None:
+    """The segment's :class:`PreparedLower`, however the kernel stores it."""
+    aux = seg.aux
+    if isinstance(aux, PreparedLower):
+        return aux
+    sched = getattr(aux, "sched", None)
+    prep = getattr(sched, "prep", None)
+    if isinstance(prep, PreparedLower):
+        return prep
+    return None
+
+
+def _best_of(fn, reps: int = 2) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# --------------------------------------------------------------------- #
+# Scratch arenas
+# --------------------------------------------------------------------- #
+class _Arena:
+    """Work + permuted-output + engine-scratch buffers for one solve."""
+
+    __slots__ = ("work", "out", "scratch")
+
+    def __init__(self, n: int, k: int, work_dtype, scratch_dtype,
+                 with_out: bool) -> None:
+        # k == 0 encodes the 1-D single-RHS shape; (n, 1) stays 2-D.
+        shape = (n,) if k == 0 else (n, k)
+        self.work = np.empty(shape, dtype=work_dtype)
+        self.out = np.empty(shape, dtype=work_dtype) if with_out else None
+        self.scratch = (
+            np.empty(shape, dtype=scratch_dtype)
+            if scratch_dtype is not None else None
+        )
+
+
+class _ArenaPool:
+    """Bounded free-lists of arenas keyed by ``(dtype, n_rhs)``.
+
+    Thread-safe: concurrent solves on the serve pool each check out
+    their own arena, so buffer reuse can never mix two requests' data.
+    """
+
+    def __init__(self, n: int, scratch_dtype_for, with_out: bool) -> None:
+        self._n = n
+        self._scratch_dtype_for = scratch_dtype_for
+        self._with_out = with_out
+        self._lock = threading.Lock()
+        self._free: dict[tuple, list[_Arena]] = {}
+
+    def acquire(self, dtype: np.dtype, k: int) -> _Arena:
+        key = (dtype, k)
+        with self._lock:
+            stack = self._free.get(key)
+            if stack:
+                return stack.pop()
+        return _Arena(
+            self._n, k, dtype, self._scratch_dtype_for(dtype), self._with_out
+        )
+
+    def release(self, dtype: np.dtype, k: int, arena: _Arena) -> None:
+        key = (dtype, k)
+        with self._lock:
+            stack = self._free.setdefault(key, [])
+            if len(stack) < _POOL_KEEP:
+                stack.append(arena)
+
+
+# --------------------------------------------------------------------- #
+# The compiled plan
+# --------------------------------------------------------------------- #
+class CompiledPlan:
+    """A reusable, allocation-free executor over an :class:`ExecutionPlan`.
+
+    Built via :func:`compile_plan` (or lazily by
+    :meth:`repro.PreparedSolve.compile`).  ``solve``/``solve_multi``
+    return exactly what the plan's own methods return — same solution,
+    same dtype promotion, same simulated :class:`SolveReport` — but the
+    warm path does no per-segment dispatch, no report construction and
+    no work-buffer allocation.  Plans containing kernels that do not
+    declare ``pure_report`` simply delegate to the plan (correct, just
+    not compiled).
+    """
+
+    def __init__(self, plan: ExecutionPlan, device: DeviceModel) -> None:
+        self.plan = plan
+        self.device = device
+        self.n = plan.n
+        self.method = plan.method
+        self.perm = plan.perm
+        self.pure = all(
+            getattr(seg.kernel, "pure_report", False) for seg in plan.segments
+        )
+        self._dtype_cache: dict = {}
+        self._multi_frozen: dict[int, tuple[list[KernelReport], SolveReport]] = {}
+        self._multi_lock = threading.Lock()
+        if not self.pure:
+            self._steps = []
+            self._frozen = []
+            self._merged = None
+            self._pool = None
+            return
+        self._steps = [
+            _TriStep(seg, device, try_engine=True)
+            if isinstance(seg, TriSegment) else _SpMVStep(seg)
+            for seg in plan.segments
+        ]
+        # Triangular segments tiling [0, n) exactly means every output
+        # element is written before it is read — no zero-fill needed.
+        spans = sorted((s.lo, s.hi) for s in plan.tri_segments)
+        tiled, edge = True, 0
+        for lo, hi in spans:
+            if lo != edge:
+                tiled = False
+                break
+            edge = hi
+        self._needs_zero = not (tiled and edge == self.n)
+        mat_dtypes = [
+            s.prep.L.data.dtype for s in self._steps
+            if isinstance(s, _TriStep) and s.try_engine
+        ]
+        self._mat_dtype = np.result_type(*mat_dtypes) if mat_dtypes else None
+        self._pool = _ArenaPool(
+            self.n, self._scratch_dtype, with_out=self.perm is not None
+        )
+        self._frozen, self._merged = self._capture()
+
+    # -- compile-time capture ----------------------------------------- #
+    def _scratch_dtype(self, work_dtype):
+        if self._mat_dtype is None:
+            return None
+        return solve_dtype(self._mat_dtype, work_dtype)
+
+    def _capture(self) -> tuple[list[KernelReport], SolveReport]:
+        """One probe execution freezing the per-segment reports.
+
+        Safe because every kernel in the plan declared ``pure_report``:
+        the simulated report depends only on ``(aux, device, n_rhs)``.
+        """
+        work = np.linspace(0.5, 1.5, self.n)
+        out = np.zeros(self.n)
+        reports = [
+            self.plan._run_segment(seg, work, out, self.device, False)
+            for seg in self.plan.segments
+        ]
+        merged = merge_reports(
+            self.method,
+            reports,
+            n_tri=self.plan.n_tri_segments,
+            n_spmv=self.plan.n_spmv_segments,
+        )
+        return reports, merged
+
+    def _capture_multi(self, B_work: np.ndarray, X: np.ndarray):
+        """First solve at a new RHS width: run through the kernels'
+        reporting path once, freeze the per-k reports for every later
+        solve of the same width."""
+        reports = [
+            self.plan._run_segment(seg, B_work, X, self.device, True)
+            for seg in self.plan.segments
+        ]
+        merged = merge_reports(
+            self.method, reports, n_rhs=B_work.shape[1], fused=True
+        )
+        with self._multi_lock:
+            self._multi_frozen.setdefault(B_work.shape[1], (reports, merged))
+        return merged
+
+    def _work_dtype(self, b_dtype) -> np.dtype:
+        dt = self._dtype_cache.get(b_dtype)
+        if dt is None:
+            dt = solve_dtype(b_dtype)
+            self._dtype_cache[b_dtype] = dt
+        return dt
+
+    def _fresh_report(self, merged: SolveReport) -> SolveReport:
+        return SolveReport(
+            method=merged.method,
+            time_s=merged.time_s,
+            flops=merged.flops,
+            launches=merged.launches,
+            bytes_moved=merged.bytes_moved,
+            kernels=list(merged.kernels),
+            detail=dict(merged.detail),
+        )
+
+    # -- hot paths ----------------------------------------------------- #
+    def solve(self, b: np.ndarray) -> tuple[np.ndarray, SolveReport]:
+        """One SpTRSV; drop-in for ``plan.solve(b, device)``."""
+        if not self.pure or obs_runtime.active() is not None:
+            return self.plan.solve(b, self.device)
+        b = np.asarray(b)
+        if b.shape != (self.n,):
+            raise ShapeMismatchError(f"b must have shape ({self.n},)")
+        dtype = self._work_dtype(b.dtype)
+        arena = self._pool.acquire(dtype, 0)
+        try:
+            work = arena.work
+            perm = self.perm
+            if perm is not None:
+                if b.dtype == dtype:
+                    np.take(b, perm, out=work)
+                else:
+                    work[...] = b[perm]
+            else:
+                np.copyto(work, b, casting="unsafe")
+            result = np.empty(self.n, dtype=dtype)
+            out = result if perm is None else arena.out
+            if self._needs_zero:
+                out.fill(0)
+            scratch = arena.scratch
+            for step in self._steps:
+                step.run(work, out, scratch)
+            if perm is not None:
+                result[perm] = out
+        finally:
+            self._pool.release(dtype, 0, arena)
+        return result, self._fresh_report(self._merged)
+
+    def solve_multi(self, B: np.ndarray) -> tuple[np.ndarray, SolveReport]:
+        """Fused multi-RHS solve; drop-in for ``plan.solve_multi``."""
+        if not self.pure or obs_runtime.active() is not None:
+            return self.plan.solve_multi(B, self.device)
+        B = np.asarray(B)
+        if B.ndim != 2 or B.shape[0] != self.n:
+            raise ShapeMismatchError(f"B must have shape ({self.n}, k)")
+        k = B.shape[1]
+        dtype = self._work_dtype(B.dtype)
+        arena = self._pool.acquire(dtype, k)
+        try:
+            work = arena.work
+            perm = self.perm
+            if perm is not None:
+                if B.dtype == dtype:
+                    np.take(B, perm, axis=0, out=work)
+                else:
+                    work[...] = B[perm]
+            else:
+                np.copyto(work, B, casting="unsafe")
+            result = np.empty((self.n, k), dtype=dtype)
+            out = result if perm is None else arena.out
+            frozen = self._multi_frozen.get(k)
+            if frozen is None:
+                out.fill(0)
+                merged = self._fresh_report(self._capture_multi(work, out))
+            else:
+                if self._needs_zero:
+                    out.fill(0)
+                scratch = arena.scratch
+                for step in self._steps:
+                    step.run_multi(work, out, scratch)
+                merged = self._fresh_report(frozen[1])
+            if perm is not None:
+                result[perm] = out
+        finally:
+            self._pool.release(dtype, k, arena)
+        return result, merged
+
+
+def compile_plan(plan: ExecutionPlan, device: DeviceModel) -> CompiledPlan:
+    """Compile ``plan`` for repeated solves on ``device``.
+
+    Compilation itself costs roughly one probe solve per plan (plus one
+    CSC conversion per engine-eligible triangular segment) and is paid
+    once — the serve layer compiles at cache-insert time, so every
+    cache hit lands on the compiled hot path.
+    """
+    return CompiledPlan(plan, device)

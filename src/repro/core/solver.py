@@ -13,6 +13,7 @@ algorithms — implements the same two-phase interface the paper evaluates:
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -28,6 +29,7 @@ from repro.core.blocked_matrix import (
     build_improved_recursive_plan,
 )
 from repro.core.column_block import build_column_block_plan
+from repro.core.executor import CompiledPlan, compile_plan
 from repro.core.plan import ExecutionPlan, TriSegment
 from repro.core.planner import DEFAULT_ROW_FACTOR, choose_depth
 from repro.core.recursive_block import build_recursive_block_plan
@@ -40,7 +42,7 @@ from repro.gpu.report import KernelReport, SolveReport
 from repro.kernels import SPTRSV_KERNELS
 from repro.kernels.base import prepare_lower
 from repro.kernels.sptrsv_serial import SerialKernel
-from repro.obs.runtime import span as obs_span
+from repro.obs.runtime import active as obs_active, span as obs_span
 
 __all__ = [
     "TriangularSolver",
@@ -68,6 +70,12 @@ class PreparedSolve:
     device: DeviceModel
     preprocess_report: KernelReport
     blocked: RecursiveBlockedMatrix | None = None
+    #: lazily built CompiledPlan; False marks a failed compile so the
+    #: plan path is used without retrying on every solve
+    _compiled: object = field(default=None, repr=False, compare=False)
+    _compile_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def n(self) -> int:
@@ -77,9 +85,42 @@ class PreparedSolve:
     def preprocessing_time_s(self) -> float:
         return self.preprocess_report.time_s
 
+    def compile(self) -> CompiledPlan:
+        """The reusable zero-allocation executor for this plan.
+
+        Built lazily on the first (non-traced) solve and cached; the
+        serve layer calls this eagerly at cache-insert time so every
+        cache hit lands on the compiled hot path.  See
+        :mod:`repro.core.executor`.
+        """
+        compiled = self._compiled
+        if isinstance(compiled, CompiledPlan):
+            return compiled
+        with self._compile_lock:
+            if not isinstance(self._compiled, CompiledPlan):
+                self._compiled = compile_plan(self.plan, self.device)
+            return self._compiled
+
+    def _compile_quiet(self) -> CompiledPlan | None:
+        """compile(), degrading to the plan path on any failure."""
+        if self._compiled is False:
+            return None
+        try:
+            return self.compile()
+        except Exception:
+            self._compiled = False
+            return None
+
     def solve(self, b: np.ndarray) -> tuple[np.ndarray, SolveReport]:
         """One SpTRSV: exact solution + simulated timing report."""
-        return self.plan.solve(b, self.device)
+        # Traced solves take the instrumented plan path (identical
+        # spans/profile/traffic counters) and never trigger compilation.
+        if obs_active() is not None:
+            return self.plan.solve(b, self.device)
+        compiled = self._compile_quiet()
+        if compiled is None:
+            return self.plan.solve(b, self.device)
+        return compiled.solve(b)
 
     def solve_multi(
         self, B: np.ndarray, *, fused: bool = True
@@ -97,7 +138,12 @@ class PreparedSolve:
             x, rep = self.solve(B)
             return x, rep
         if fused:
-            return self.plan.solve_multi(B, self.device)
+            if obs_active() is not None:
+                return self.plan.solve_multi(B, self.device)
+            compiled = self._compile_quiet()
+            if compiled is None:
+                return self.plan.solve_multi(B, self.device)
+            return compiled.solve_multi(B)
         cols = []
         report = None
         for j in range(B.shape[1]):

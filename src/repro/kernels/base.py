@@ -104,6 +104,12 @@ class SpTRSVKernel(ABC):
 
     #: short identifier used by the adaptive selector and reports
     name: str = "abstract"
+    #: True when :meth:`solve`'s report is a pure function of
+    #: ``(aux, device, n_rhs)`` — independent of the right-hand side
+    #: values — so a compiled plan may freeze one report per segment and
+    #: reuse it across solves.  All built-in kernels qualify; external
+    #: kernels must opt in explicitly.
+    pure_report: bool = False
 
     @abstractmethod
     def preprocess(
@@ -116,6 +122,23 @@ class SpTRSVKernel(ABC):
         self, aux: object, b: np.ndarray, device: DeviceModel
     ) -> tuple[np.ndarray, KernelReport]:
         """Solve ``L x = b`` exactly; report simulated solve time."""
+
+    def solve_numeric(
+        self, aux: object, b: np.ndarray, device: DeviceModel
+    ) -> np.ndarray:
+        """Numerics only: the solution without constructing a report.
+
+        The compiled executor's hot path.  The default delegates to
+        :meth:`solve` and drops the report; built-in kernels override it
+        to skip report construction entirely.
+        """
+        return self.solve(aux, b, device)[0]
+
+    def solve_numeric_multi(
+        self, aux: object, B: np.ndarray, device: DeviceModel
+    ) -> np.ndarray:
+        """Multi-RHS numerics only (see :meth:`solve_numeric`)."""
+        return self.solve_multi(aux, B, device)[0]
 
     def solve_multi(
         self, aux: object, B: np.ndarray, device: DeviceModel

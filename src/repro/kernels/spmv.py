@@ -79,10 +79,28 @@ class SpMVKernel(ABC):
 
     name: str = "abstract"
     wants_dcsr: bool = False
+    #: True when :meth:`run`'s report is a pure function of
+    #: ``(A, device, n_rhs)`` — independent of the vector values — so a
+    #: compiled plan may freeze one report per segment (all four built-in
+    #: kernels qualify; external kernels must opt in explicitly).
+    pure_report: bool = True
 
     # ------------------------------------------------------------------ #
     # Numerics
     # ------------------------------------------------------------------ #
+    def run_numeric(self, A, x: np.ndarray, b: np.ndarray) -> None:
+        """``b -= A @ x`` with no shape checks and no report.
+
+        The compiled executor's hot path; shapes were validated when the
+        plan was compiled.  Kernels that override :meth:`run` with
+        different numerics must override this too.
+        """
+        b -= A.matvec(x).astype(b.dtype, copy=False)
+
+    def run_numeric_multi(self, A, X: np.ndarray, B: np.ndarray) -> None:
+        """Fused ``B -= A @ X`` without checks or a report."""
+        B -= A.matmat(X).astype(B.dtype, copy=False)
+
     def run(
         self, A, x: np.ndarray, b: np.ndarray, device: DeviceModel
     ) -> KernelReport:
@@ -112,6 +130,11 @@ class SpMVKernel(ABC):
     @abstractmethod
     def _cost(self, A, device: DeviceModel, n_rhs: int) -> tuple[float, dict]:
         """Simulated time of one (possibly fused) kernel call."""
+
+    def report(self, A, device: DeviceModel, n_rhs: int = 1) -> KernelReport:
+        """The simulated report of one (possibly fused) update, without
+        running the numerics — what a compiled plan freezes per segment."""
+        return self._report(A, device, n_rhs)
 
     def _report(self, A, device: DeviceModel, n_rhs: int) -> KernelReport:
         time, detail = self._cost(A, device, n_rhs)

@@ -70,6 +70,17 @@ class CuSparseLikeKernel(SpTRSVKernel):
     """SPTRSV-CUSPARSE of Algorithm 7; baseline (1) of Table 3."""
 
     name = "cusparse"
+    pure_report = True
+
+    def solve_numeric(
+        self, aux: _CuSparseAux, b: np.ndarray, device: DeviceModel
+    ) -> np.ndarray:
+        return sweep_solve(aux.sched, b)
+
+    def solve_numeric_multi(
+        self, aux: _CuSparseAux, B: np.ndarray, device: DeviceModel
+    ) -> np.ndarray:
+        return sweep_solve_multi(aux.sched, B)
 
     def preprocess(
         self, prep: PreparedLower, device: DeviceModel

@@ -24,6 +24,17 @@ class DiagonalKernel(SpTRSVKernel):
     """SPTRSV-COMPLETELYPARALLEL of Algorithm 7."""
 
     name = "diagonal"
+    pure_report = True
+
+    def solve_numeric(
+        self, aux: PreparedLower, b: np.ndarray, device: DeviceModel
+    ) -> np.ndarray:
+        return np.asarray(b) / aux.diag
+
+    def solve_numeric_multi(
+        self, aux: PreparedLower, B: np.ndarray, device: DeviceModel
+    ) -> np.ndarray:
+        return np.asarray(B) / aux.diag[:, None]
 
     def preprocess(
         self, prep: PreparedLower, device: DeviceModel

@@ -178,9 +178,20 @@ class LevelSetKernel(SpTRSVKernel):
     """
 
     name = "levelset"
+    pure_report = True
 
     def __init__(self, merge_levels: bool = False) -> None:
         self.merge_levels = merge_levels
+
+    def solve_numeric(
+        self, aux: _LevelSetAux, b: np.ndarray, device: DeviceModel
+    ) -> np.ndarray:
+        return sweep_solve(aux.sched, b)
+
+    def solve_numeric_multi(
+        self, aux: _LevelSetAux, B: np.ndarray, device: DeviceModel
+    ) -> np.ndarray:
+        return sweep_solve_multi(aux.sched, B)
 
     def preprocess(
         self, prep: PreparedLower, device: DeviceModel

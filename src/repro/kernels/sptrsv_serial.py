@@ -50,6 +50,20 @@ class SerialKernel(SpTRSVKernel):
     """Single-thread execution model of Algorithm 1."""
 
     name = "serial"
+    pure_report = True
+
+    def solve_numeric(
+        self, aux: PreparedLower, b: np.ndarray, device: DeviceModel
+    ) -> np.ndarray:
+        return solve_serial(aux.L, b)
+
+    def solve_numeric_multi(
+        self, aux: PreparedLower, B: np.ndarray, device: DeviceModel
+    ) -> np.ndarray:
+        B = np.asarray(B)
+        return np.stack(
+            [solve_serial(aux.L, B[:, j]) for j in range(B.shape[1])], axis=1
+        )
 
     def preprocess(
         self, prep: PreparedLower, device: DeviceModel

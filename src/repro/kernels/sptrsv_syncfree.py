@@ -89,6 +89,17 @@ class SyncFreeKernel(SpTRSVKernel):
     """SPTRSV-SYNC-FREE of Algorithm 7; baseline (2) of Table 3."""
 
     name = "syncfree"
+    pure_report = True
+
+    def solve_numeric(
+        self, aux: _SyncFreeAux, b: np.ndarray, device: DeviceModel
+    ) -> np.ndarray:
+        return sweep_solve(aux.sched, b)
+
+    def solve_numeric_multi(
+        self, aux: _SyncFreeAux, B: np.ndarray, device: DeviceModel
+    ) -> np.ndarray:
+        return sweep_solve_multi(aux.sched, B)
 
     def preprocess(
         self, prep: PreparedLower, device: DeviceModel

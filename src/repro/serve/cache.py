@@ -16,6 +16,10 @@ from typing import Any, Callable, Hashable
 
 __all__ = ["CacheStats", "PlanCache"]
 
+#: distinguishes "key absent" from a cached value that happens to be
+#: falsy (None/False/0) — ``get_or_build`` must never rebuild those
+_MISS = object()
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -74,13 +78,19 @@ class PlanCache:
 
     def get(self, key: Hashable) -> Any | None:
         """The cached value (refreshing recency) or ``None``; counts."""
+        value = self._lookup(key)
+        return None if value is _MISS else value
+
+    def _lookup(self, key: Hashable) -> Any:
+        """Like :meth:`get` but returns ``_MISS`` on absence, so callers
+        can tell a cached falsy value apart from a miss."""
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._hits += 1
                 return self._entries[key]
             self._misses += 1
-            return None
+            return _MISS
 
     def put(self, key: Hashable, value: Any) -> None:
         with self._lock:
@@ -96,8 +106,8 @@ class PlanCache:
 
     def get_or_build(self, key: Hashable, builder: Callable[[], Any]) -> tuple[Any, bool]:
         """``(value, was_hit)``; ``builder()`` runs at most once per miss."""
-        value = self.get(key)
-        if value is not None:
+        value = self._lookup(key)
+        if value is not _MISS:
             return value, True
         with self._lock:
             key_lock = self._key_locks.setdefault(key, threading.Lock())

@@ -12,7 +12,7 @@ shortcuts.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Mapping
+from typing import Any, Hashable, Mapping
 
 import numpy as np
 
@@ -37,6 +37,50 @@ def matrix_fingerprint(A: CSRMatrix) -> str:
     return h.hexdigest()
 
 
+def _canon_value(v: Any) -> Hashable:
+    """A hashable canonical form of an option value, safe against the
+    failure modes of ``repr``: numpy elides large arrays (``[0 1 2 ...
+    997 998 999]`` — two different arrays can print identically, silently
+    reusing the wrong plan), ``repr(np.float64(2.0)) != repr(2.0)``
+    splits equal options across cache entries, and default object reprs
+    embed memory addresses so the same option never matches twice.
+    Every value gets a type tag plus its exact content.
+    """
+    if isinstance(v, (bool, np.bool_)):  # before int: True == 1
+        return ("bool", bool(v))
+    if isinstance(v, (int, np.integer)):
+        return ("int", int(v))
+    if isinstance(v, (float, np.floating)):
+        return ("float", float(v).hex())  # exact bits, incl. -0.0 vs 0.0
+    if isinstance(v, (complex, np.complexfloating)):
+        return ("complex", complex(v).real.hex(), complex(v).imag.hex())
+    if isinstance(v, str):
+        return ("str", v)
+    if isinstance(v, bytes):
+        return ("bytes", v)
+    if v is None:
+        return ("none",)
+    if isinstance(v, np.ndarray):
+        return (
+            "ndarray",
+            str(v.dtype),
+            v.shape,
+            np.ascontiguousarray(v).tobytes(),
+        )
+    if isinstance(v, np.generic):  # remaining scalar kinds (e.g. bool_)
+        return ("npscalar", str(v.dtype), v.item())
+    if isinstance(v, (list, tuple)):
+        return ("seq", tuple(_canon_value(x) for x in v))
+    if isinstance(v, Mapping):
+        return (
+            "map",
+            tuple(
+                sorted((str(k), _canon_value(x)) for k, x in v.items())
+            ),
+        )
+    return ("repr", type(v).__qualname__, repr(v))
+
+
 def plan_key(
     fingerprint: str,
     method: str,
@@ -47,7 +91,14 @@ def plan_key(
 
     A plan is reusable only for the same matrix content, method, device
     model, and solver options — any of these changes the preprocessing
-    output, so all of them key the cache.
+    output, so all of them key the cache.  Option values are
+    canonicalized by :func:`_canon_value` (type tag + exact content)
+    rather than ``repr``.
     """
-    opts = tuple(sorted((k, repr(v)) for k, v in (options or {}).items()))
+    opts = tuple(
+        sorted(
+            ((k, _canon_value(v)) for k, v in (options or {}).items()),
+            key=lambda kv: kv[0],
+        )
+    )
     return (fingerprint, method, device.name, opts)

@@ -348,6 +348,10 @@ class SolveService:
             prepared = solver.prepare(L)
             if self.config.check and getattr(prepared, "plan", None) is not None:
                 check_plan(prepared.plan, L, context=f"service:{method}")
+            # Compile at cache-insert time: every later hit (and every
+            # coalesced batch) lands on the zero-allocation executor.
+            if isinstance(prepared, PreparedSolve):
+                prepared._compile_quiet()
             return _PlanEntry(prepared=prepared, method=method, fallback=False, perm=perm)
         except NotTriangularError:
             raise
@@ -361,6 +365,8 @@ class SolveService:
                     prepared.plan, L,
                     context=f"service:{self.config.fallback_method} (fallback)",
                 )
+            if isinstance(prepared, PreparedSolve):
+                prepared._compile_quiet()
             return _PlanEntry(
                 prepared=prepared,
                 method=self.config.fallback_method,

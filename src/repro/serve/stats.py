@@ -81,8 +81,14 @@ def percentile(xs: list[float], q: float) -> float:
 
     Nearest-rank keeps every reported value an actually observed latency
     — no interpolation between a hit and a miss inventing a latency no
-    request ever saw.
+    request ever saw.  Boundary semantics: rank = ceil(len * q / 100)
+    clamped to [1, len], so q=0 returns the minimum (the classical
+    definition leaves P0 open; min is the only observed value that makes
+    sense), q=100 the maximum, and a 1-element sample returns its single
+    element for every q.
     """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
     if not xs:
         return 0.0
     xs = sorted(xs)

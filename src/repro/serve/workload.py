@@ -9,6 +9,7 @@ multi-RHS blocks.  Used by the ``repro serve`` CLI command and
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,7 +53,22 @@ def mixed_workload(
     ``hot_matrices`` most recently toured systems — the repeated-factor
     pattern of a Krylov loop.  Deterministic for a given seed.
     """
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
     specs = scaled_suite(scale)
+    # Clamp the pool to what the stream can actually tour: building a
+    # matrix the truncated stream never requests wastes the dominant
+    # cost (preprocessing), and striding past the suite end is an
+    # IndexError.  Warn so callers notice the effective shape changed.
+    effective_pool = max(1, min(n_matrices, len(specs), n_requests))
+    if effective_pool != n_matrices:
+        warnings.warn(
+            f"mixed_workload: clamping n_matrices={n_matrices} to "
+            f"{effective_pool} (suite has {len(specs)} matrices, stream "
+            f"has {n_requests} requests)",
+            stacklevel=2,
+        )
+    n_matrices = effective_pool
     # Stride through the suite so the pool spans structural groups.
     stride = max(1, len(specs) // n_matrices)
     chosen = [specs[i * stride] for i in range(n_matrices)]
@@ -67,12 +83,20 @@ def mixed_workload(
 
     names = [spec.name for spec in chosen]
     stream = [(name, rhs(name)) for name in names]
-    hot = names[-hot_matrices:] if hot_matrices else names
+    # Clamp the hot set inside the pool: hot_matrices > n_matrices used
+    # to rely on Python's forgiving negative slice (names[-10:] of a
+    # 6-name list is all 6) which silently changed the traffic shape.
+    effective_hot = max(0, min(hot_matrices, n_matrices))
+    if effective_hot != hot_matrices:
+        warnings.warn(
+            f"mixed_workload: clamping hot_matrices={hot_matrices} to "
+            f"{effective_hot} (pool has {n_matrices} matrices)",
+            stacklevel=2,
+        )
+    hot = names[-effective_hot:] if effective_hot else names
     for _ in range(max(0, n_requests - len(names))):
         name = hot[int(rng.integers(len(hot)))]
         stream.append((name, rhs(name)))
-    # A stream shorter than the pool stays at exactly n_requests: the
-    # remaining matrices are built but never requested.
     return Workload(matrices=matrices, stream=stream[:n_requests])
 
 

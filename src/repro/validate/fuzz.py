@@ -38,6 +38,7 @@ from repro.core.solver import (
 from repro.errors import ValidationError
 from repro.formats.triangular import is_lower_triangular, upper_to_lower_mirror
 from repro.gpu.device import TITAN_RTX_SCALED, DeviceModel
+from repro.kernels.base import solve_dtype
 from repro.kernels.sptrsv_serial import solve_serial
 from repro.matrices import generators as gen
 from repro.obs.clock import monotonic
@@ -245,8 +246,8 @@ class FuzzFailure:
 
     case: FuzzCase
     method: str
-    kind: str  # "mismatch" | "residual" | "invariant" | "exception"
-    via: str = "direct"  # "direct" | "service"
+    kind: str  # "mismatch" | "residual" | "invariant" | "exception" | "dtype"
+    via: str = "direct"  # "direct" | "service" | "compiled"
     message: str = ""
     max_err: float | None = None
     minimized: FuzzCase | None = None
@@ -356,6 +357,47 @@ def _method_solve(
     return x
 
 
+def _compiled_solve(
+    A, b: np.ndarray, method: str, device: DeviceModel
+) -> np.ndarray | None:
+    """Run one case through the :class:`~repro.core.executor.CompiledPlan`
+    zero-allocation executor; ``None`` if the method's prepared form does
+    not expose a plan to compile.
+
+    The case is solved three times: the first multi-RHS call at a new
+    width runs the capture path (plan numerics), so the repeat check
+    compares the second and third calls — both on the frozen compiled
+    steps and pooled arena.  A state leak (stale work/out buffers
+    bleeding between solves) shows up as those two disagreeing bit for
+    bit.
+    """
+    solver = SOLVERS[method](device=device)
+    if is_lower_triangular(A):
+        L, perm = A, None
+    else:
+        L, perm = upper_to_lower_mirror(A.sort_indices())
+    prepared = solver.prepare(L)
+    if not isinstance(prepared, PreparedSolve):
+        return None
+    compiled = prepared.compile()
+    b = np.asarray(b)
+    w = b if perm is None else b[perm]
+    run = compiled.solve if b.ndim == 1 else compiled.solve_multi
+    run(w)  # may take the capture path (first call at this width)
+    x, _ = run(w)
+    x2, _ = run(w)  # both frozen-path solves reuse the pooled arena
+    if not np.array_equal(x, x2):
+        raise AssertionError(
+            "compiled executor is not deterministic across arena reuse: "
+            f"max diff {float(np.max(np.abs(x - x2))):.3e}"
+        )
+    if perm is not None:
+        out = np.empty_like(x)
+        out[perm] = x
+        x = out
+    return x
+
+
 def _compare(x, x_ref: np.ndarray, tol: float) -> tuple[bool, float]:
     x = np.asarray(x, dtype=np.float64)
     err = float(np.max(np.abs(x - x_ref))) if x_ref.size else 0.0
@@ -379,12 +421,20 @@ def run_case(
     service=None,
     service_method: str | None = None,
     check_invariants: bool = True,
+    check_compiled: bool = True,
+    compiled_method: str | None = None,
 ) -> list[FuzzFailure]:
     """Differentially test one case; returns the (possibly empty) failures.
 
     ``service``, when given, must be a :class:`repro.serve.SolveService`;
     the case is additionally routed through ``service.solve`` with
     ``service_method`` to exercise the caching/batching front end.
+
+    ``check_compiled`` additionally runs the case through the
+    :class:`~repro.core.executor.CompiledPlan` zero-allocation executor
+    (with ``compiled_method``, default the first method) and checks the
+    result against the oracle plus the work-dtype contract: float32 RHS
+    stay float32, integer RHS promote to float64.
     """
     A, b = case.build()
     x_ref = _reference_solve(A, b)
@@ -413,6 +463,37 @@ def run_case(
                 case=case, method=method, kind="mismatch", max_err=err,
                 message=f"solution deviates from the serial reference by {err:.3e}",
             ))
+    if check_compiled and methods:
+        cmethod = compiled_method or methods[0]
+        try:
+            x = _compiled_solve(A, b, cmethod, device)
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            failures.append(FuzzFailure(
+                case=case, method=cmethod, kind="exception", via="compiled",
+                message=f"{type(exc).__name__}: {exc}",
+            ))
+        else:
+            if x is not None:
+                agree, err = _compare(x, x_ref, ctol)
+                if not agree:
+                    failures.append(FuzzFailure(
+                        case=case, method=cmethod, kind="mismatch",
+                        via="compiled", max_err=err,
+                        message=(
+                            "compiled executor deviates from the serial "
+                            f"reference by {err:.3e}"
+                        ),
+                    ))
+                expected = solve_dtype(np.dtype(case.b_dtype))
+                if x.dtype != expected:
+                    failures.append(FuzzFailure(
+                        case=case, method=cmethod, kind="dtype",
+                        via="compiled",
+                        message=(
+                            f"compiled executor returned dtype {x.dtype}, "
+                            f"expected {expected} for a {case.b_dtype} RHS"
+                        ),
+                    ))
     if service is not None:
         smethod = service_method or methods[0]
         try:
@@ -454,7 +535,8 @@ def minimize_failure(
     def still_fails(candidate: FuzzCase) -> bool:
         try:
             return bool(run_case(
-                candidate, [failure.method], device, tol, service=None
+                candidate, [failure.method], device, tol, service=None,
+                check_compiled=(failure.via == "compiled"),
             ))
         except Exception:  # noqa: BLE001 - a crash still reproduces a bug
             return True
@@ -540,7 +622,7 @@ def run_fuzz(
         for r in range(rounds):
             case = sample_case(seed, r, families, base_size)
             report.n_cases += 1
-            report.n_checks += len(methods) + (1 if service else 0)
+            report.n_checks += len(methods) + (1 if service else 0) + 1
             failures = run_case(
                 case,
                 methods,
@@ -548,6 +630,7 @@ def run_fuzz(
                 tol,
                 service=service,
                 service_method=methods[r % len(methods)],
+                compiled_method=methods[r % len(methods)],
             )
             if failures and log:
                 log(f"round {r}: {len(failures)} failure(s) on {case.token()}")
@@ -561,7 +644,9 @@ def run_fuzz(
             service.close()
     if minimize:
         for f in report.failures:
-            if f.via == "direct":
+            # Direct and compiled failures are pure functions of the
+            # case; service failures depend on service state.
+            if f.via in ("direct", "compiled"):
                 f.minimized = minimize_failure(f, device, tol)
     report.elapsed_s = monotonic() - t0
     return report

@@ -8,13 +8,21 @@
   matrix into the converted copy.
 """
 
+import math
 import threading
 import time
+import warnings
+from fractions import Fraction
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import SolveService, solve_triangular
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.serve.fingerprint import plan_key
+from repro.serve.stats import percentile
+from repro.serve.workload import mixed_workload
 from repro.formats.csc import CSCMatrix
 from repro.formats.csr import CSRMatrix
 from repro.formats.dcsr import DCSRMatrix
@@ -223,3 +231,237 @@ class TestAstypeAliasing:
 
         with pytest.raises(ShapeMismatchError):
             A.matvec(np.ones(25), out=np.zeros(24))
+
+
+class TestCacheFalsyValues:
+    """``get_or_build`` used ``value is not None`` to detect misses, so a
+    legitimately cached falsy value (None/False/0) was rebuilt on every
+    lookup — and each rebuild was double-counted as a miss."""
+
+    @pytest.mark.parametrize("falsy", [None, False, 0, "", ()])
+    def test_cached_falsy_value_is_a_hit(self, falsy):
+        cache = PlanCache(capacity=4)
+        cache.put("k", falsy)
+        builds = []
+        value, hit = cache.get_or_build("k", lambda: builds.append(1) or "X")
+        assert value is falsy or value == falsy
+        assert hit is True
+        assert builds == []
+
+    def test_builder_returning_falsy_runs_once(self):
+        cache = PlanCache(capacity=4)
+        builds = []
+        for _ in range(5):
+            value, hit = cache.get_or_build(
+                "k", lambda: builds.append(1) or None
+            )
+            assert value is None
+        assert builds == [1]
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.hits == 4
+
+    def test_get_still_returns_none_on_miss(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("absent") is None
+        assert cache.stats().misses == 1
+
+    def test_double_check_race_with_falsy_value(self):
+        """The loser of a build race on a falsy value must classify the
+        lookup as a hit and never invoke its builder."""
+        cache = PlanCache(capacity=4)
+        started = threading.Event()
+        release = threading.Event()
+        results = []
+
+        def slow_builder():
+            started.set()
+            release.wait(timeout=5.0)
+            return None  # the falsy plan-in-progress sentinel
+
+        def winner():
+            results.append(cache.get_or_build("k", slow_builder))
+
+        loser_builds = []
+
+        def loser():
+            started.wait(timeout=5.0)
+            results.append(
+                cache.get_or_build("k", lambda: loser_builds.append(1) or "L")
+            )
+
+        t1 = threading.Thread(target=winner)
+        t2 = threading.Thread(target=loser)
+        t1.start()
+        started.wait(timeout=5.0)
+        t2.start()
+        time.sleep(0.05)  # let the loser block on the per-key lock
+        release.set()
+        t1.join(timeout=5.0)
+        t2.join(timeout=5.0)
+        assert loser_builds == []
+        assert sorted(hit for _, hit in results) == [False, True]
+        assert all(value is None for value, _ in results)
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+
+class TestPlanKeyCanonicalization:
+    """``plan_key`` hashed option values through ``repr``: numpy elides
+    large arrays (distinct weights collided onto one cached plan) and
+    ``repr(np.float64(2.0)) != repr(2.0)`` split equal options."""
+
+    def _key(self, options):
+        return plan_key("fp", "recursive-block", TITAN_RTX_SCALED, options)
+
+    def test_large_arrays_with_identical_repr_do_not_collide(self):
+        a = np.arange(5000, dtype=np.float64)
+        b = a.copy()
+        b[2500] += 1e-12  # invisible in the elided repr
+        assert repr(a) == repr(b)
+        assert self._key({"w": a}) != self._key({"w": b})
+
+    def test_numpy_scalar_matches_python_scalar(self):
+        assert self._key({"x": np.float64(2.0)}) == self._key({"x": 2.0})
+        assert self._key({"x": np.int64(3)}) == self._key({"x": 3})
+
+    def test_bool_does_not_collide_with_int(self):
+        assert self._key({"x": True}) != self._key({"x": 1})
+        assert self._key({"x": False}) != self._key({"x": 0})
+
+    def test_dtype_distinguishes_equal_bytes(self):
+        a32 = np.zeros(4, dtype=np.float32)
+        i32 = np.zeros(4, dtype=np.int32)
+        assert a32.tobytes() == i32.tobytes()
+        assert self._key({"w": a32}) != self._key({"w": i32})
+
+    def test_shape_distinguishes_equal_bytes(self):
+        flat = np.zeros(6)
+        grid = np.zeros((2, 3))
+        assert self._key({"w": flat}) != self._key({"w": grid})
+
+    def test_negative_zero_float(self):
+        assert self._key({"x": 0.0}) != self._key({"x": -0.0})
+
+    def test_nested_options_and_key_order(self):
+        k1 = self._key({"a": [1, (2.0, "s")], "b": {"x": np.float32(1)}})
+        k2 = self._key({"b": {"x": np.float32(1)}, "a": [1, (2.0, "s")]})
+        assert k1 == k2
+
+    def test_keys_are_hashable(self):
+        key = self._key({"w": np.arange(10), "tol": 1e-8, "name": "x"})
+        assert isinstance(hash(key), int)
+
+    def test_equal_options_same_key(self):
+        opts = {"tol": 1e-8, "block": 64, "weights": np.arange(8.0)}
+        assert self._key(dict(opts)) == self._key(
+            {k: (v.copy() if isinstance(v, np.ndarray) else v)
+             for k, v in opts.items()}
+        )
+
+
+class TestWorkloadClamping:
+    """``mixed_workload`` built all ``n_matrices`` pools even when the
+    stream could not tour them, and let ``hot_matrices > n_matrices``
+    silently reshape the traffic."""
+
+    def test_n_requests_smaller_than_pool_clamps(self):
+        with pytest.warns(UserWarning, match="n_matrices"):
+            wl = mixed_workload(3, n_matrices=6, scale=0.02)
+        assert wl.n_requests == 3
+        assert len(wl.matrices) == 3
+        # Every built matrix is actually requested.
+        assert {name for name, _ in wl.stream} == set(wl.matrices)
+
+    def test_hot_matrices_larger_than_pool_clamps(self):
+        with pytest.warns(UserWarning, match="hot_matrices"):
+            wl = mixed_workload(12, n_matrices=4, hot_matrices=9, scale=0.02)
+        assert len(wl.matrices) == 4
+        assert wl.n_requests == 12
+
+    def test_pool_larger_than_suite_clamps(self):
+        with pytest.warns(UserWarning, match="n_matrices"):
+            wl = mixed_workload(500, n_matrices=400, scale=0.02)
+        assert wl.n_requests == 500
+        assert len(wl.matrices) <= 400
+
+    def test_zero_requests_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_workload(0)
+
+    def test_clamped_workload_is_deterministic(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            w1 = mixed_workload(3, n_matrices=6, seed=7, scale=0.02)
+            w2 = mixed_workload(3, n_matrices=6, seed=7, scale=0.02)
+        assert [n for n, _ in w1.stream] == [n for n, _ in w2.stream]
+        for (_, b1), (_, b2) in zip(w1.stream, w2.stream):
+            np.testing.assert_array_equal(b1, b2)
+
+    def test_unclamped_workload_unchanged(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no warning may fire
+            wl = mixed_workload(40, n_matrices=6, hot_matrices=3, scale=0.02)
+        assert wl.n_requests == 40
+        assert len(wl.matrices) == 6
+
+
+def _percentile_reference(xs, q):
+    """Textbook nearest-rank percentile via exact rational arithmetic:
+    rank = ceil(len * q / 100) clamped to [1, len]."""
+    assert xs
+    ordered = sorted(xs)
+    rank = math.ceil(Fraction(len(ordered)) * Fraction(q) / 100)
+    return ordered[max(1, min(len(ordered), rank)) - 1]
+
+
+class TestPercentileBoundaries:
+    def test_q0_is_minimum(self):
+        assert percentile([3.0, 1.0, 2.0], 0) == 1.0
+
+    def test_q100_is_maximum(self):
+        assert percentile([3.0, 1.0, 2.0], 100) == 3.0
+
+    def test_single_element_every_q(self):
+        for q in (0, 1, 50, 99, 100):
+            assert percentile([7.5], q) == 7.5
+
+    def test_empty_sample(self):
+        assert percentile([], 95) == 0.0
+
+    def test_out_of_range_rejected(self):
+        for q in (-1, 100.5, 1e9):
+            with pytest.raises(ValueError):
+                percentile([1.0], q)
+
+    def test_median_even_sample_is_lower_middle(self):
+        # Nearest-rank p50 of an even sample is the len/2-th order
+        # statistic, never an interpolated value.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+
+    @given(
+        xs=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        q=st.one_of(
+            st.integers(min_value=0, max_value=100),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_matches_rational_reference(self, xs, q):
+        assert percentile(xs, q) == _percentile_reference(xs, q)
+
+    @given(
+        xs=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        q=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_result_is_an_observed_value(self, xs, q):
+        assert percentile(xs, q) in xs
