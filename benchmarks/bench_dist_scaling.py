@@ -1,0 +1,160 @@
+"""Strong scaling of the sharded executor (``repro.dist``).
+
+Runs :mod:`repro.experiments.dist_scaling` — one column-block plan per
+suite matrix, scheduled on 1, 2, and 4 simulated devices — and records
+the *simulated* speedups (makespan on N devices vs the single-device
+tiled cost).  Simulated numbers are deterministic functions of the plan
+and the device model, so the gate is machine-independent and exactly
+reproducible.
+
+Writes ``BENCH_dist.json`` at the repository root.  The acceptance gate:
+
+* at least half of the benchmarked matrices exceed ``SPEEDUP_TARGET``
+  (1.5x) at 4 devices — the PR's scaling claim;
+* no matrix falls below ``SPEEDUP_FLOOR`` (0.95x) at any device count
+  (sharding must never *cost* simulated time, beyond scheduling noise
+  on near-serial chains);
+* 2-device speedups are monotone: ``speedup(4) >= speedup(2) - 0.05``;
+* against a previously committed ``BENCH_dist.json``, per-matrix
+  4-device speedups are bit-stable (they are simulated, not measured).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import dist_scaling
+
+from conftest import publish
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_dist.json"
+
+SCALE = 0.05
+#: the PR's strong-scaling claim at 4 devices
+SPEEDUP_TARGET = 1.5
+#: sharding must never cost simulated time (near-serial chains hover ~1x)
+SPEEDUP_FLOOR = 0.95
+#: simulated numbers are deterministic; allow only float-text roundtrip
+BASELINE_RTOL = 1e-9
+
+
+def run() -> dict:
+    res = dist_scaling.run(scale=SCALE)
+    series = {
+        name: {
+            "n": row["n"],
+            "nnz": row["nnz"],
+            "segments": row["segments"],
+            "plan_time_s": row["plan_time_s"],
+            "devices": {
+                str(d): dict(stats) for d, stats in row["devices"].items()
+            },
+        }
+        for name, row in res.rows.items()
+    }
+    speedups4 = [row["devices"]["4"]["speedup"] for row in series.values()]
+    return {
+        "workload": {
+            "method": res.method,
+            "nseg": res.nseg,
+            "scale": SCALE,
+            "device_grid": list(res.device_grid),
+            "matrices": {
+                name: {"n": row["n"], "nnz": row["nnz"]}
+                for name, row in series.items()
+            },
+        },
+        "series": series,
+        "headline": {
+            "n_matrices": len(series),
+            "n_above_target_at_4": sum(
+                1 for s in speedups4 if s > SPEEDUP_TARGET
+            ),
+            "max_speedup_at_4": max(speedups4),
+            "speedup_target": SPEEDUP_TARGET,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    }
+
+
+def render(result: dict) -> str:
+    w = result["workload"]
+    grid = w["device_grid"]
+    head = "  ".join(f"{'x' + str(d):>7s}" for d in grid)
+    lines = [
+        f"sharded-executor strong scaling ({w['method']}, "
+        f"nseg={w['nseg']}, simulated devices)",
+        f"  {'matrix':<20} {'n':>6} {'seg':>5}  {head}  {'transfers@4':>11}",
+    ]
+    for name, row in result["series"].items():
+        sp = "  ".join(
+            f"{row['devices'][str(d)]['speedup']:6.2f}x" for d in grid
+        )
+        lines.append(
+            f"  {name:<20} {row['n']:>6} {row['segments']:>5}  {sp}  "
+            f"{row['devices'][str(grid[-1])]['transfers']:>11}"
+        )
+    h = result["headline"]
+    lines.append(
+        f"  {h['n_above_target_at_4']}/{h['n_matrices']} matrices above "
+        f"{h['speedup_target']}x at 4 devices "
+        f"(max {h['max_speedup_at_4']:.2f}x; "
+        f"acceptance: >= {h['n_matrices'] // 2})"
+    )
+    return "\n".join(lines)
+
+
+def check(result: dict, baseline: dict | None = None) -> None:
+    h = result["headline"]
+    assert h["n_above_target_at_4"] * 2 >= h["n_matrices"], (
+        f"only {h['n_above_target_at_4']} of {h['n_matrices']} matrices "
+        f"exceed {SPEEDUP_TARGET}x at 4 devices"
+    )
+    for name, row in result["series"].items():
+        sp = {
+            int(d): stats["speedup"] for d, stats in row["devices"].items()
+        }
+        for d, s in sp.items():
+            assert s >= SPEEDUP_FLOOR, (name, d, s)
+        assert abs(sp[1] - 1.0) < 1e-9, (name, sp[1])
+        assert sp[4] >= sp[2] - 0.05, (name, sp)
+    if baseline is not None:
+        old_series = baseline.get("series", {})
+        for name, row in result["series"].items():
+            old = old_series.get(name, {}).get("devices", {}).get("4")
+            if old is None:
+                continue
+            s_new, s_old = row["devices"]["4"]["speedup"], old["speedup"]
+            assert abs(s_new - s_old) <= BASELINE_RTOL * max(1.0, s_old), (
+                f"{name}: simulated 4-device speedup drifted from the "
+                f"committed baseline: {s_new!r} vs {s_old!r} — simulated "
+                "numbers are deterministic, so this is a behavior change; "
+                "regenerate BENCH_dist.json deliberately if intended"
+            )
+
+
+def _load_baseline() -> dict | None:
+    if BENCH_JSON.exists():
+        try:
+            return json.loads(BENCH_JSON.read_text())
+        except Exception:
+            return None
+    return None
+
+
+def test_dist_scaling(benchmark):
+    baseline = _load_baseline()
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(result, baseline)
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    publish("dist_scaling", render(result))
+
+
+if __name__ == "__main__":
+    baseline = _load_baseline()
+    result = run()
+    check(result, baseline)
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    print(render(result))
+    print(f"wrote {BENCH_JSON}")

@@ -71,6 +71,11 @@ from repro.gpu.device import (
     known_devices,
 )
 from repro.gpu.report import KernelReport, SolveReport
+from repro.dist import (
+    DistributedPlan,
+    DistSchedule,
+    Interconnect,
+)
 from repro.obs import (
     MetricsRegistry,
     Observability,
@@ -142,6 +147,10 @@ __all__ = [
     "known_devices",
     "KernelReport",
     "SolveReport",
+    # sharded execution
+    "DistributedPlan",
+    "DistSchedule",
+    "Interconnect",
     # observability
     "Observability",
     "Tracer",

@@ -285,8 +285,8 @@ def cmd_trace(args) -> int:
         if plan is None:
             print(f"{method:18s} (no block plan — traffic model not applicable)")
             continue
-        live = (int(m.b_writes.value(method=method)),
-                int(m.x_loads.value(method=method)))
+        live = (int(m.b_writes.value(method=method, device="0")),
+                int(m.x_loads.value(method=method, device="0")))
         measured = measured_traffic(plan)
         predicted = predicted_traffic(plan)
         pred_s = f"{predicted[0]}/{predicted[1]}" if predicted else "n/a"
@@ -310,6 +310,59 @@ def cmd_trace(args) -> int:
         print("TRAFFIC MISMATCH: live counters disagree with "
               "analysis.traffic.measured_traffic", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_dist(args) -> int:
+    from repro.dist import DistributedPlan
+
+    name, L = _load_matrix(args)
+    device = known_devices()[args.device]
+    if args.method not in SOLVERS:
+        raise SystemExit(
+            f"unknown method {args.method!r}; choose from {sorted(SOLVERS)}"
+        )
+    options = {}
+    if args.nseg:
+        if args.method in ("column-block", "row-block"):
+            options["nseg"] = args.nseg
+        elif args.method == "recursive-block":
+            options["depth"] = max(1, args.nseg.bit_length() - 1)
+    solver = SOLVERS[args.method](device=device, **options)
+    prepared = solver.prepare(L)
+    dp = DistributedPlan.from_prepared(prepared, args.devices)
+    b = np.ones(L.n_rows)
+    x, report = dp.solve(b)
+    print(
+        f"matrix {name}: n={L.n_rows}, nnz={L.nnz}; "
+        f"{args.devices} simulated {device.name} device(s)"
+    )
+    print(dp.schedule.render())
+    d = report.detail
+    print(
+        f"makespan {d['makespan_s'] * 1e3:.4f} ms  "
+        f"(single-device {d['single_device_s'] * 1e3:.4f} ms, "
+        f"speedup {d['speedup']:.2f}x)  "
+        f"critical path {d['critical_path_s'] * 1e3:.4f} ms"
+    )
+    print(
+        f"transfers {d['transfers']} "
+        f"({d['transfer_x_items']} x items + {d['transfer_b_items']} b items, "
+        f"{d['transfer_time_s'] * 1e3:.4f} ms on the interconnect)"
+    )
+    if args.check:
+        x1, _ = prepared.solve(b)
+        resid = float(np.abs(L.matvec(np.asarray(x)) - b).max())
+        dp.schedule.validate(dp.dag, dp.interconnect)
+        bit = bool(np.array_equal(x, x1))
+        print(
+            f"check: residual {resid:.1e}; schedule invariants OK; "
+            f"bit-identical to single-device: {bit}"
+        )
+        if not bit:
+            print("CHECK FAILED: sharded solution differs from the "
+                  "single-device path", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -375,7 +428,16 @@ def cmd_calibrate(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    from repro.experiments import fig4, fig5, fig6, fig7, table1_2, table4, table5
+    from repro.experiments import (
+        dist_scaling,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        table1_2,
+        table4,
+        table5,
+    )
 
     registry = {
         "table1_2": lambda: table1_2.render(table1_2.run()),
@@ -385,6 +447,9 @@ def cmd_experiment(args) -> int:
         "fig7": lambda: fig7.render(fig7.run(scale=args.scale)),
         "table4": lambda: table4.render(table4.run(scale=args.scale)),
         "table5": lambda: table5.render(table5.run(scale=args.scale)),
+        "dist_scaling": lambda: dist_scaling.render(
+            dist_scaling.run(scale=args.scale)
+        ),
     }
     if args.name not in registry:
         raise SystemExit(
@@ -503,6 +568,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(
+        "dist",
+        help="shard one solve across simulated devices; print the schedule",
+        description="Prepare one block plan, shard its segment DAG across "
+        "N simulated devices with the cost-model list scheduler, run the "
+        "sharded solve, and print the per-device timeline, occupancy, and "
+        "transfer volume.  --check additionally validates every scheduler "
+        "invariant and bit-compares against the single-device path.",
+    )
+    p.add_argument("matrix", help="suite/representative name or .mtx path")
+    p.add_argument("--devices", type=int, default=2,
+                   help="number of simulated devices")
+    p.add_argument("--method", default="column-block",
+                   help="block method to shard (column-block exposes the "
+                        "widest DAG)")
+    p.add_argument("--nseg", type=int, default=32,
+                   help="segments per block plan (recursive depth = log2)")
+    p.add_argument("--device", default="titan_rtx_scaled",
+                   choices=list(known_devices()))
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="suite scale when --matrix names a suite entry")
+    p.add_argument("--check", action="store_true",
+                   help="validate schedule invariants and bit-compare "
+                        "against the single-device solve")
+    p.set_defaults(fn=cmd_dist)
+
+    p = sub.add_parser(
         "stats",
         help="replay a workload with observability on; print live stats",
     )
@@ -529,7 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="regenerate a table/figure")
     p.add_argument("name", help="table1_2 | fig4 | fig5 | fig6 | fig7 | "
-                                "table4 | table5")
+                                "table4 | table5 | dist_scaling")
     p.add_argument("--scale", type=float, default=0.25)
     p.add_argument("--quick", action="store_true")
     p.set_defaults(fn=cmd_experiment)

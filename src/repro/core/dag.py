@@ -1,0 +1,171 @@
+"""Segment-level dependency DAG of an :class:`ExecutionPlan`.
+
+Executing a plan in order is Algorithms 4/5/6 unrolled; the *partial*
+order that execution must respect is much looser.  Each segment touches
+two index spaces of the permuted system:
+
+* a :class:`TriSegment` over ``[lo, hi)`` reads ``b[lo:hi)`` and writes
+  ``x[lo:hi)``;
+* an :class:`SpMVSegment` reads ``x[col_lo:col_hi)`` and
+  read-modifies-writes ``b[row_lo:row_hi)``.
+
+Two segments conflict — and the earlier one must finish before the later
+one starts — exactly when one writes an interval the other reads or
+writes.  :func:`build_segment_dag` derives that conflict DAG from the
+interval bounds alone.  Because the edges preserve every
+read-after-write *and* the relative order of overlapping ``b``
+accumulations, any topological execution order applies the same
+floating-point operations to the same operands in the same per-interval
+order as the sequential plan: the result is bit-identical, whichever
+schedule a multi-device executor picks.  This is the DAG multi-GPU
+SpTRSV systems shard across devices.
+
+Edges carry their conflict intervals, so a scheduler can price the
+cross-device communication each edge implies: an ``x`` edge is the §3.2
+Table 2 fragment an SpMV part loads from the triangular part that
+produced it, and a ``b`` edge is a partially accumulated right-hand-side
+fragment handed between updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plan import ExecutionPlan, TriSegment
+
+__all__ = ["DepEdge", "SegmentDAG", "build_segment_dag"]
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """One dependency: segment ``src`` must finish before ``dst`` starts.
+
+    ``kind`` says which buffer the conflict lives in and what a
+    cross-device schedule has to move:
+
+    * ``"x"``  — read-after-write on the solution vector: ``dst`` loads
+      the ``x`` fragment ``[lo, hi)`` that ``src`` produced;
+    * ``"b"``  — the RHS fragment ``[lo, hi)`` accumulated by ``src``
+      is consumed (tri) or further accumulated (SpMV) by ``dst``;
+    * ``"war"`` — a write-after-read ordering constraint with no data
+      payload (cannot arise in well-formed plans; kept for safety).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    lo: int
+    hi: int
+
+    @property
+    def items(self) -> int:
+        """Payload items this edge moves across devices (0 for WAR)."""
+        return self.hi - self.lo if self.kind != "war" else 0
+
+
+def _accesses(seg) -> tuple[tuple, tuple]:
+    """(reads, writes) of a segment as ``(space, lo, hi)`` intervals."""
+    if isinstance(seg, TriSegment):
+        return (("b", seg.lo, seg.hi),), (("x", seg.lo, seg.hi),)
+    reads = (("x", seg.col_lo, seg.col_hi), ("b", seg.row_lo, seg.row_hi))
+    writes = (("b", seg.row_lo, seg.row_hi),)
+    return reads, writes
+
+
+@dataclass
+class SegmentDAG:
+    """The conflict DAG over a plan's segments, in plan index space."""
+
+    n_segments: int
+    edges: list[DepEdge] = field(default_factory=list)
+    #: unique predecessor indices per segment, ascending
+    preds: list[list[int]] = field(default_factory=list)
+    #: unique successor indices per segment, ascending
+    succs: list[list[int]] = field(default_factory=list)
+    #: aggregated payload per dependent pair: (src, dst) -> [x_items, b_items]
+    payload: dict = field(default_factory=dict)
+
+    def payload_items(self, src: int, dst: int) -> tuple[int, int]:
+        """Aggregated ``(x_items, b_items)`` moved along ``src -> dst``."""
+        x_items, b_items = self.payload.get((src, dst), (0, 0))
+        return x_items, b_items
+
+    def check_topological(self, order) -> bool:
+        """Does ``order`` (a permutation of segment indices) respect
+        every edge?"""
+        pos = {idx: k for k, idx in enumerate(order)}
+        if len(pos) != self.n_segments:
+            return False
+        return all(pos[e.src] < pos[e.dst] for e in self.edges)
+
+    def critical_path_s(self, costs_s) -> float:
+        """Longest dependency chain under per-segment costs, ignoring
+        communication — the makespan lower bound at infinite devices."""
+        finish = [0.0] * self.n_segments
+        for j in range(self.n_segments):  # plan order is topological
+            ready = max((finish[p] for p in self.preds[j]), default=0.0)
+            finish[j] = ready + costs_s[j]
+        return max(finish, default=0.0)
+
+
+def build_segment_dag(plan: ExecutionPlan) -> SegmentDAG:
+    """Derive the segment conflict DAG from a plan's interval bounds.
+
+    Pairwise interval intersection over the (small) segment list; plan
+    order is a topological order of the result by construction.
+    """
+    segs = plan.segments
+    n = len(segs)
+    access = [_accesses(s) for s in segs]
+    edges: list[DepEdge] = []
+    pred_sets: list[set[int]] = [set() for _ in range(n)]
+    payload: dict = {}
+    for j in range(n):
+        reads_j, writes_j = access[j]
+        for i in range(j):
+            reads_i, writes_i = access[i]
+            found: list[DepEdge] = []
+            # RAW and WAW: i wrote what j reads or rewrites.
+            for space_w, wlo, whi in writes_i:
+                for space_r, rlo, rhi in reads_j + writes_j:
+                    if space_w != space_r:
+                        continue
+                    lo, hi = max(wlo, rlo), min(whi, rhi)
+                    if lo < hi:
+                        found.append(DepEdge(i, j, space_w, lo, hi))
+            # WAR: j overwrites what i still needs to read.
+            for space_r, rlo, rhi in reads_i:
+                for space_w, wlo, whi in writes_j:
+                    if space_r != space_w:
+                        continue
+                    lo, hi = max(rlo, wlo), min(rhi, whi)
+                    if lo < hi and not any(
+                        e.kind == space_r and e.lo <= lo and hi <= e.hi
+                        for e in found
+                    ):
+                        found.append(DepEdge(i, j, "war", lo, hi))
+            if not found:
+                continue
+            pred_sets[j].add(i)
+            vol = payload.setdefault((i, j), [0, 0])
+            seen: set[tuple] = set()
+            for e in found:
+                if (e.kind, e.lo, e.hi) in seen:
+                    continue
+                seen.add((e.kind, e.lo, e.hi))
+                edges.append(e)
+                if e.kind == "x":
+                    vol[0] += e.items
+                elif e.kind == "b":
+                    vol[1] += e.items
+    succ_sets: list[set[int]] = [set() for _ in range(n)]
+    for j, ps in enumerate(pred_sets):
+        for i in ps:
+            succ_sets[i].add(j)
+    return SegmentDAG(
+        n_segments=n,
+        edges=edges,
+        preds=[sorted(s) for s in pred_sets],
+        succs=[sorted(s) for s in succ_sets],
+        payload={k: tuple(v) for k, v in payload.items()},
+    )

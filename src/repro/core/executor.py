@@ -471,6 +471,93 @@ class CompiledPlan:
             self._pool.release(dtype, 0, arena)
         return result, self._fresh_report(self._merged)
 
+    # -- ordered execution (multi-device schedules) -------------------- #
+    def _check_order(self, order) -> None:
+        if not self.pure:
+            raise ValueError(
+                "plan contains kernels without pure_report; ordered "
+                "execution must go through the plan path"
+            )
+        if sorted(order) != list(range(len(self._steps))):
+            raise ValueError(
+                f"order must be a permutation of range({len(self._steps)})"
+            )
+
+    def solve_ordered(self, b: np.ndarray, order) -> np.ndarray:
+        """Run the compiled steps in ``order`` (a permutation of segment
+        indices) and return the solution.
+
+        The entry point of :class:`repro.dist.DistributedPlan`: for any
+        topological order of the plan's segment DAG this performs the
+        same floating-point operations on the same operands as
+        :meth:`solve`, so the result is bit-identical to the
+        single-device compiled path.  No report is built — a sharded
+        schedule times itself.
+        """
+        self._check_order(order)
+        b = np.asarray(b)
+        if b.shape != (self.n,):
+            raise ShapeMismatchError(f"b must have shape ({self.n},)")
+        dtype = self._work_dtype(b.dtype)
+        arena = self._pool.acquire(dtype, 0)
+        try:
+            work = arena.work
+            perm = self.perm
+            if perm is not None:
+                if b.dtype == dtype:
+                    np.take(b, perm, out=work)
+                else:
+                    work[...] = b[perm]
+            else:
+                np.copyto(work, b, casting="unsafe")
+            result = np.empty(self.n, dtype=dtype)
+            out = result if perm is None else arena.out
+            if self._needs_zero:
+                out.fill(0)
+            scratch = arena.scratch
+            steps = self._steps
+            for idx in order:
+                steps[idx].run(work, out, scratch)
+            if perm is not None:
+                result[perm] = out
+        finally:
+            self._pool.release(dtype, 0, arena)
+        return result
+
+    def solve_multi_ordered(self, B: np.ndarray, order) -> np.ndarray:
+        """Multi-RHS :meth:`solve_ordered`; bit-identical to the frozen
+        multi-RHS path of :meth:`solve_multi` for topological orders."""
+        self._check_order(order)
+        B = np.asarray(B)
+        if B.ndim != 2 or B.shape[0] != self.n:
+            raise ShapeMismatchError(f"B must have shape ({self.n}, k)")
+        k = B.shape[1]
+        dtype = self._work_dtype(B.dtype)
+        arena = self._pool.acquire(dtype, k)
+        try:
+            work = arena.work
+            perm = self.perm
+            if perm is not None:
+                if B.dtype == dtype:
+                    np.take(B, perm, axis=0, out=work)
+                else:
+                    work[...] = B[perm]
+            else:
+                np.copyto(work, B, casting="unsafe")
+            result = np.empty((self.n, k), dtype=dtype)
+            out = result if perm is None else arena.out
+            if self._needs_zero:
+                out.fill(0)
+            scratch = arena.scratch
+            steps = self._steps
+            for idx in order:
+                steps[idx].run_multi(work, out, scratch)
+            if perm is not None:
+                result[perm] = out
+        finally:
+            self._pool.release(dtype, k, arena)
+        return result
+
     def solve_multi(self, B: np.ndarray) -> tuple[np.ndarray, SolveReport]:
         """Fused multi-RHS solve; drop-in for ``plan.solve_multi``."""
         if not self.pure or obs_runtime.active() is not None:

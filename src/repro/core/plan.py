@@ -145,7 +145,9 @@ class ExecutionPlan:
                     live_b += seg.n_rows
                     live_x += seg.n_cols
                 sp.set(rows=rows, nnz=seg.nnz, sim_time_s=rep.time_s)
-            metrics.kernel_launches.inc(rep.launches, kernel=seg.kernel.name)
+            metrics.kernel_launches.inc(
+                rep.launches, kernel=seg.kernel.name, device="0"
+            )
             profile.append({
                 "index": idx,
                 "kind": "tri" if tri else "spmv",
@@ -219,6 +221,14 @@ class ExecutionPlan:
     # ------------------------------------------------------------------ #
     # Structure queries
     # ------------------------------------------------------------------ #
+    def segment_dag(self):
+        """The segment-level dependency DAG (see :mod:`repro.core.dag`):
+        the partial order a sharded executor must respect to stay
+        bit-identical with in-order execution."""
+        from repro.core.dag import build_segment_dag
+
+        return build_segment_dag(self)
+
     @property
     def tri_segments(self) -> list:
         return [s for s in self.segments if isinstance(s, TriSegment)]

@@ -1,0 +1,35 @@
+"""Multi-device sharded execution over the simulated-GPU model.
+
+``repro.dist`` shards the segments of a block :class:`ExecutionPlan`
+across N simulated devices:
+
+* :func:`repro.core.dag.build_segment_dag` derives the segment
+  dependency DAG from the plan's interval bounds;
+* :func:`schedule_dag` runs a cost-model-driven list scheduler
+  (earliest-finish-time with deterministic ties) that prices
+  inter-device ``x``-fragment and partial-``b`` transfers with an
+  :class:`Interconnect` model;
+* :class:`DistributedPlan` executes the schedule: numerics run in the
+  schedule's topological order through the single-device compiled steps,
+  so the solution is bit-identical to the single-device compiled path,
+  while the simulated timeline accounts per-device queues and explicit
+  communication events.
+
+>>> prepared = RecursiveBlockSolver(device=dev).prepare(L)   # doctest: +SKIP
+>>> dp = DistributedPlan.from_prepared(prepared, n_devices=4)  # doctest: +SKIP
+>>> x, report = dp.solve(b)                                  # doctest: +SKIP
+>>> print(dp.schedule.render())                              # doctest: +SKIP
+"""
+
+from repro.dist.partition import tile_plan
+from repro.dist.schedule import DistSchedule, Interconnect, Transfer, schedule_dag
+from repro.dist.executor import DistributedPlan
+
+__all__ = [
+    "DistSchedule",
+    "DistributedPlan",
+    "Interconnect",
+    "Transfer",
+    "schedule_dag",
+    "tile_plan",
+]

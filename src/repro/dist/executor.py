@@ -1,0 +1,289 @@
+"""`DistributedPlan`: execute one plan's schedule across N devices.
+
+Numerics and timing are deliberately decoupled:
+
+* **Numerics** run the schedule's topological segment order through the
+  single-device executor — :meth:`CompiledPlan.solve_ordered` when the
+  plan compiled pure (the hot path), otherwise the plan's own segments
+  in schedule order.  Either way each floating-point operation sees the
+  same operands in the same per-interval order as the single-device
+  compiled path, so the solution is *bit-identical* for every device
+  count.
+* **Timing** comes from the schedule's simulated per-device queues and
+  communication events; per-RHS-width timelines are scheduled once and
+  cached.
+
+With an active :class:`repro.obs.Observability` the executor takes the
+instrumented path: per-segment spans carry the executing device, the
+live traffic counters are accumulated *per device* (the device-tagged
+families of PR 5), and the schedule's occupancy / critical path /
+transfer volume are exported as gauges.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.dag import build_segment_dag
+from repro.core.executor import CompiledPlan, compile_plan
+from repro.core.plan import ExecutionPlan, TriSegment
+from repro.dist.partition import tile_plan
+from repro.dist.schedule import DistSchedule, Interconnect, schedule_dag
+from repro.errors import ShapeMismatchError
+from repro.gpu.device import DeviceModel
+from repro.gpu.report import SolveReport, merge_reports
+from repro.kernels.base import solve_dtype
+from repro.obs import runtime as obs_runtime
+from repro.obs.clock import monotonic
+
+__all__ = ["DistributedPlan"]
+
+
+class DistributedPlan:
+    """A sharded executor over an :class:`ExecutionPlan`.
+
+    >>> dp = DistributedPlan.from_prepared(prepared, n_devices=4)  # doctest: +SKIP
+    >>> x, report = dp.solve(b)                                    # doctest: +SKIP
+
+    ``report.time_s`` is the schedule makespan; ``report.detail``
+    carries the occupancy/transfer/critical-path accounting.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        device: DeviceModel,
+        n_devices: int,
+        *,
+        interconnect: Interconnect | None = None,
+        compiled: CompiledPlan | None = None,
+    ) -> None:
+        if n_devices < 1:
+            raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+        self.source_plan = plan
+        self.device = device
+        self.n_devices = int(n_devices)
+        self.interconnect = interconnect or Interconnect.for_device(device)
+        #: the executed plan: the source with every multi-part SpMV split
+        #: at triangular boundaries (bitwise-equal refinement) so the
+        #: DAG has width to shard
+        self.plan = tile_plan(plan)
+        self.compiled = self._compile_tiled(plan, compiled)
+        self.dag = build_segment_dag(self.plan)
+        self._reports = self._probe_reports(k=0)
+        self.schedule = schedule_dag(
+            self.dag,
+            [r.time_s for r in self._reports],
+            self.n_devices,
+            self.interconnect,
+            method=plan.method,
+        )
+        #: RHS width -> (schedule, per-segment reports); width 0 = 1-D
+        self._multi: dict[int, tuple[DistSchedule, list]] = {}
+        self._multi_lock = threading.Lock()
+
+    @classmethod
+    def from_prepared(
+        cls,
+        prepared,
+        n_devices: int,
+        *,
+        interconnect: Interconnect | None = None,
+    ) -> "DistributedPlan":
+        """Build from a :class:`repro.PreparedSolve`, reusing (or
+        quietly building) its compiled executor for the numerics."""
+        compile_quiet = getattr(prepared, "_compile_quiet", None)
+        compiled = compile_quiet() if callable(compile_quiet) else None
+        return cls(
+            prepared.plan,
+            prepared.device,
+            n_devices,
+            interconnect=interconnect,
+            compiled=compiled,
+        )
+
+    def _compile_tiled(
+        self, source: ExecutionPlan, base: CompiledPlan | None
+    ) -> CompiledPlan | None:
+        """Compile the tiled plan, *sharing* the source's compiled
+        triangular steps.
+
+        Sharing matters for the bit-identity guarantee: a compiled
+        triangular step may carry a probe-selected SuperLU engine, and
+        that selection is timed — two independent compilations could
+        choose differently and diverge at the engine-verification
+        tolerance.  Reusing the base plan's step objects (the tiled plan
+        shares its TriSegment instances) makes the sharded numerics run
+        literally the same triangular code paths as the single-device
+        compiled plan; the SpMV row slices are bitwise equal by
+        row-locality.  Without a pure base compilation the executor
+        falls back to the (equally deterministic) plan path.
+        """
+        if base is None or not base.pure:
+            return None
+        if self.plan is source:  # nothing was split
+            return base
+        try:
+            tiled_compiled = compile_plan(self.plan, self.device)
+        except Exception:
+            return None
+        if not tiled_compiled.pure:
+            return None
+        tri_steps = {
+            id(seg): step
+            for seg, step in zip(source.segments, base._steps)
+            if isinstance(seg, TriSegment)
+        }
+        for i, seg in enumerate(self.plan.segments):
+            step = tri_steps.get(id(seg))
+            if step is not None:
+                tiled_compiled._steps[i] = step
+        return tiled_compiled
+
+    # -- simulated per-segment costs ----------------------------------- #
+    def _probe_reports(self, k: int) -> list:
+        """One probe execution at RHS width ``k`` (0 = single vector),
+        capturing the simulated per-segment reports the scheduler
+        prices.  Deterministic probe data, simulated times only."""
+        n = self.plan.n
+        if k == 0:
+            work = np.linspace(0.5, 1.5, n)
+            out = np.zeros(n)
+        else:
+            work = np.linspace(0.5, 1.5, n * k).reshape(n, k)
+            out = np.zeros((n, k))
+        return [
+            self.plan._run_segment(seg, work, out, self.device, k > 0)
+            for seg in self.plan.segments
+        ]
+
+    def _schedule_for(self, k: int) -> tuple[DistSchedule, list]:
+        """The (cached) schedule and segment reports for RHS width ``k``."""
+        if k == 0:
+            return self.schedule, self._reports
+        with self._multi_lock:
+            cached = self._multi.get(k)
+        if cached is not None:
+            return cached
+        reports = self._probe_reports(k)
+        sched = schedule_dag(
+            self.dag,
+            [r.time_s for r in reports],
+            self.n_devices,
+            self.interconnect,
+            method=self.plan.method,
+        )
+        with self._multi_lock:
+            return self._multi.setdefault(k, (sched, reports))
+
+    # -- reporting ------------------------------------------------------ #
+    def _report(self, sched: DistSchedule, reports: list, **detail) -> SolveReport:
+        merged = merge_reports(
+            self.plan.method,
+            reports,
+            n_tri=self.plan.n_tri_segments,
+            n_spmv=self.plan.n_spmv_segments,
+        )
+        occ = sched.occupancy()
+        return SolveReport(
+            method=self.plan.method,
+            time_s=sched.makespan_s,
+            flops=merged.flops,
+            launches=merged.launches,
+            bytes_moved=merged.bytes_moved
+            + sched.transfer_items * self.interconnect.item_bytes,
+            kernels=list(merged.kernels),
+            detail={
+                "n_devices": sched.n_devices,
+                "makespan_s": sched.makespan_s,
+                "single_device_s": sched.total_cost_s,
+                "speedup": sched.speedup(),
+                "critical_path_s": sched.critical_path_s,
+                "occupancy": occ,
+                "device_busy_s": list(sched.device_busy_s),
+                "transfers": len(sched.transfers),
+                "transfer_x_items": sched.x_transfer_items,
+                "transfer_b_items": sched.b_transfer_items,
+                "transfer_time_s": sched.transfer_time_s,
+                **detail,
+            },
+        )
+
+    # -- execution ------------------------------------------------------ #
+    def solve(self, b: np.ndarray) -> tuple[np.ndarray, SolveReport]:
+        """One sharded SpTRSV; drop-in for ``plan.solve(b, device)``
+        with the schedule makespan as the simulated time."""
+        b = np.asarray(b)
+        if b.shape != (self.plan.n,):
+            raise ShapeMismatchError(f"b must have shape ({self.plan.n},)")
+        sched, reports = self._schedule_for(0)
+        obs = obs_runtime.active()
+        if obs is None and self.compiled is not None and self.compiled.pure:
+            x = self.compiled.solve_ordered(b, sched.order)
+        else:
+            x = self._solve_plan_path(b, sched, obs, multi=False)
+        return x, self._report(sched, reports)
+
+    def solve_multi(self, B: np.ndarray) -> tuple[np.ndarray, SolveReport]:
+        """Fused multi-RHS sharded solve."""
+        B = np.asarray(B)
+        if B.ndim != 2 or B.shape[0] != self.plan.n:
+            raise ShapeMismatchError(f"B must have shape ({self.plan.n}, k)")
+        k = B.shape[1]
+        sched, reports = self._schedule_for(k)
+        obs = obs_runtime.active()
+        if obs is None and self.compiled is not None and self.compiled.pure:
+            X = self.compiled.solve_multi_ordered(B, sched.order)
+        else:
+            X = self._solve_plan_path(B, sched, obs, multi=True)
+        return X, self._report(sched, reports, n_rhs=k, fused=True)
+
+    def _solve_plan_path(self, b, sched: DistSchedule, obs, *, multi: bool):
+        """Schedule-ordered execution through the plan's own segments —
+        the instrumented (and compile-less) path.  Disjoint slices
+        commute and conflicting ones stay in plan-relative order, so
+        this too is bit-identical to in-order execution."""
+        plan = self.plan
+        dtype = solve_dtype(b)
+        work = (b[plan.perm] if plan.perm is not None else b).astype(
+            dtype, copy=True
+        )
+        x = np.zeros_like(work)
+        if obs is None:
+            for idx in sched.order:
+                plan._run_segment(plan.segments[idx], work, x, self.device, multi)
+        else:
+            metrics = obs.serve_metrics
+            live_b = [0] * sched.n_devices
+            live_x = [0] * sched.n_devices
+            for idx in sched.order:
+                seg = plan.segments[idx]
+                dev = sched.assignment[idx]
+                tri = isinstance(seg, TriSegment)
+                t0 = monotonic()
+                with obs.span(
+                    "segment.tri" if tri else "segment.spmv",
+                    index=idx,
+                    kernel=seg.kernel.name,
+                    device=dev,
+                ) as sp:
+                    rep = plan._run_segment(seg, work, x, self.device, multi)
+                    live_b[dev] += seg.n_rows
+                    if not tri:
+                        live_x[dev] += seg.n_cols
+                    sp.set(
+                        nnz=seg.nnz,
+                        sim_time_s=rep.time_s,
+                        wall_time_s=monotonic() - t0,
+                    )
+                metrics.kernel_launches.inc(
+                    rep.launches, kernel=seg.kernel.name, device=str(dev)
+                )
+            obs_runtime.record_dist_solve(obs, plan, sched, live_b, live_x)
+        if plan.perm is not None:
+            out = np.empty_like(x)
+            out[plan.perm] = x
+            return out
+        return x

@@ -1,0 +1,113 @@
+"""2-D tiling of block plans: the refinement sharding needs.
+
+The §3.1 builders aggregate each strip's update into one tall (column
+block) or wide (row block) SpMV segment, which makes the segment DAG a
+single serial chain — correct, but with nothing for a second device to
+do.  Multi-GPU SpTRSV schemes work on the *2-D* block grid instead:
+updates split at triangular-part boundaries, so updates of different
+row blocks from the same solved fragment are independent.
+
+:func:`tile_plan` performs exactly that refinement: every SpMV segment
+spanning more than one triangular part is split, by rows, at the plan's
+triangular boundaries.  Splitting is *bitwise safe*: a CSR/DCSR SpMV is
+row-local (each output row is one dot product over that row's stored
+entries, in stored order), so the row slices write exactly the bits the
+unsplit segment would — whatever order a schedule runs them in, as long
+as it respects the segment DAG.  Zero-nnz slices are dropped (they
+subtract nothing).  Triangular segments, kernels, and auxiliary
+structures are shared with the source plan, not copied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plan import ExecutionPlan, SpMVSegment, TriSegment
+from repro.formats.csr import CSRMatrix
+from repro.formats.dcsr import DCSRMatrix
+
+__all__ = ["tile_plan"]
+
+
+def _csr_row_slice(m: CSRMatrix, a: int, b: int) -> CSRMatrix | None:
+    start, end = int(m.indptr[a]), int(m.indptr[b])
+    if start == end:
+        return None
+    return CSRMatrix(
+        b - a,
+        m.n_cols,
+        m.indptr[a : b + 1] - start,
+        m.indices[start:end],
+        m.data[start:end],
+        _validated=True,
+    )
+
+
+def _dcsr_row_slice(m: DCSRMatrix, a: int, b: int) -> DCSRMatrix | None:
+    i0, i1 = np.searchsorted(m.row_ids, [a, b])
+    if i0 == i1:
+        return None
+    start, end = int(m.indptr[i0]), int(m.indptr[i1])
+    return DCSRMatrix(
+        b - a,
+        m.n_cols,
+        m.row_ids[i0:i1] - a,
+        m.indptr[i0 : i1 + 1] - start,
+        m.indices[start:end],
+        m.data[start:end],
+        _validated=True,
+    )
+
+
+def tile_plan(plan: ExecutionPlan) -> ExecutionPlan:
+    """Split every multi-part SpMV segment at triangular boundaries.
+
+    Returns a plan computing bit-identical results with the same method
+    name; the source plan is untouched and shares its triangular
+    segments with the result.  Plans whose updates already sit inside
+    one triangular part come back with the same segment list.
+    """
+    cuts = sorted({b for s in plan.segments if isinstance(s, TriSegment)
+                   for b in (s.lo, s.hi)})
+    segments: list = []
+    changed = False
+    for seg in plan.segments:
+        if isinstance(seg, TriSegment):
+            segments.append(seg)
+            continue
+        inner = [c for c in cuts if seg.row_lo < c < seg.row_hi]
+        if not inner:
+            segments.append(seg)
+            continue
+        bounds = [seg.row_lo, *inner, seg.row_hi]
+        matrix = seg.matrix
+        slicer = (
+            _dcsr_row_slice if isinstance(matrix, DCSRMatrix) else _csr_row_slice
+        )
+        pieces: list[SpMVSegment] = []
+        for a, b in zip(bounds, bounds[1:]):
+            sub = slicer(matrix, a - seg.row_lo, b - seg.row_lo)
+            if sub is None:
+                continue
+            pieces.append(SpMVSegment(
+                row_lo=a,
+                row_hi=b,
+                col_lo=seg.col_lo,
+                col_hi=seg.col_hi,
+                matrix=sub,
+                kernel=seg.kernel,
+            ))
+        if len(pieces) == 1 and pieces[0].n_rows == seg.n_rows:
+            segments.append(seg)  # one non-empty slice covering everything
+        else:
+            segments.extend(pieces)
+            changed = True
+    if not changed:
+        return plan
+    return ExecutionPlan(
+        method=plan.method,
+        n=plan.n,
+        segments=segments,
+        perm=plan.perm,
+        preprocess_report=plan.preprocess_report,
+    )

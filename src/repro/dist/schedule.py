@@ -1,0 +1,326 @@
+"""Cost-model-driven list scheduling of plan segments onto N devices.
+
+The scheduler is an earliest-finish-time (HEFT-style) list scheduler
+over the segment DAG of :mod:`repro.core.dag`:
+
+* segments are visited in plan order (a topological order of the DAG);
+* each is placed on the device minimizing its estimated finish time,
+  where readiness accounts each cross-device predecessor's transfer —
+  the §3.2 ``x`` fragment an SpMV loads from the triangular part that
+  produced it, plus partially accumulated ``b`` fragments handed
+  between updates — priced by an :class:`Interconnect`;
+* ties break to the lowest device index, so schedules are fully
+  deterministic functions of (plan, costs, n_devices, interconnect).
+
+Per-segment costs are the simulated :class:`KernelReport` times of the
+cost model (never wall clock), so schedules and the strong-scaling
+numbers derived from them are machine-independent.  Links are modeled
+point-to-point and non-contending: concurrent transfers between
+different device pairs do not slow each other down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dag import SegmentDAG
+from repro.gpu.device import DeviceModel
+
+__all__ = ["Interconnect", "Transfer", "DistSchedule", "schedule_dag"]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Latency/bandwidth model of the inter-device links.
+
+    Defaults come from :meth:`for_device`: an NVLink-class link running
+    at ``ratio`` of the device's DRAM bandwidth — expressing the link
+    relative to the device keeps the compute/communication balance
+    invariant under the dataset-scale device scaling — plus a fixed
+    physical hop latency.
+    """
+
+    name: str = "nvlink-like"
+    #: per-direction link bandwidth (GB/s)
+    bandwidth_gbps: float = 6.72
+    #: fixed per-transfer latency (seconds), paid once per dependency hop
+    latency_s: float = 2.0e-6
+    #: bytes per transferred x/b item (float64)
+    item_bytes: int = 8
+
+    @classmethod
+    def for_device(
+        cls,
+        device: DeviceModel,
+        *,
+        ratio: float = 0.5,
+        latency_s: float = 2.0e-6,
+    ) -> "Interconnect":
+        """A link at ``ratio`` of ``device``'s memory bandwidth."""
+        return cls(
+            name=f"{device.name} x{ratio:g} link",
+            bandwidth_gbps=device.mem_bandwidth_gbps * ratio,
+            latency_s=latency_s,
+        )
+
+    def transfer_time(self, items: int) -> float:
+        """Seconds to move ``items`` vector items one hop (0 items is a
+        pure synchronization: latency only)."""
+        return self.latency_s + items * self.item_bytes / (
+            self.bandwidth_gbps * 1e9
+        )
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One inter-device communication event of a schedule."""
+
+    #: producing / consuming segment indices
+    producer: int
+    consumer: int
+    #: source / destination device indices
+    src: int
+    dst: int
+    #: solution-vector items moved (the §3.2 cross-shard x reads)
+    x_items: int
+    #: partially accumulated right-hand-side items moved
+    b_items: int
+    start_s: float
+    end_s: float
+
+    @property
+    def items(self) -> int:
+        return self.x_items + self.b_items
+
+    def as_dict(self) -> dict:
+        return {
+            "producer": self.producer,
+            "consumer": self.consumer,
+            "src": self.src,
+            "dst": self.dst,
+            "x_items": self.x_items,
+            "b_items": self.b_items,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+        }
+
+
+@dataclass
+class DistSchedule:
+    """A deterministic placement + timeline of plan segments on devices."""
+
+    method: str
+    n_devices: int
+    #: device index per segment (plan index space)
+    assignment: list[int]
+    #: segment indices sorted by simulated start time — a topological
+    #: order of the DAG, and the order the executor runs numerics in
+    order: list[int]
+    costs_s: list[float]
+    start_s: list[float]
+    finish_s: list[float]
+    transfers: list[Transfer] = field(default_factory=list)
+    makespan_s: float = 0.0
+    device_busy_s: list[float] = field(default_factory=list)
+    #: DAG longest path under the same costs, zero communication — the
+    #: makespan lower bound at infinite devices
+    critical_path_s: float = 0.0
+
+    # -- derived accounting ------------------------------------------- #
+    @property
+    def total_cost_s(self) -> float:
+        """Sum of segment costs — the single-device makespan."""
+        return sum(self.costs_s)
+
+    @property
+    def x_transfer_items(self) -> int:
+        """Cross-shard §3.2 x reads: solution items crossing devices."""
+        return sum(t.x_items for t in self.transfers)
+
+    @property
+    def b_transfer_items(self) -> int:
+        return sum(t.b_items for t in self.transfers)
+
+    @property
+    def transfer_items(self) -> int:
+        return self.x_transfer_items + self.b_transfer_items
+
+    @property
+    def transfer_time_s(self) -> float:
+        """Summed (possibly overlapping) link busy time."""
+        return sum(t.end_s - t.start_s for t in self.transfers)
+
+    def speedup(self) -> float:
+        """Simulated strong-scaling speedup over one device."""
+        return self.total_cost_s / self.makespan_s if self.makespan_s else 0.0
+
+    def occupancy(self) -> list[float]:
+        """Per-device busy fraction of the makespan."""
+        if self.makespan_s <= 0.0:
+            return [0.0] * self.n_devices
+        return [busy / self.makespan_s for busy in self.device_busy_s]
+
+    def validate(self, dag: SegmentDAG, interconnect: Interconnect) -> None:
+        """Assert the schedule invariants (used by tests and the CLI
+        smoke): unique assignment, DAG-respecting start times, no
+        same-device overlap, conserved busy time, and transfer volume
+        equal to the DAG's cross-device payload."""
+        n = dag.n_segments
+        assert len(self.assignment) == n and sorted(self.order) == list(range(n))
+        assert all(0 <= d < self.n_devices for d in self.assignment)
+        pos = {idx: k for k, idx in enumerate(self.order)}
+        for j in range(n):
+            for p in dag.preds[j]:
+                assert pos[p] < pos[j], (p, j)
+                gap = self.start_s[j] - self.finish_s[p]
+                if self.assignment[p] != self.assignment[j]:
+                    x_items, b_items = dag.payload_items(p, j)
+                    gap -= interconnect.transfer_time(x_items + b_items)
+                assert gap >= -1e-12, (p, j, gap)
+        per_dev: dict[int, list[tuple[float, float]]] = {}
+        for j in range(n):
+            per_dev.setdefault(self.assignment[j], []).append(
+                (self.start_s[j], self.finish_s[j])
+            )
+        for spans in per_dev.values():
+            spans.sort()
+            for (s0, f0), (s1, _) in zip(spans, spans[1:]):
+                assert s1 >= f0 - 1e-12, (s0, f0, s1)
+        assert abs(sum(self.device_busy_s) - self.total_cost_s) <= 1e-9 * max(
+            1.0, self.total_cost_s
+        )
+        want_x = want_b = 0
+        for (p, j), (x_items, b_items) in dag.payload.items():
+            if self.assignment[p] != self.assignment[j]:
+                want_x += x_items
+                want_b += b_items
+        assert (self.x_transfer_items, self.b_transfer_items) == (
+            want_x, want_b,
+        ), "transfer accounting drifted from the DAG payload"
+
+    def as_dict(self) -> dict:
+        """JSON-able form (the golden-fixture format)."""
+        return {
+            "method": self.method,
+            "n_devices": self.n_devices,
+            "assignment": list(self.assignment),
+            "order": list(self.order),
+            "costs_s": list(self.costs_s),
+            "start_s": list(self.start_s),
+            "finish_s": list(self.finish_s),
+            "transfers": [t.as_dict() for t in self.transfers],
+            "makespan_s": self.makespan_s,
+            "device_busy_s": list(self.device_busy_s),
+            "critical_path_s": self.critical_path_s,
+            "x_transfer_items": self.x_transfer_items,
+            "b_transfer_items": self.b_transfer_items,
+        }
+
+    def render(self, max_rows: int = 40) -> str:
+        """Human-readable timeline + occupancy summary."""
+        lines = [
+            f"schedule: {len(self.assignment)} segments on "
+            f"{self.n_devices} device(s), makespan "
+            f"{self.makespan_s * 1e6:.1f}us "
+            f"(1-device {self.total_cost_s * 1e6:.1f}us, "
+            f"speedup {self.speedup():.2f}x, "
+            f"critical path {self.critical_path_s * 1e6:.1f}us)",
+        ]
+        for d, occ in enumerate(self.occupancy()):
+            segs = sum(1 for a in self.assignment if a == d)
+            lines.append(
+                f"  dev{d}: {segs:3d} segments, busy "
+                f"{self.device_busy_s[d] * 1e6:8.1f}us, occupancy {occ:6.1%}"
+            )
+        lines.append(
+            f"  transfers: {len(self.transfers)} "
+            f"({self.x_transfer_items} x items, "
+            f"{self.b_transfer_items} b items, "
+            f"{self.transfer_time_s * 1e6:.1f}us link time)"
+        )
+        shown = self.order[:max_rows]
+        for idx in shown:
+            lines.append(
+                f"  [{self.start_s[idx] * 1e6:9.2f} -> "
+                f"{self.finish_s[idx] * 1e6:9.2f}us] dev"
+                f"{self.assignment[idx]} seg {idx}"
+            )
+        if len(self.order) > max_rows:
+            lines.append(f"  ... {len(self.order) - max_rows} more segments")
+        return "\n".join(lines)
+
+
+def schedule_dag(
+    dag: SegmentDAG,
+    costs_s,
+    n_devices: int,
+    interconnect: Interconnect,
+    *,
+    method: str = "plan",
+) -> DistSchedule:
+    """Place every DAG node on one of ``n_devices`` device queues.
+
+    Greedy earliest-finish-time in plan order: readiness on a candidate
+    device is the max over predecessors of their finish plus — when the
+    predecessor sits on another device — the priced transfer of the
+    edge's aggregated payload.  Deterministic: ties go to the lowest
+    device index.
+    """
+    if n_devices < 1:
+        raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+    n = dag.n_segments
+    costs_s = [float(c) for c in costs_s]
+    if len(costs_s) != n:
+        raise ValueError(f"need {n} segment costs, got {len(costs_s)}")
+    assignment = [0] * n
+    start = [0.0] * n
+    finish = [0.0] * n
+    free = [0.0] * n_devices
+    for j in range(n):
+        best_d = 0
+        best_start = best_finish = float("inf")
+        for d in range(n_devices):
+            ready = free[d]
+            for p in dag.preds[j]:
+                t = finish[p]
+                if assignment[p] != d:
+                    x_items, b_items = dag.payload_items(p, j)
+                    t += interconnect.transfer_time(x_items + b_items)
+                if t > ready:
+                    ready = t
+            f = ready + costs_s[j]
+            if f < best_finish:  # strict: ties keep the lowest index
+                best_d, best_start, best_finish = d, ready, f
+        assignment[j] = best_d
+        start[j] = best_start
+        finish[j] = best_finish
+        free[best_d] = best_finish
+    transfers = []
+    for (p, j), (x_items, b_items) in sorted(dag.payload.items()):
+        if assignment[p] == assignment[j]:
+            continue
+        t0 = finish[p]
+        transfers.append(Transfer(
+            producer=p, consumer=j,
+            src=assignment[p], dst=assignment[j],
+            x_items=x_items, b_items=b_items,
+            start_s=t0,
+            end_s=t0 + interconnect.transfer_time(x_items + b_items),
+        ))
+    busy = [0.0] * n_devices
+    for j in range(n):
+        busy[assignment[j]] += costs_s[j]
+    order = sorted(range(n), key=lambda j: (start[j], j))
+    return DistSchedule(
+        method=method,
+        n_devices=n_devices,
+        assignment=assignment,
+        order=order,
+        costs_s=costs_s,
+        start_s=start,
+        finish_s=finish,
+        transfers=transfers,
+        makespan_s=max(finish, default=0.0),
+        device_busy_s=busy,
+        critical_path_s=dag.critical_path_s(costs_s),
+    )

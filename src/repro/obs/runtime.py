@@ -116,8 +116,8 @@ class ServeMetrics:
         )
         self.kernel_launches = registry.counter(
             "repro_kernel_launches_total",
-            "simulated kernel launches by kernel name",
-            labelnames=("kernel",),
+            "simulated kernel launches by kernel name and executing device",
+            labelnames=("kernel", "device"),
         )
         self.request_latency = registry.histogram(
             "repro_request_latency_seconds",
@@ -139,15 +139,18 @@ class ServeMetrics:
             "plan executions by method (a fused multi-RHS solve counts once)",
             labelnames=("method",),
         )
+        # The live traffic counters are device-tagged so multi-device
+        # runs don't conflate queues; single-device solves always use
+        # the stable label device="0".
         self.b_writes = registry.counter(
             "repro_b_writes_total",
             "live Table 1 counter: items written to b, summed per segment",
-            labelnames=("method",),
+            labelnames=("method", "device"),
         )
         self.x_loads = registry.counter(
             "repro_x_loads_total",
             "live Table 2 counter: x items loaded by SpMV segments",
-            labelnames=("method",),
+            labelnames=("method", "device"),
         )
         self.traffic_measured = registry.gauge(
             "repro_traffic_measured_items",
@@ -164,6 +167,27 @@ class ServeMetrics:
             "solves whose live per-segment traffic disagreed with "
             "analysis.traffic.measured_traffic(plan)",
             labelnames=("method",),
+        )
+        # Sharded-execution families (repro.dist).
+        self.dist_solves = registry.counter(
+            "repro_dist_solves_total",
+            "sharded plan executions by method and device count",
+            labelnames=("method", "n_devices"),
+        )
+        self.dist_occupancy = registry.gauge(
+            "repro_dist_occupancy_ratio",
+            "per-device busy fraction of the most recent sharded solve",
+            labelnames=("device",),
+        )
+        self.dist_critical_path = registry.gauge(
+            "repro_dist_critical_path_seconds",
+            "DAG critical path of the most recent sharded solve",
+            labelnames=("method",),
+        )
+        self.dist_transfer_items = registry.counter(
+            "repro_dist_transfer_items_total",
+            "vector items moved between devices, by fragment kind",
+            labelnames=("method", "kind"),
         )
 
 
@@ -224,7 +248,7 @@ class Observability:
 
 
 def record_solve_traffic(
-    obs: Observability, plan, live_b: int, live_x: int
+    obs: Observability, plan, live_b: int, live_x: int, device: str = "0"
 ) -> None:
     """Publish one plan execution's live traffic and cross-check it.
 
@@ -232,14 +256,16 @@ def record_solve_traffic(
     execution; they must equal the plan-level Tables 1-2 accounting of
     :func:`repro.analysis.traffic.measured_traffic` — any disagreement
     means the execution loop and the model have drifted apart.
+    ``device`` tags the executing queue; single-device solves keep the
+    stable label ``"0"``.
     """
     from repro.analysis.traffic import measured_traffic, predicted_traffic
 
     m = obs.serve_metrics
     method = plan.method
     m.solves_total.inc(method=method)
-    m.b_writes.inc(live_b, method=method)
-    m.x_loads.inc(live_x, method=method)
+    m.b_writes.inc(live_b, method=method, device=device)
+    m.x_loads.inc(live_x, method=method, device=device)
     measured_b, measured_x = measured_traffic(plan)
     m.traffic_measured.set(measured_b, method=method, table="b_writes")
     m.traffic_measured.set(measured_x, method=method, table="x_loads")
@@ -249,3 +275,44 @@ def record_solve_traffic(
     if predicted is not None:
         m.traffic_predicted.set(predicted[0], method=method, table="b_writes")
         m.traffic_predicted.set(predicted[1], method=method, table="x_loads")
+
+
+def record_dist_solve(
+    obs: Observability, plan, schedule, live_b_per_device, live_x_per_device
+) -> None:
+    """Publish one *sharded* plan execution (see :mod:`repro.dist`).
+
+    The live traffic counters are incremented per executing device, the
+    summed totals are cross-checked against the plan-level model exactly
+    like the single-device path, and the schedule's occupancy, critical
+    path, and transfer volume are exported.
+    """
+    from repro.analysis.traffic import measured_traffic
+
+    m = obs.serve_metrics
+    method = plan.method
+    m.solves_total.inc(method=method)
+    m.dist_solves.inc(method=method, n_devices=str(schedule.n_devices))
+    for dev, (live_b, live_x) in enumerate(
+        zip(live_b_per_device, live_x_per_device)
+    ):
+        m.b_writes.inc(live_b, method=method, device=str(dev))
+        m.x_loads.inc(live_x, method=method, device=str(dev))
+    measured_b, measured_x = measured_traffic(plan)
+    m.traffic_measured.set(measured_b, method=method, table="b_writes")
+    m.traffic_measured.set(measured_x, method=method, table="x_loads")
+    if (sum(live_b_per_device), sum(live_x_per_device)) != (
+        measured_b, measured_x,
+    ):
+        m.traffic_mismatch.inc(method=method)
+    # No predicted-traffic gauge here: the closed forms of Tables 1-2
+    # describe the aggregated §3.1 layouts, not the tiled sharded one.
+    for dev, occ in enumerate(schedule.occupancy()):
+        m.dist_occupancy.set(occ, device=str(dev))
+    m.dist_critical_path.set(schedule.critical_path_s, method=method)
+    m.dist_transfer_items.inc(
+        schedule.x_transfer_items, method=method, kind="x"
+    )
+    m.dist_transfer_items.inc(
+        schedule.b_transfer_items, method=method, kind="b"
+    )

@@ -101,6 +101,10 @@ class ServiceConfig:
     #: observability bundle (tracer + metrics) activated around every
     #: request; ``None`` (default) disables instrumentation entirely
     obs: Observability | None = None
+    #: shard every solve across this many simulated devices via
+    #: :class:`repro.dist.DistributedPlan` (1 = the single-device
+    #: compiled path; results are bit-identical either way)
+    n_devices: int = 1
 
 
 @dataclass
@@ -121,6 +125,8 @@ class _PlanEntry:
     fallback: bool
     #: mirror permutation for upper-triangular inputs (None for lower)
     perm: np.ndarray | None = None
+    #: sharded executor when the service runs with n_devices > 1
+    dist: object | None = None
 
 
 class SolveService:
@@ -146,6 +152,8 @@ class SolveService:
             raise ValueError(
                 f"unknown method {cfg.method!r}; choose from {sorted(SOLVERS)}"
             )
+        if cfg.n_devices < 1:
+            raise ValueError(f"n_devices must be >= 1, got {cfg.n_devices}")
         validate_solver_options(cfg.method, cfg.solver_options)
         self.config = cfg
         self.cache = PlanCache(cfg.cache_capacity)
@@ -328,6 +336,15 @@ class SolveService:
         with self._records_lock:
             self._records.append(rec)
 
+    def _attach_dist(self, prepared) -> object | None:
+        """The sharded executor for ``prepared`` when the service is
+        configured with more than one device."""
+        if self.config.n_devices <= 1 or not isinstance(prepared, PreparedSolve):
+            return None
+        from repro.dist import DistributedPlan
+
+        return DistributedPlan.from_prepared(prepared, self.config.n_devices)
+
     def _build_entry(self, A: CSRMatrix, method: str) -> _PlanEntry:
         """Prepare a plan, mirroring upper systems and degrading on failure."""
         if is_lower_triangular(A):
@@ -352,7 +369,8 @@ class SolveService:
             # coalesced batch) lands on the zero-allocation executor.
             if isinstance(prepared, PreparedSolve):
                 prepared._compile_quiet()
-            return _PlanEntry(prepared=prepared, method=method, fallback=False, perm=perm)
+            return _PlanEntry(prepared=prepared, method=method, fallback=False,
+                              perm=perm, dist=self._attach_dist(prepared))
         except NotTriangularError:
             raise
         except Exception:
@@ -372,6 +390,7 @@ class SolveService:
                 method=self.config.fallback_method,
                 fallback=True,
                 perm=perm,
+                dist=self._attach_dist(prepared),
             )
 
     def _check_deadline(self, deadline: float | None) -> None:
@@ -428,6 +447,8 @@ class SolveService:
     ) -> list[SolveResult]:
         method = method or self.config.method
         coalesced = len(rids)
+        n_dev = self.config.n_devices
+        dev_label = "0" if n_dev == 1 else f"0-{n_dev - 1}"
         fp = fingerprint or matrix_fingerprint(A)
         ncols = [1 if b.ndim == 1 else b.shape[1] for b in bs]
         if obs is not None:
@@ -442,7 +463,8 @@ class SolveService:
                 self._record(RequestRecord(
                     request_id=rid, fingerprint=fp, method=method,
                     n=A.n_rows, nnz=A.nnz, n_rhs=k, coalesced=coalesced,
-                    wall_time_s=wall, error=error, timed_out=timed_out,
+                    wall_time_s=wall, device=dev_label,
+                    error=error, timed_out=timed_out,
                 ))
 
         try:
@@ -477,21 +499,23 @@ class SolveService:
             B0 = cols[0] if len(cols) == 1 else np.concatenate(cols, axis=1)
             B = B0 if entry.perm is None else B0[entry.perm]
             total = B.shape[1]
+            executor = entry.dist if entry.dist is not None else entry.prepared
             if obs is None:
                 if total == 1:
-                    y, report = entry.prepared.solve(B[:, 0])
+                    y, report = executor.solve(B[:, 0])
                     Y = y[:, None]
                 else:
-                    Y, report = entry.prepared.solve_multi(B)
+                    Y, report = executor.solve_multi(B)
             else:
                 with obs.span(
-                    "serve.solve", method=entry.method, n_rhs=total
+                    "serve.solve", method=entry.method, n_rhs=total,
+                    n_devices=self.config.n_devices,
                 ) as sp:
                     if total == 1:
-                        y, report = entry.prepared.solve(B[:, 0])
+                        y, report = executor.solve(B[:, 0])
                         Y = y[:, None]
                     else:
-                        Y, report = entry.prepared.solve_multi(B)
+                        Y, report = executor.solve_multi(B)
                     sp.set(sim_time_s=report.time_s, launches=report.launches)
             if entry.perm is not None:
                 X = np.empty_like(Y)
@@ -525,7 +549,7 @@ class SolveService:
                     fallback=entry.fallback, coalesced=coalesced,
                     prep_time_s=prep_s, solve_time_s=share.time_s,
                     launches=share.launches, gflops=share.gflops,
-                    wall_time_s=wall,
+                    wall_time_s=wall, device=dev_label,
                 ))
                 if obs is not None:
                     metrics = obs.serve_metrics

@@ -38,6 +38,9 @@ class RequestRecord:
     gflops: float = 0.0
     #: host wall-clock spent servicing the request (queueing + numerics)
     wall_time_s: float = 0.0
+    #: executing device queue(s): the stable label "0" for single-device
+    #: services, "0-{N-1}" for sharded ones (repro.dist)
+    device: str = "0"
     error: str | None = None
     timed_out: bool = False
 
@@ -67,6 +70,7 @@ class RequestRecord:
             "launches": self.launches,
             "gflops": self.gflops,
             "wall_time_s": self.wall_time_s,
+            "device": self.device,
             "error": self.error,
             "timed_out": self.timed_out,
         }
@@ -127,6 +131,10 @@ class ServiceStats:
     p50_sim_latency_s: float = 0.0
     p95_sim_latency_s: float = 0.0
     p99_sim_latency_s: float = 0.0
+    #: per device label: {"requests", "p50/p95/p99_wall_time_s",
+    #: "p50/p95/p99_sim_latency_s"} — one entry ("0") for single-device
+    #: services, so the label set is a stable part of the snapshot
+    per_device: dict = field(default_factory=dict)
     cache: CacheStats | None = None
     detail: dict = field(default_factory=dict)
 
@@ -143,6 +151,21 @@ class ServiceStats:
         misses = [r for r in ok if not r.cache_hit]
         walls = [r.wall_time_s for r in ok]
         sims = [r.sim_latency_s for r in ok]
+        by_device: dict[str, list[RequestRecord]] = {}
+        for r in ok:
+            by_device.setdefault(r.device, []).append(r)
+        per_device = {
+            dev: {
+                "requests": len(rs),
+                "p50_wall_time_s": percentile([r.wall_time_s for r in rs], 50),
+                "p95_wall_time_s": percentile([r.wall_time_s for r in rs], 95),
+                "p99_wall_time_s": percentile([r.wall_time_s for r in rs], 99),
+                "p50_sim_latency_s": percentile([r.sim_latency_s for r in rs], 50),
+                "p95_sim_latency_s": percentile([r.sim_latency_s for r in rs], 95),
+                "p99_sim_latency_s": percentile([r.sim_latency_s for r in rs], 99),
+            }
+            for dev, rs in sorted(by_device.items())
+        }
         return cls(
             requests=len(records),
             completed=len(ok),
@@ -169,6 +192,7 @@ class ServiceStats:
             p50_sim_latency_s=percentile(sims, 50),
             p95_sim_latency_s=percentile(sims, 95),
             p99_sim_latency_s=percentile(sims, 99),
+            per_device=per_device,
             cache=cache,
         )
 
@@ -207,6 +231,7 @@ class ServiceStats:
             "p50_sim_latency_s": self.p50_sim_latency_s,
             "p95_sim_latency_s": self.p95_sim_latency_s,
             "p99_sim_latency_s": self.p99_sim_latency_s,
+            "per_device": {k: dict(v) for k, v in self.per_device.items()},
         }
         if self.cache is not None:
             out["cache"] = self.cache.as_dict()
@@ -241,4 +266,14 @@ class ServiceStats:
             f"  throughput    {self.mean_gflops:.3f} mean simulated GFLOPS over "
             f"{self.total_rhs} right-hand sides",
         ]
+        for dev, d in self.per_device.items():
+            lines.append(
+                f"  device {dev:<6} {d['requests']:6d} requests   "
+                f"wall p50/95/99 {d['p50_wall_time_s'] * 1e3:.4f} / "
+                f"{d['p95_wall_time_s'] * 1e3:.4f} / "
+                f"{d['p99_wall_time_s'] * 1e3:.4f} ms   "
+                f"sim p50/95/99 {d['p50_sim_latency_s'] * 1e3:.4f} / "
+                f"{d['p95_sim_latency_s'] * 1e3:.4f} / "
+                f"{d['p99_sim_latency_s'] * 1e3:.4f} ms"
+            )
         return "\n".join(lines)

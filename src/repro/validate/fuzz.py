@@ -247,7 +247,7 @@ class FuzzFailure:
     case: FuzzCase
     method: str
     kind: str  # "mismatch" | "residual" | "invariant" | "exception" | "dtype"
-    via: str = "direct"  # "direct" | "service" | "compiled"
+    via: str = "direct"  # "direct" | "service" | "compiled" | "dist"
     message: str = ""
     max_err: float | None = None
     minimized: FuzzCase | None = None
@@ -398,6 +398,48 @@ def _compiled_solve(
     return x
 
 
+def _dist_solve(
+    A, b: np.ndarray, method: str, device: DeviceModel, n_devices: int
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Run one case through the :class:`repro.dist.DistributedPlan`
+    sharded executor; ``None`` if the method's prepared form exposes no
+    plan to shard.
+
+    Returns ``(x_dist, x_single)`` — the sharded solution and the *same*
+    prepared plan's single-device solution.  The two must be bit-equal:
+    sharding reorders only commuting segments, so any difference at all
+    is a scheduler or tiling bug, not roundoff.
+    """
+    from repro.dist import DistributedPlan
+
+    solver = SOLVERS[method](device=device)
+    if is_lower_triangular(A):
+        L, perm = A, None
+    else:
+        L, perm = upper_to_lower_mirror(A.sort_indices())
+    prepared = solver.prepare(L)
+    if not isinstance(prepared, PreparedSolve):
+        return None
+    dp = DistributedPlan.from_prepared(prepared, n_devices)
+    b = np.asarray(b)
+    w = b if perm is None else b[perm]
+    if b.ndim == 1:
+        x, _ = dp.solve(w)
+        x1, _ = prepared.solve(w)
+    else:
+        # The first compiled multi-RHS solve at a new width takes the
+        # capture path (plan kernels); the sharded executor always runs
+        # the frozen steps.  Warm up so both samples are frozen-path.
+        prepared.solve_multi(w)
+        x, _ = dp.solve_multi(w)
+        x1, _ = prepared.solve_multi(w)
+    if perm is not None:
+        out, out1 = np.empty_like(x), np.empty_like(x1)
+        out[perm], out1[perm] = x, x1
+        x, x1 = out, out1
+    return x, x1
+
+
 def _compare(x, x_ref: np.ndarray, tol: float) -> tuple[bool, float]:
     x = np.asarray(x, dtype=np.float64)
     err = float(np.max(np.abs(x - x_ref))) if x_ref.size else 0.0
@@ -423,6 +465,8 @@ def run_case(
     check_invariants: bool = True,
     check_compiled: bool = True,
     compiled_method: str | None = None,
+    check_dist: bool = True,
+    dist_method: str | None = None,
 ) -> list[FuzzFailure]:
     """Differentially test one case; returns the (possibly empty) failures.
 
@@ -435,6 +479,12 @@ def run_case(
     (with ``compiled_method``, default the first method) and checks the
     result against the oracle plus the work-dtype contract: float32 RHS
     stay float32, integer RHS promote to float64.
+
+    ``check_dist`` additionally runs the case through the sharded
+    :class:`repro.dist.DistributedPlan` executor on ``2 + seed % 3``
+    simulated devices (with ``dist_method``, default the first method),
+    checking the result against the oracle *and* — bit for bit — against
+    the same prepared plan's single-device solution.
     """
     A, b = case.build()
     x_ref = _reference_solve(A, b)
@@ -494,6 +544,44 @@ def run_case(
                             f"expected {expected} for a {case.b_dtype} RHS"
                         ),
                     ))
+    if check_dist and methods:
+        dmethod = dist_method or methods[0]
+        n_devices = 2 + case.seed % 3
+        try:
+            pair = _dist_solve(A, b, dmethod, device, n_devices)
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            failures.append(FuzzFailure(
+                case=case, method=dmethod, kind="exception", via="dist",
+                message=f"{type(exc).__name__}: {exc} "
+                        f"(n_devices={n_devices})",
+            ))
+        else:
+            if pair is not None:
+                x, x_single = pair
+                agree, err = _compare(x, x_ref, ctol)
+                if not agree:
+                    failures.append(FuzzFailure(
+                        case=case, method=dmethod, kind="mismatch",
+                        via="dist", max_err=err,
+                        message=(
+                            f"sharded solve ({n_devices} devices) deviates "
+                            f"from the serial reference by {err:.3e}"
+                        ),
+                    ))
+                if not np.array_equal(x, x_single):
+                    bit_err = float(np.max(np.abs(
+                        np.asarray(x, dtype=np.float64)
+                        - np.asarray(x_single, dtype=np.float64)
+                    )))
+                    failures.append(FuzzFailure(
+                        case=case, method=dmethod, kind="mismatch",
+                        via="dist", max_err=bit_err,
+                        message=(
+                            f"sharded solve ({n_devices} devices) is not "
+                            "bit-identical to the single-device path "
+                            f"(max diff {bit_err:.3e})"
+                        ),
+                    ))
     if service is not None:
         smethod = service_method or methods[0]
         try:
@@ -537,6 +625,7 @@ def minimize_failure(
             return bool(run_case(
                 candidate, [failure.method], device, tol, service=None,
                 check_compiled=(failure.via == "compiled"),
+                check_dist=(failure.via == "dist"),
             ))
         except Exception:  # noqa: BLE001 - a crash still reproduces a bug
             return True
@@ -622,7 +711,7 @@ def run_fuzz(
         for r in range(rounds):
             case = sample_case(seed, r, families, base_size)
             report.n_cases += 1
-            report.n_checks += len(methods) + (1 if service else 0) + 1
+            report.n_checks += len(methods) + (1 if service else 0) + 2
             failures = run_case(
                 case,
                 methods,
@@ -631,6 +720,7 @@ def run_fuzz(
                 service=service,
                 service_method=methods[r % len(methods)],
                 compiled_method=methods[r % len(methods)],
+                dist_method=methods[r % len(methods)],
             )
             if failures and log:
                 log(f"round {r}: {len(failures)} failure(s) on {case.token()}")
@@ -644,9 +734,9 @@ def run_fuzz(
             service.close()
     if minimize:
         for f in report.failures:
-            # Direct and compiled failures are pure functions of the
-            # case; service failures depend on service state.
-            if f.via in ("direct", "compiled"):
+            # Direct, compiled, and dist failures are pure functions of
+            # the case; service failures depend on service state.
+            if f.via in ("direct", "compiled", "dist"):
                 f.minimized = minimize_failure(f, device, tol)
     report.elapsed_s = monotonic() - t0
     return report

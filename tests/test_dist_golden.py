@@ -1,0 +1,101 @@
+"""Golden-schedule regression tests.
+
+The scheduler is a deterministic function of (plan, simulated costs,
+n_devices, interconnect), and every input is itself deterministic —
+suite matrices are seeded and costs are simulated, never wall-clock.
+So whole schedules can be pinned: assignment, execution order, and the
+transfer list must match the committed fixture *exactly*, and the
+simulated timeline to float-roundtrip tolerance.
+
+Regenerate deliberately after a scheduler/cost-model change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_dist_golden.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.solver import SOLVERS
+from repro.dist import DistributedPlan
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.matrices.suite import scaled_suite
+
+DATA_DIR = Path(__file__).parent / "data"
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+TIME_RTOL = 1e-9
+
+#: fixture name -> (suite matrix, method, options, n_devices)
+GOLDEN_CASES = {
+    "dist_schedule_kkt_mid_a_cb16_d4": (
+        "kkt_mid_a", "column-block", {"nseg": 16}, 4,
+    ),
+    "dist_schedule_ilu_130x110_rb3_d2": (
+        "ilu_factor_130x110", "recursive-block", {"depth": 3}, 2,
+    ),
+    "dist_schedule_banded_64_0_row8_d3": (
+        "banded_64_0", "row-block", {"nseg": 8}, 3,
+    ),
+}
+
+
+def _build_schedule(matrix, method, options, n_devices):
+    spec = {s.name: s for s in scaled_suite(0.05)}[matrix]
+    prepared = SOLVERS[method](device=TITAN_RTX_SCALED, **options).prepare(
+        spec.build()
+    )
+    return DistributedPlan.from_prepared(prepared, n_devices).schedule
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_schedule_matches_golden_fixture(name):
+    matrix, method, options, n_devices = GOLDEN_CASES[name]
+    sched = _build_schedule(matrix, method, options, n_devices)
+    got = sched.as_dict()
+    path = DATA_DIR / f"{name}.json"
+    if REGEN or not path.exists():
+        DATA_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(got, indent=2) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    want = json.loads(path.read_text())
+
+    # Discrete structure must match exactly.
+    for key in ("method", "n_devices", "assignment", "order",
+                "x_transfer_items", "b_transfer_items"):
+        assert got[key] == want[key], key
+    got_t = [
+        {k: t[k] for k in ("producer", "consumer", "src", "dst",
+                           "x_items", "b_items")}
+        for t in got["transfers"]
+    ]
+    want_t = [
+        {k: t[k] for k in ("producer", "consumer", "src", "dst",
+                           "x_items", "b_items")}
+        for t in want["transfers"]
+    ]
+    assert got_t == want_t
+
+    # Simulated times to float-text roundtrip tolerance.
+    for key in ("costs_s", "start_s", "finish_s", "device_busy_s"):
+        assert got[key] == pytest.approx(want[key], rel=TIME_RTOL), key
+    for key in ("makespan_s", "critical_path_s"):
+        assert got[key] == pytest.approx(want[key], rel=TIME_RTOL), key
+    for t_got, t_want in zip(got["transfers"], want["transfers"]):
+        assert t_got["start_s"] == pytest.approx(
+            t_want["start_s"], rel=TIME_RTOL
+        )
+        assert t_got["end_s"] == pytest.approx(
+            t_want["end_s"], rel=TIME_RTOL
+        )
+
+
+def test_golden_fixtures_are_committed():
+    """Guard against the skip-on-first-run path silently shipping no
+    fixtures: every golden case must have a JSON file in tests/data/."""
+    missing = [
+        name for name in GOLDEN_CASES
+        if not (DATA_DIR / f"{name}.json").exists()
+    ]
+    assert not missing, f"run REPRO_REGEN_GOLDEN=1 to create {missing}"

@@ -1,0 +1,297 @@
+"""Units for repro.dist: DAG derivation, 2-D tiling, the list
+scheduler, the sharded executor, and the serve/CLI integration."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.dag import build_segment_dag
+from repro.core.plan import SpMVSegment, TriSegment
+from repro.core.solver import SOLVERS
+from repro.dist import DistributedPlan, Interconnect, schedule_dag, tile_plan
+from repro.gpu.device import TITAN_RTX_SCALED
+from repro.obs import Observability
+from repro.serve import ServiceConfig, SolveService
+
+from conftest import random_lower
+
+
+def _prepare(method="column-block", n=300, seed=7, **options):
+    L = random_lower(n, density=0.05, seed=seed)
+    solver = SOLVERS[method](device=TITAN_RTX_SCALED, **options)
+    return L, solver.prepare(L)
+
+
+class TestInterconnect:
+    def test_for_device_scales_with_memory_bandwidth(self):
+        link = Interconnect.for_device(TITAN_RTX_SCALED)
+        assert link.bandwidth_gbps == pytest.approx(
+            0.5 * TITAN_RTX_SCALED.mem_bandwidth_gbps
+        )
+
+    def test_transfer_time_formula(self):
+        link = Interconnect(bandwidth_gbps=8.0, latency_s=1e-6, item_bytes=8)
+        # 0 items is a pure synchronization: latency only.
+        assert link.transfer_time(0) == pytest.approx(1e-6)
+        assert link.transfer_time(1000) == pytest.approx(
+            1e-6 + 1000 * 8 / 8.0e9
+        )
+
+
+class TestSegmentDAG:
+    def test_column_block_chain_before_tiling(self):
+        # §3.1 column-block aggregates each strip's update into one tall
+        # SpMV, so the untiled DAG is a serial chain: every segment
+        # depends on its predecessor.
+        _, prepared = _prepare(nseg=8)
+        dag = build_segment_dag(prepared.plan)
+        for j in range(1, dag.n_segments):
+            assert dag.preds[j], f"segment {j} has no predecessor"
+        assert dag.check_topological(range(dag.n_segments))
+
+    def test_edge_payloads_match_intervals(self):
+        _, prepared = _prepare(nseg=8)
+        plan = tile_plan(prepared.plan)
+        dag = build_segment_dag(plan)
+        for e in dag.edges:
+            src, dst = plan.segments[e.src], plan.segments[e.dst]
+            if e.kind == "x":
+                # x edges: tri output read by a later SpMV.
+                assert isinstance(src, TriSegment)
+                assert isinstance(dst, SpMVSegment)
+                assert e.lo >= max(src.lo, dst.col_lo)
+                assert e.hi <= min(src.hi, dst.col_hi)
+                assert e.items == e.hi - e.lo
+            elif e.kind == "war":
+                assert e.items == 0
+
+    def test_tri_waits_for_every_update_into_its_rows(self):
+        _, prepared = _prepare(nseg=8)
+        plan = tile_plan(prepared.plan)
+        dag = build_segment_dag(plan)
+        for j, seg in enumerate(plan.segments):
+            if not isinstance(seg, TriSegment):
+                continue
+            for i in range(j):
+                other = plan.segments[i]
+                if isinstance(other, SpMVSegment) and not (
+                    other.row_hi <= seg.lo or other.row_lo >= seg.hi
+                ):
+                    assert i in dag.preds[j], (i, j)
+
+    def test_critical_path_bounds(self):
+        _, prepared = _prepare(nseg=8)
+        plan = tile_plan(prepared.plan)
+        dag = build_segment_dag(plan)
+        costs = [1.0] * dag.n_segments
+        cp = dag.critical_path_s(costs)
+        assert 0 < cp <= sum(costs)
+
+
+class TestTilePlan:
+    def test_splits_multi_part_spmvs(self):
+        _, prepared = _prepare(nseg=8)
+        tiled = tile_plan(prepared.plan)
+        assert tiled is not prepared.plan
+        assert tiled.n_spmv_segments > prepared.plan.n_spmv_segments
+        # Triangular segments are shared, not copied.
+        assert [id(s) for s in tiled.tri_segments] == [
+            id(s) for s in prepared.plan.tri_segments
+        ]
+        # Same totals: tiling only re-slices rows, never drops entries.
+        assert tiled.total_nnz == prepared.plan.total_nnz
+        assert sum(s.n_rows for s in tiled.spmv_segments) <= sum(
+            s.n_rows for s in prepared.plan.spmv_segments
+        )  # zero-nnz slices are dropped
+
+    def test_tiled_solution_is_bit_identical(self):
+        L, prepared = _prepare(nseg=8)
+        tiled = tile_plan(prepared.plan)
+        b = np.random.default_rng(0).standard_normal(L.n_rows)
+        x0, _ = prepared.plan.solve(b, TITAN_RTX_SCALED)
+        x1, _ = tiled.solve(b, TITAN_RTX_SCALED)
+        assert np.array_equal(x0, x1)
+
+    def test_single_part_plan_is_returned_unchanged(self):
+        _, prepared = _prepare(method="serial", n=64)
+        assert tile_plan(prepared.plan) is prepared.plan
+
+
+class TestScheduler:
+    def _dag_costs(self, nseg=8):
+        _, prepared = _prepare(nseg=nseg)
+        plan = tile_plan(prepared.plan)
+        dag = build_segment_dag(plan)
+        rng = np.random.default_rng(42)
+        costs = (rng.random(dag.n_segments) * 1e-5 + 1e-6).tolist()
+        return dag, costs
+
+    def test_single_device_makespan_is_total_cost(self):
+        dag, costs = self._dag_costs()
+        link = Interconnect()
+        sched = schedule_dag(dag, costs, 1, link)
+        assert sched.makespan_s == pytest.approx(sum(costs), rel=1e-12)
+        assert sched.speedup() == pytest.approx(1.0)
+        assert not sched.transfers
+        sched.validate(dag, link)
+
+    def test_multi_device_schedule_validates(self):
+        dag, costs = self._dag_costs()
+        link = Interconnect()
+        for d in (2, 3, 4):
+            sched = schedule_dag(dag, costs, d, link)
+            sched.validate(dag, link)
+            assert sched.makespan_s <= sum(costs) + 1e-15
+            assert sched.makespan_s >= dag.critical_path_s(costs) - 1e-15
+
+    def test_deterministic(self):
+        dag, costs = self._dag_costs()
+        link = Interconnect()
+        a = schedule_dag(dag, costs, 3, link)
+        b = schedule_dag(dag, costs, 3, link)
+        assert a.as_dict() == b.as_dict()
+
+    def test_rejects_bad_inputs(self):
+        dag, costs = self._dag_costs()
+        with pytest.raises(ValueError):
+            schedule_dag(dag, costs, 0, Interconnect())
+        with pytest.raises(ValueError):
+            schedule_dag(dag, costs[:-1], 2, Interconnect())
+
+
+class TestDistributedPlan:
+    def test_bit_identical_to_single_device(self):
+        L, prepared = _prepare(nseg=8)
+        b = np.random.default_rng(1).standard_normal(L.n_rows)
+        x1, _ = prepared.solve(b)
+        for d in (1, 2, 4):
+            dp = DistributedPlan.from_prepared(prepared, d)
+            x, report = dp.solve(b)
+            assert np.array_equal(x, x1), f"n_devices={d}"
+            assert report.detail["n_devices"] == d
+
+    def test_multi_rhs_bit_identical(self):
+        L, prepared = _prepare(nseg=8)
+        B = np.random.default_rng(2).standard_normal((L.n_rows, 5))
+        prepared.solve_multi(B)  # capture pass at this width
+        X1, _ = prepared.solve_multi(B)
+        dp = DistributedPlan.from_prepared(prepared, 3)
+        X, report = dp.solve_multi(B)
+        assert np.array_equal(X, X1)
+        assert report.detail["n_rhs"] == 5
+
+    def test_report_detail_fields(self):
+        _, prepared = _prepare(nseg=8)
+        dp = DistributedPlan.from_prepared(prepared, 4)
+        _, report = dp.solve(np.ones(prepared.plan.n))
+        d = report.detail
+        for key in ("n_devices", "makespan_s", "single_device_s", "speedup",
+                    "critical_path_s", "occupancy", "device_busy_s",
+                    "transfers", "transfer_x_items", "transfer_b_items",
+                    "transfer_time_s"):
+            assert key in d, key
+        assert report.time_s == pytest.approx(d["makespan_s"])
+        assert len(d["occupancy"]) == 4
+        assert d["speedup"] == pytest.approx(
+            d["single_device_s"] / d["makespan_s"]
+        )
+
+    def test_schedule_invariants_hold(self):
+        _, prepared = _prepare(nseg=8)
+        dp = DistributedPlan.from_prepared(prepared, 4)
+        dp.schedule.validate(dp.dag, dp.interconnect)
+
+    def test_rejects_bad_device_count_and_shape(self):
+        _, prepared = _prepare(nseg=4)
+        with pytest.raises(ValueError):
+            DistributedPlan.from_prepared(prepared, 0)
+        dp = DistributedPlan.from_prepared(prepared, 2)
+        from repro.errors import ShapeMismatchError
+        with pytest.raises(ShapeMismatchError):
+            dp.solve(np.ones(prepared.plan.n + 1))
+        with pytest.raises(ShapeMismatchError):
+            dp.solve_multi(np.ones(prepared.plan.n))
+
+    def test_observed_path_matches_and_exports_metrics(self):
+        L, prepared = _prepare(nseg=8)
+        b = np.random.default_rng(3).standard_normal(L.n_rows)
+        # With observability active every executor takes the
+        # instrumented plan path, so that is the bit-identity reference.
+        with Observability().activate():
+            x1, _ = prepared.solve(b)
+        dp = DistributedPlan.from_prepared(prepared, 3)
+        obs = Observability()
+        with obs.activate():
+            x, _ = dp.solve(b)
+        assert np.array_equal(x, x1)
+        m = obs.serve_metrics
+        method = prepared.plan.method
+        assert m.dist_solves.value(method=method, n_devices="3") == 1
+        assert m.traffic_mismatch.total() == 0
+        # Per-device live counters sum to the plan-level accounting.
+        from repro.analysis.traffic import measured_traffic
+        tiled_b, tiled_x = measured_traffic(dp.plan)
+        got_b = sum(
+            m.b_writes.value(method=method, device=str(dev))
+            for dev in range(3)
+        )
+        got_x = sum(
+            m.x_loads.value(method=method, device=str(dev))
+            for dev in range(3)
+        )
+        assert (got_b, got_x) == (tiled_b, tiled_x)
+        assert m.dist_transfer_items.value(method=method, kind="x") == \
+            dp.schedule.x_transfer_items
+
+
+class TestServiceIntegration:
+    def test_n_devices_routes_through_dist(self):
+        L = random_lower(200, density=0.06, seed=11)
+        b = np.random.default_rng(4).standard_normal(L.n_rows)
+        with SolveService(method="column-block",
+                          solver_options={"nseg": 8},
+                          n_devices=3) as svc:
+            res = svc.solve(L, b)
+            entry = next(iter(svc.cache._entries.values()))
+        assert entry.dist is not None
+        assert res.report.detail["n_devices"] == 3
+        # Bit-identical to the same prepared plan's single-device path.
+        x1, _ = entry.prepared.solve(b)
+        assert np.array_equal(res.x, x1)
+
+    def test_single_device_service_attaches_no_dist(self):
+        L = random_lower(120, density=0.08, seed=12)
+        with SolveService(method="column-block",
+                          solver_options={"nseg": 4}) as svc:
+            svc.solve(L, np.ones(L.n_rows))
+            entry = next(iter(svc.cache._entries.values()))
+            assert entry.dist is None
+
+    def test_rejects_nonpositive_device_count(self):
+        with pytest.raises(ValueError):
+            SolveService(ServiceConfig(n_devices=0))
+
+    def test_obs_service_records_dist_metrics(self):
+        L = random_lower(200, density=0.06, seed=13)
+        obs = Observability()
+        with SolveService(method="column-block",
+                          solver_options={"nseg": 8},
+                          n_devices=2, obs=obs) as svc:
+            svc.solve(L, np.ones(L.n_rows))
+        m = obs.serve_metrics
+        assert m.dist_solves.value(method="column-block", n_devices="2") == 1
+        assert m.requests_total.value(status="ok") == 1
+
+
+class TestCLI:
+    def test_dist_check_smoke(self, capsys):
+        assert main(["dist", "kkt_mid_a", "--scale", "0.05",
+                     "--devices", "2", "--nseg", "16", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule invariants OK" in out
+        assert "bit-identical to single-device: True" in out
+
+    def test_dist_scaling_experiment_registered(self, capsys):
+        assert main(["experiment", "dist_scaling", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Strong scaling" in out

@@ -45,8 +45,8 @@ def test_live_traffic_equals_model_per_scheme(method, options):
     assert np.all(np.isfinite(x))
     plan = prepared.plan
     m = obs.serve_metrics
-    live = (int(m.b_writes.value(method=method)),
-            int(m.x_loads.value(method=method)))
+    live = (int(m.b_writes.value(method=method, device="0")),
+            int(m.x_loads.value(method=method, device="0")))
     assert live == tuple(measured_traffic(plan))
     # Power-of-two part counts: the closed-form Tables 1-2 expressions
     # must agree exactly with the per-segment accumulation.
@@ -66,7 +66,7 @@ def test_fused_multi_rhs_counts_traffic_once():
         prepared.solve_multi(np.ones((L.n_rows, 8)))
     m = obs.serve_metrics
     # The matrix streams once regardless of the RHS count.
-    assert m.b_writes.value(method="recursive-block") == \
+    assert m.b_writes.value(method="recursive-block", device="0") == \
         measured_traffic(prepared.plan)[0]
     assert m.solves_total.value(method="recursive-block") == 1
 

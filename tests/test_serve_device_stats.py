@@ -1,0 +1,109 @@
+"""Regression tests for the device dimension of serve.stats.
+
+The device label on :class:`RequestRecord` is part of the service's
+observable contract: dashboards key on it.  Single-device services must
+keep emitting exactly ``"0"`` (not ``"0-0"``, not ``""``), sharded
+services ``"0-{N-1}"``, and the per-device percentile block must follow
+the same labels through ``as_dict``/``render``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import SolveService
+from repro.serve.stats import RequestRecord, ServiceStats, percentile
+
+from conftest import random_lower
+
+
+def _records(devices, ok=True):
+    return [
+        RequestRecord(
+            request_id=i,
+            fingerprint="f",
+            method="column-block",
+            n=10,
+            nnz=20,
+            n_rhs=1,
+            solve_time_s=(i + 1) * 1e-4,
+            wall_time_s=(i + 1) * 1e-3,
+            device=dev,
+            error=None if ok else "boom",
+        )
+        for i, dev in enumerate(devices)
+    ]
+
+
+class TestRecordLabel:
+    def test_default_device_label_is_zero(self):
+        # The stable single-device label; a rename here breaks dashboards.
+        assert RequestRecord.__dataclass_fields__["device"].default == "0"
+        rec = _records(["0"])[0]
+        assert rec.as_dict()["device"] == "0"
+
+    def test_single_device_service_emits_label_zero(self):
+        L = random_lower(120, density=0.08, seed=21)
+        with SolveService(method="column-block",
+                          solver_options={"nseg": 4}) as svc:
+            svc.solve(L, np.ones(L.n_rows))
+            svc.solve(L, np.ones(L.n_rows))
+            recs = svc.records()
+        assert len(recs) == 2
+        assert {r.device for r in recs} == {"0"}
+
+    def test_sharded_service_emits_range_label(self):
+        L = random_lower(200, density=0.06, seed=22)
+        with SolveService(method="column-block",
+                          solver_options={"nseg": 8},
+                          n_devices=3) as svc:
+            svc.solve(L, np.ones(L.n_rows))
+            recs = svc.records()
+        assert {r.device for r in recs} == {"0-2"}
+
+
+class TestPerDeviceStats:
+    def test_single_label_block(self):
+        stats = ServiceStats.from_records(_records(["0", "0", "0"]))
+        assert set(stats.per_device) == {"0"}
+        block = stats.per_device["0"]
+        assert block["requests"] == 3
+        walls = [1e-3, 2e-3, 3e-3]
+        assert block["p50_wall_time_s"] == pytest.approx(
+            percentile(walls, 50)
+        )
+        assert block["p99_wall_time_s"] == pytest.approx(max(walls))
+        # The block survives serialization under the same labels.
+        assert set(stats.as_dict()["per_device"]) == {"0"}
+
+    def test_mixed_labels_grouped_and_sorted(self):
+        stats = ServiceStats.from_records(
+            _records(["0-1", "0", "0-1", "0"])
+        )
+        assert list(stats.per_device) == ["0", "0-1"]
+        assert stats.per_device["0"]["requests"] == 2
+        assert stats.per_device["0-1"]["requests"] == 2
+
+    def test_failed_requests_excluded(self):
+        stats = ServiceStats.from_records(
+            _records(["0", "0"]) + _records(["0"], ok=False)
+        )
+        assert stats.per_device["0"]["requests"] == 2
+
+    def test_render_lists_each_device(self):
+        text = ServiceStats.from_records(_records(["0", "0-3"])).render()
+        assert "device 0 " in text
+        assert "device 0-3" in text
+
+
+class TestServiceStatsEndToEnd:
+    def test_stats_per_device_matches_service_labels(self):
+        L = random_lower(200, density=0.06, seed=23)
+        with SolveService(method="column-block",
+                          solver_options={"nseg": 8},
+                          n_devices=2) as svc:
+            for _ in range(3):
+                svc.solve(L, np.ones(L.n_rows))
+            stats = svc.stats()
+        assert list(stats.per_device) == ["0-1"]
+        assert stats.per_device["0-1"]["requests"] == 3
+        assert stats.per_device["0-1"]["p50_sim_latency_s"] > 0
