@@ -8,7 +8,9 @@ real ILU factor) in four series:
 * ``warm_plan_s``      — ``plan.solve`` per call (the uncompiled path);
 * ``warm_compiled_s``  — ``CompiledPlan.solve`` per call (the
   zero-allocation executor every cache hit lands on);
-* ``multi_*_s``        — the fused ``solve_multi`` pair at k = 8.
+* ``multi_*_s``        — the fused ``solve_multi`` pair at k = 8;
+* ``replan_s`` / ``rebind_s`` — values-only change: full plan rebuild
+  vs rebinding the pattern plan onto new values (structural batching).
 
 Writes ``BENCH_core.json`` at the repository root.  The acceptance gate
 is *ratio-based* so it is stable across machines: per-call wall times
@@ -28,7 +30,10 @@ from pathlib import Path
 
 import numpy as np
 
+from dataclasses import replace
+
 from repro import TITAN_RTX_SCALED
+from repro.core.rebind import PlanRebinder, tracer_matrix
 from repro.core.solver import SOLVERS
 from repro.matrices.suite import scaled_suite
 
@@ -52,6 +57,11 @@ REPEATS = 3
 ITERS = 10
 #: acceptance floor for the geometric-mean compiled/plan speedup
 SPEEDUP_FLOOR = 1.3
+#: acceptance floor for the geomean replan/rebind speedup (values-only
+#: change: rebinding the pattern plan must beat rebuilding it by >= 2x)
+REBIND_FLOOR = 2.0
+#: prepare is heavy; time the replan/rebind pair over fewer calls
+REBIND_ITERS = 3
 #: tolerated regression vs a previously committed BENCH_core.json
 REGRESSION_RATIO = 0.75
 
@@ -103,6 +113,26 @@ def _bench_matrix(spec) -> dict:
     multi_plan_s = _best_loop(lambda: prepared.plan.solve_multi(B, device))
     multi_compiled_s = _best_loop(lambda: compiled.solve_multi(B))
 
+    # Values-only change: replan from scratch vs rebind the pattern plan.
+    A2 = replace(
+        A,
+        data=(A.data * rng.uniform(0.5, 1.5, A.nnz)).astype(A.data.dtype),
+        _validated=True,
+    )
+    prepared_t = SOLVERS[METHOD](device=device).prepare(tracer_matrix(A))
+    binder = PlanRebinder(prepared_t.plan, A.nnz, A.data.dtype)
+    # Correctness gate: the rebound plan must match a fresh build bitwise
+    # (same segments, same kernels — only the values arrays differ).
+    x_fresh, _ = SOLVERS[METHOD](device=device).prepare(A2).plan.solve(b, device)
+    x_rebound, _ = binder.bind(A2.data).solve(b, device)
+    assert np.array_equal(x_rebound, x_fresh), spec.name
+
+    replan_s = _best_loop(
+        lambda: SOLVERS[METHOD](device=device).prepare(A2),
+        iters=REBIND_ITERS,
+    )
+    rebind_s = _best_loop(lambda: binder.bind(A2.data), iters=REBIND_ITERS)
+
     return {
         "n": n,
         "nnz": A.nnz,
@@ -111,8 +141,11 @@ def _bench_matrix(spec) -> dict:
         "warm_compiled_s": warm_compiled_s,
         "multi_plan_s": multi_plan_s,
         "multi_compiled_s": multi_compiled_s,
+        "replan_s": replan_s,
+        "rebind_s": rebind_s,
         "speedup_single": warm_plan_s / warm_compiled_s,
         "speedup_multi": multi_plan_s / multi_compiled_s,
+        "speedup_rebind": replan_s / rebind_s,
     }
 
 
@@ -127,6 +160,7 @@ def run() -> dict:
     series = {name: _bench_matrix(specs[name]) for name in MATRICES}
     singles = [row["speedup_single"] for row in series.values()]
     multis = [row["speedup_multi"] for row in series.values()]
+    rebinds = [row["speedup_rebind"] for row in series.values()]
     return {
         "workload": {
             "method": METHOD,
@@ -143,7 +177,9 @@ def run() -> dict:
         "headline": {
             "geomean_speedup_single": _geomean(singles),
             "geomean_speedup_multi": _geomean(multis),
+            "geomean_rebind_speedup": _geomean(rebinds),
             "speedup_floor": SPEEDUP_FLOOR,
+            "rebind_floor": REBIND_FLOOR,
         },
     }
 
@@ -153,19 +189,22 @@ def render(result: dict) -> str:
         f"core solve hot path ({METHOD}, plan path vs compiled executor)",
         f"  {'matrix':<20} {'n':>6} {'nnz':>7} "
         f"{'warm plan':>11} {'compiled':>11} {'speedup':>8} "
-        f"{'multi x' + str(N_RHS):>9}",
+        f"{'multi x' + str(N_RHS):>9} {'rebind':>8}",
     ]
     for name, row in result["series"].items():
         lines.append(
             f"  {name:<20} {row['n']:>6} {row['nnz']:>7} "
             f"{row['warm_plan_s'] * 1e6:>9.1f}us {row['warm_compiled_s'] * 1e6:>9.1f}us "
-            f"{row['speedup_single']:>7.2f}x {row['speedup_multi']:>8.2f}x"
+            f"{row['speedup_single']:>7.2f}x {row['speedup_multi']:>8.2f}x "
+            f"{row['speedup_rebind']:>7.2f}x"
         )
     h = result["headline"]
     lines.append(
         f"  geomean speedup: {h['geomean_speedup_single']:.2f}x single, "
         f"{h['geomean_speedup_multi']:.2f}x multi-RHS "
-        f"(acceptance: >= {h['speedup_floor']}x)"
+        f"(acceptance: >= {h['speedup_floor']}x); "
+        f"values-only rebind {h['geomean_rebind_speedup']:.2f}x vs replan "
+        f"(acceptance: >= {h['rebind_floor']}x)"
     )
     return "\n".join(lines)
 
@@ -174,10 +213,13 @@ def check(result: dict, baseline: dict | None = None) -> None:
     h = result["headline"]
     assert h["geomean_speedup_single"] >= SPEEDUP_FLOOR, h
     assert h["geomean_speedup_multi"] >= SPEEDUP_FLOOR, h
-    # Every matrix individually must at least not lose to the plan path.
+    assert h["geomean_rebind_speedup"] >= REBIND_FLOOR, h
+    # Every matrix individually must at least not lose to the plan path,
+    # and rebinding must never be slower than replanning.
     for name, row in result["series"].items():
         assert row["speedup_single"] >= 1.0, (name, row["speedup_single"])
         assert row["speedup_multi"] >= 1.0, (name, row["speedup_multi"])
+        assert row["speedup_rebind"] >= 1.0, (name, row["speedup_rebind"])
     if baseline is not None:
         # Ratio-vs-ratio: both numbers are same-machine, same-process
         # wall-time ratios, so the comparison is machine-independent.

@@ -7,6 +7,12 @@ and a failing planner that degrades to the level-set baseline — and
 checks that cache-hit requests skip preprocessing entirely: hit-path
 mean simulated latency must be under 50% of the miss-path mean.
 
+A second phase replays same-pattern/different-values traffic (the
+structural-batching case) through two fresh services — one with
+``structural_batching`` on, one with it off — and gates the fused
+service at >= ``FUSED_FLOOR`` the legacy wall-clock throughput, with
+fused batch results bit-identical to per-request solves.
+
 Writes ``BENCH_serve.json`` at the repository root (and the rendered
 table to ``benchmarks/results/``).
 """
@@ -14,6 +20,7 @@ table to ``benchmarks/results/``).
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 import numpy as np
@@ -21,7 +28,7 @@ import numpy as np
 from repro import TITAN_RTX_SCALED, register_solver, unregister_solver
 from repro.core.solver import TriangularSolver
 from repro.serve import ServiceConfig, SolveRequest, SolveService
-from repro.serve.workload import mixed_workload
+from repro.serve.workload import mixed_workload, replay, revalued_workload
 
 from conftest import publish
 
@@ -33,6 +40,19 @@ HOT_MATRICES = 3
 HOT_REQUESTS = 24
 BATCH_REQUESTS = 8
 
+# Structural-batching phase: same-pattern/different-values traffic.
+# Every request is a distinct values variant (the re-factorization
+# stream): the legacy path must plan each one, the structural path
+# plans once per pattern and rebinds.
+FUSED_PATTERNS = 3
+FUSED_VALUES = 6
+FUSED_REQUESTS = FUSED_PATTERNS * FUSED_VALUES
+FUSED_BATCH = FUSED_REQUESTS
+FUSED_REPEATS = 3
+#: acceptance floor: fused service wall-clock speedup over the
+#: structural_batching=False ablation on the revalued workload
+FUSED_FLOOR = 2.0
+
 
 class _ExplodingSolver(TriangularSolver):
     """A planner that always fails: exercises graceful degradation."""
@@ -41,6 +61,72 @@ class _ExplodingSolver(TriangularSolver):
 
     def _prepare(self, L):
         raise RuntimeError("planner exploded (benchmark-injected failure)")
+
+
+def _fused_service(structural: bool) -> SolveService:
+    # Capacity holds every variant (legacy mode keys on full fingerprint)
+    # so the comparison measures plan-build cost, not eviction thrash.
+    return SolveService(ServiceConfig(
+        method="recursive-block",
+        device=TITAN_RTX_SCALED,
+        cache_capacity=FUSED_PATTERNS * FUSED_VALUES + 1,
+        max_workers=4,
+        structural_batching=structural,
+    ))
+
+
+def fused_phase() -> dict:
+    """Fused (structural) vs legacy replay of the revalued workload."""
+    workload = revalued_workload(
+        FUSED_REQUESTS,
+        scale=0.05,
+        n_patterns=FUSED_PATTERNS,
+        n_values=FUSED_VALUES,
+        seed=13,
+    )
+
+    def timed_replay(structural: bool) -> tuple[float, SolveService]:
+        best, svc = float("inf"), None
+        for _ in range(FUSED_REPEATS):
+            with _fused_service(structural) as s:
+                t0 = time.perf_counter()
+                replay(s, workload, batch_size=FUSED_BATCH)
+                elapsed = time.perf_counter() - t0
+            if elapsed < best:
+                best, svc = elapsed, s
+        return best, svc
+
+    legacy_s, _ = timed_replay(structural=False)
+    fused_s, fused_svc = timed_replay(structural=True)
+    stats = fused_svc.stats()
+
+    # Bit-identity: a fused same-pattern batch must match per-request
+    # solves through the same (warm) service, bit for bit.
+    with _fused_service(structural=True) as svc:
+        variants = [
+            workload.matrices[name]
+            for name in list(workload.matrices)[:FUSED_VALUES]
+        ]
+        b = np.ones(variants[0].n_rows)
+        singles = [svc.solve(V, b) for V in variants]  # warm every overlay
+        batch = svc.solve_batch([SolveRequest(A=V, b=b) for V in variants])
+        assert len(batch.buckets) == 1 and batch.buckets[0].fused
+        for single, fused in zip(singles, batch):
+            assert np.array_equal(np.asarray(fused.x), np.asarray(single.x))
+
+    return {
+        "patterns": FUSED_PATTERNS,
+        "values_per_pattern": FUSED_VALUES,
+        "requests": FUSED_REQUESTS,
+        "batch_size": FUSED_BATCH,
+        "legacy_s": legacy_s,
+        "fused_s": fused_s,
+        "speedup": legacy_s / fused_s,
+        "pattern_hits": stats.pattern_hits,
+        "fused_requests": stats.fused_requests,
+        "fused_floor": FUSED_FLOOR,
+        "bit_identical": True,
+    }
 
 
 def run() -> dict:
@@ -107,6 +193,7 @@ def run() -> dict:
         "miss_mean_latency_s": miss_mean,
         "hit_over_miss_latency": hit_mean / miss_mean if miss_mean else None,
         "records": records,
+        "fused": fused_phase(),
     }
     return result
 
@@ -158,6 +245,23 @@ def render(result: dict) -> str:
         f"  hit/miss latency ratio {result['hit_over_miss_latency']:.3f} "
         "(acceptance: < 0.5)",
     ]
+    f = result.get("fused")
+    if f:
+        lines.append(
+            f"  structural batching: {f['requests']} requests over "
+            f"{f['patterns']} patterns x {f['values_per_pattern']} values, "
+            f"batch={f['batch_size']}"
+        )
+        lines.append(
+            f"    legacy {f['legacy_s'] * 1e3:9.2f} ms   "
+            f"fused {f['fused_s'] * 1e3:9.2f} ms   "
+            f"speedup {f['speedup']:.2f}x (acceptance: >= {f['fused_floor']}x)"
+        )
+        lines.append(
+            f"    pattern hits {f['pattern_hits']}  "
+            f"fused requests {f['fused_requests']}  "
+            f"bit-identical to per-request: {f['bit_identical']}"
+        )
     if "profile" in result:
         lines.append(f"  per-segment profile of {result['profile']['matrix']} "
                      "(captured untimed, observability on):")
@@ -181,6 +285,14 @@ def check(result: dict) -> None:
     assert s["failed"] == 0 and s["timeouts"] == 0, s
     # The headline: cached plans skip preprocessing entirely.
     assert result["hit_over_miss_latency"] < 0.5, result["hit_over_miss_latency"]
+    # Structural-batching phase: fused throughput and pattern reuse.
+    f = result["fused"]
+    assert f["speedup"] >= FUSED_FLOOR, f
+    assert f["bit_identical"], f
+    # Every request after the first of its pattern rebinds the cached
+    # pattern plan instead of rebuilding it.
+    assert f["pattern_hits"] >= FUSED_REQUESTS - FUSED_PATTERNS, f
+    assert f["fused_requests"] > 0, f
 
 
 def test_serve_throughput(benchmark):

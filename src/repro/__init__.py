@@ -82,11 +82,15 @@ from repro.obs import (
     Tracer,
 )
 from repro.serve import (
+    BatchResult,
     ServiceConfig,
     ServiceStats,
     ServiceTimeoutError,
     SolveRequest,
     SolveService,
+    matrix_fingerprint,
+    structure_fingerprint,
+    values_fingerprint,
 )
 from repro.validate import (
     DEFAULT_RESIDUAL_TOL,
@@ -98,7 +102,7 @@ from repro.validate import (
     run_fuzz,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -132,6 +136,10 @@ __all__ = [
     "ServiceConfig",
     "ServiceStats",
     "ServiceTimeoutError",
+    "BatchResult",
+    "matrix_fingerprint",
+    "structure_fingerprint",
+    "values_fingerprint",
     # adaptive selection
     "AdaptiveSelector",
     "SelectionThresholds",

@@ -137,10 +137,10 @@ class _TriStep:
     """One prebound triangular sub-solve."""
 
     __slots__ = ("lo", "hi", "kernel", "aux", "device", "prep",
-                 "try_engine", "_engines")
+                 "try_engine", "_engines", "_template")
 
     def __init__(self, seg: TriSegment, device: DeviceModel,
-                 try_engine: bool) -> None:
+                 try_engine: bool, template: "_TriStep | None" = None) -> None:
         self.lo = int(seg.lo)
         self.hi = int(seg.hi)
         self.kernel = seg.kernel
@@ -156,10 +156,19 @@ class _TriStep:
         )
         #: work dtype -> verified engine, or None after a failed attempt
         self._engines: dict = {}
+        #: same step of a pattern-template plan: its engine-vs-kernel
+        #: timing decision is structural, so values overlays inherit it
+        #: instead of re-probing (verification still runs per overlay)
+        self._template = template
 
     # -- engine management ------------------------------------------- #
     def _build_engine(self, work_dtype: np.dtype):
         """Build + verify an engine for this work dtype; None on failure."""
+        tmpl = self._template
+        if tmpl is not None and tmpl._engine_for(work_dtype) is None:
+            # the template already probed this dtype and kept the kernel
+            # path — the decision depends only on structure, not values
+            return None
         try:
             compute = solve_dtype(self.prep.L.data.dtype, work_dtype)
             engine = _GstrsEngine(self.prep, compute)
@@ -174,6 +183,11 @@ class _TriStep:
             err = float(np.max(np.abs(got - ref))) if n else 0.0
             if not np.isfinite(err) or err > ENGINE_VERIFY_RTOL * scale:
                 return None
+            if tmpl is not None:
+                # inherit the template's timing decision (it kept an
+                # engine for this dtype); the accuracy check above
+                # already ran against *these* values
+                return engine
             # Keep the engine only when it actually beats the kernel's
             # own numerics on a timed probe (min of 2 reps each).
             scratch = np.empty(n, dtype=compute)
@@ -274,7 +288,7 @@ def _best_of(fn, reps: int = 2) -> float:
 class _Arena:
     """Work + permuted-output + engine-scratch buffers for one solve."""
 
-    __slots__ = ("work", "out", "scratch")
+    __slots__ = ("work", "out", "scratch", "key")
 
     def __init__(self, n: int, k: int, work_dtype, scratch_dtype,
                  with_out: bool) -> None:
@@ -286,6 +300,9 @@ class _Arena:
             np.empty(shape, dtype=scratch_dtype)
             if scratch_dtype is not None else None
         )
+        #: the free-list this arena belongs to — derived from its actual
+        #: buffers, so a release can never file it under the wrong shape
+        self.key = (self.work.dtype, k)
 
 
 class _ArenaPool:
@@ -312,10 +329,12 @@ class _ArenaPool:
             self._n, k, dtype, self._scratch_dtype_for(dtype), self._with_out
         )
 
-    def release(self, dtype: np.dtype, k: int, arena: _Arena) -> None:
-        key = (dtype, k)
+    def release(self, arena: _Arena) -> None:
+        # Key derived from the arena itself (not caller-supplied): a
+        # mismatched release could otherwise poison a free-list with
+        # wrong-shaped buffers that a later acquire hands out as-is.
         with self._lock:
-            stack = self._free.setdefault(key, [])
+            stack = self._free.setdefault(arena.key, [])
             if len(stack) < _POOL_KEEP:
                 stack.append(arena)
 
@@ -336,7 +355,8 @@ class CompiledPlan:
     not compiled).
     """
 
-    def __init__(self, plan: ExecutionPlan, device: DeviceModel) -> None:
+    def __init__(self, plan: ExecutionPlan, device: DeviceModel, *,
+                 share_from: "CompiledPlan | None" = None) -> None:
         self.plan = plan
         self.device = device
         self.n = plan.n
@@ -353,6 +373,9 @@ class CompiledPlan:
             self._frozen = []
             self._merged = None
             self._pool = None
+            return
+        if share_from is not None:
+            self._init_shared(share_from)
             return
         self._steps = [
             _TriStep(seg, device, try_engine=True)
@@ -378,6 +401,50 @@ class CompiledPlan:
             self.n, self._scratch_dtype, with_out=self.perm is not None
         )
         self._frozen, self._merged = self._capture()
+
+    def _init_shared(self, tmpl: "CompiledPlan") -> None:
+        """Compile as a values overlay of a pattern template.
+
+        Everything value-independent is shared outright: the frozen
+        reports (pure functions of segment structure + device), the
+        dtype-promotion memo, the multi-RHS freeze dict and its lock,
+        and — the big one — the arena pool, so all overlays of one
+        pattern draw scratch buffers from a single bounded free-list.
+        Only the step objects are rebuilt, each aimed at this plan's
+        value arrays and inheriting its template step's engine decision.
+        """
+        if not tmpl.pure:
+            raise ValueError("shared compilation requires a pure template")
+        if (
+            tmpl.n != self.n
+            or len(tmpl._steps) != len(self.plan.segments)
+            or tmpl.method != self.method
+        ):
+            raise ValueError("template plan structure does not match")
+        self._dtype_cache = tmpl._dtype_cache
+        self._multi_frozen = tmpl._multi_frozen
+        self._multi_lock = tmpl._multi_lock
+        steps = []
+        for seg, tstep in zip(self.plan.segments, tmpl._steps):
+            if isinstance(seg, TriSegment):
+                if not isinstance(tstep, _TriStep):
+                    raise ValueError("template segment kinds do not match")
+                steps.append(
+                    _TriStep(seg, self.device, try_engine=True, template=tstep)
+                )
+            else:
+                if isinstance(tstep, _TriStep):
+                    raise ValueError("template segment kinds do not match")
+                steps.append(_SpMVStep(seg))
+        self._steps = steps
+        self._needs_zero = tmpl._needs_zero
+        self._mat_dtype = tmpl._mat_dtype
+        self._pool = tmpl._pool
+        # no _capture() probe: the frozen reports depend only on the
+        # segment structure, device and value bytes — all pinned by the
+        # pattern-level cache key
+        self._frozen = tmpl._frozen
+        self._merged = tmpl._merged
 
     # -- compile-time capture ----------------------------------------- #
     def _scratch_dtype(self, work_dtype):
@@ -468,7 +535,7 @@ class CompiledPlan:
             if perm is not None:
                 result[perm] = out
         finally:
-            self._pool.release(dtype, 0, arena)
+            self._pool.release(arena)
         return result, self._fresh_report(self._merged)
 
     # -- ordered execution (multi-device schedules) -------------------- #
@@ -521,7 +588,7 @@ class CompiledPlan:
             if perm is not None:
                 result[perm] = out
         finally:
-            self._pool.release(dtype, 0, arena)
+            self._pool.release(arena)
         return result
 
     def solve_multi_ordered(self, B: np.ndarray, order) -> np.ndarray:
@@ -555,7 +622,7 @@ class CompiledPlan:
             if perm is not None:
                 result[perm] = out
         finally:
-            self._pool.release(dtype, k, arena)
+            self._pool.release(arena)
         return result
 
     def solve_multi(self, B: np.ndarray) -> tuple[np.ndarray, SolveReport]:
@@ -594,7 +661,7 @@ class CompiledPlan:
             if perm is not None:
                 result[perm] = out
         finally:
-            self._pool.release(dtype, k, arena)
+            self._pool.release(arena)
         return result, merged
 
 

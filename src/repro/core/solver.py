@@ -111,6 +111,30 @@ class PreparedSolve:
             self._compiled = False
             return None
 
+    def _compile_shared(self, template: CompiledPlan | None) -> CompiledPlan | None:
+        """Compile sharing structural state with a pattern template.
+
+        Used by the serve layer's structural batching: a values overlay
+        compiles against the pattern's :class:`CompiledPlan` so the
+        arena pool, frozen reports, and engine decisions are inherited
+        instead of re-probed.  Falls back to a plain quiet compile when
+        no template exists; returns ``None`` (plan path) on any failure.
+        """
+        if template is None:
+            return self._compile_quiet()
+        if self._compiled is False:
+            return None
+        with self._compile_lock:
+            if not isinstance(self._compiled, CompiledPlan):
+                try:
+                    self._compiled = CompiledPlan(
+                        self.plan, self.device, share_from=template
+                    )
+                except Exception:
+                    self._compiled = False
+                    return None
+            return self._compiled
+
     def solve(self, b: np.ndarray) -> tuple[np.ndarray, SolveReport]:
         """One SpTRSV: exact solution + simulated timing report."""
         # Traced solves take the instrumented plan path (identical

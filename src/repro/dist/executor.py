@@ -59,6 +59,7 @@ class DistributedPlan:
         *,
         interconnect: Interconnect | None = None,
         compiled: CompiledPlan | None = None,
+        template: "DistributedPlan | None" = None,
     ) -> None:
         if n_devices < 1:
             raise ValueError(f"n_devices must be >= 1, got {n_devices}")
@@ -70,19 +71,35 @@ class DistributedPlan:
         #: at triangular boundaries (bitwise-equal refinement) so the
         #: DAG has width to shard
         self.plan = tile_plan(plan)
-        self.compiled = self._compile_tiled(plan, compiled)
-        self.dag = build_segment_dag(self.plan)
-        self._reports = self._probe_reports(k=0)
-        self.schedule = schedule_dag(
-            self.dag,
-            [r.time_s for r in self._reports],
-            self.n_devices,
-            self.interconnect,
-            method=plan.method,
-        )
-        #: RHS width -> (schedule, per-segment reports); width 0 = 1-D
-        self._multi: dict[int, tuple[DistSchedule, list]] = {}
-        self._multi_lock = threading.Lock()
+        if template is not None and not (
+            template.n_devices == self.n_devices
+            and template.plan.method == self.plan.method
+            and len(template.plan.segments) == len(self.plan.segments)
+        ):
+            template = None
+        self.compiled = self._compile_tiled(plan, compiled, template)
+        if template is not None:
+            # the DAG, probe reports, and schedule read only segment
+            # structure and simulated per-segment costs — both are pinned
+            # by the pattern key, so values-only overlays share them
+            self.dag = template.dag
+            self._reports = template._reports
+            self.schedule = template.schedule
+            self._multi = template._multi
+            self._multi_lock = template._multi_lock
+        else:
+            self.dag = build_segment_dag(self.plan)
+            self._reports = self._probe_reports(k=0)
+            self.schedule = schedule_dag(
+                self.dag,
+                [r.time_s for r in self._reports],
+                self.n_devices,
+                self.interconnect,
+                method=plan.method,
+            )
+            #: RHS width -> (schedule, per-segment reports); width 0 = 1-D
+            self._multi: dict[int, tuple[DistSchedule, list]] = {}
+            self._multi_lock = threading.Lock()
 
     @classmethod
     def from_prepared(
@@ -91,9 +108,17 @@ class DistributedPlan:
         n_devices: int,
         *,
         interconnect: Interconnect | None = None,
+        template: "DistributedPlan | None" = None,
     ) -> "DistributedPlan":
         """Build from a :class:`repro.PreparedSolve`, reusing (or
-        quietly building) its compiled executor for the numerics."""
+        quietly building) its compiled executor for the numerics.
+
+        With ``template`` (a DistributedPlan over the same segment
+        structure — the serve layer's pattern-level instance) the DAG,
+        probe reports, and schedules are shared instead of recomputed,
+        so a values-only overlay pays gather cost rather than a full
+        schedule rebuild.
+        """
         compile_quiet = getattr(prepared, "_compile_quiet", None)
         compiled = compile_quiet() if callable(compile_quiet) else None
         return cls(
@@ -102,10 +127,14 @@ class DistributedPlan:
             n_devices,
             interconnect=interconnect,
             compiled=compiled,
+            template=template,
         )
 
     def _compile_tiled(
-        self, source: ExecutionPlan, base: CompiledPlan | None
+        self,
+        source: ExecutionPlan,
+        base: CompiledPlan | None,
+        template: "DistributedPlan | None" = None,
     ) -> CompiledPlan | None:
         """Compile the tiled plan, *sharing* the source's compiled
         triangular steps.
@@ -126,7 +155,13 @@ class DistributedPlan:
         if self.plan is source:  # nothing was split
             return base
         try:
-            tiled_compiled = compile_plan(self.plan, self.device)
+            tmpl_compiled = template.compiled if template is not None else None
+            if tmpl_compiled is not None and tmpl_compiled.pure:
+                tiled_compiled = CompiledPlan(
+                    self.plan, self.device, share_from=tmpl_compiled
+                )
+            else:
+                tiled_compiled = compile_plan(self.plan, self.device)
         except Exception:
             return None
         if not tiled_compiled.pure:

@@ -139,6 +139,16 @@ class ServeMetrics:
             "plan executions by method (a fused multi-RHS solve counts once)",
             labelnames=("method",),
         )
+        self.batch_fused_total = registry.counter(
+            "repro_batch_fused_total",
+            "structural buckets that fused 2+ same-pattern values-groups "
+            "over one shared pattern plan",
+        )
+        self.batch_bucket_occupancy = registry.histogram(
+            "repro_batch_bucket_occupancy",
+            "requests per structural bucket at execution time",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
         # The live traffic counters are device-tagged so multi-device
         # runs don't conflate queues; single-device solves always use
         # the stable label device="0".

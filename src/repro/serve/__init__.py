@@ -6,8 +6,16 @@ argument: pay the block analysis once per matrix, then answer a stream
 of solve requests at kernel speed.
 """
 
+from repro.serve.batch import BatchResult, BucketInfo
 from repro.serve.cache import CacheStats, PlanCache
-from repro.serve.fingerprint import matrix_fingerprint, plan_key
+from repro.serve.fingerprint import (
+    fingerprints,
+    matrix_fingerprint,
+    plan_key,
+    structure_fingerprint,
+    structure_key,
+    values_fingerprint,
+)
 from repro.serve.service import (
     ServiceConfig,
     ServiceTimeoutError,
@@ -15,16 +23,28 @@ from repro.serve.service import (
     SolveService,
 )
 from repro.serve.stats import RequestRecord, ServiceStats
-from repro.serve.workload import Workload, mixed_workload, replay
+from repro.serve.workload import (
+    Workload,
+    mixed_workload,
+    replay,
+    revalued_workload,
+)
 
 __all__ = [
     "Workload",
     "mixed_workload",
+    "revalued_workload",
     "replay",
+    "BatchResult",
+    "BucketInfo",
     "CacheStats",
     "PlanCache",
     "matrix_fingerprint",
+    "structure_fingerprint",
+    "values_fingerprint",
+    "fingerprints",
     "plan_key",
+    "structure_key",
     "ServiceConfig",
     "ServiceTimeoutError",
     "SolveRequest",

@@ -7,6 +7,14 @@ skipped entirely.  We hash the full structural and numerical content
 (shape + indptr/indices/data bytes, dtypes included) with BLAKE2b —
 a false positive would silently reuse the wrong plan, so no sampling
 shortcuts.
+
+The fingerprint is two-level: the paper's block algorithms (§3.1-3.4)
+plan entirely off the sparsity *structure*, so :func:`structure_fingerprint`
+covers shape + indptr + indices + triangle orientation (everything the
+planner reads), while :func:`values_fingerprint` covers only the ``data``
+array.  :func:`matrix_fingerprint` remains the full-content digest and is
+byte-identical to what it produced before the split, so replay tokens,
+golden fixtures, and BENCH baselines stay valid.
 """
 
 from __future__ import annotations
@@ -17,9 +25,17 @@ from typing import Any, Hashable, Mapping
 import numpy as np
 
 from repro.formats.csr import CSRMatrix
+from repro.formats.triangular import is_lower_triangular, is_upper_triangular
 from repro.gpu.device import DeviceModel
 
-__all__ = ["matrix_fingerprint", "plan_key"]
+__all__ = [
+    "matrix_fingerprint",
+    "structure_fingerprint",
+    "values_fingerprint",
+    "fingerprints",
+    "plan_key",
+    "structure_key",
+]
 
 
 def _update_array(h, arr: np.ndarray) -> None:
@@ -27,12 +43,68 @@ def _update_array(h, arr: np.ndarray) -> None:
     h.update(np.ascontiguousarray(arr).tobytes())
 
 
-def matrix_fingerprint(A: CSRMatrix) -> str:
-    """A 128-bit hex digest of the matrix's exact content."""
+def _triangle_tag(A: CSRMatrix) -> bytes:
+    if is_lower_triangular(A):
+        return b"L"
+    if is_upper_triangular(A):
+        return b"U"
+    return b"G"
+
+
+def fingerprints(A: CSRMatrix) -> tuple[str, str, str]:
+    """``(full, structure, values)`` digests in one pass over the matrix.
+
+    The full digest equals :func:`matrix_fingerprint`; the structure
+    digest covers shape + indptr + indices + triangle orientation; the
+    values digest covers only the ``data`` array.  Computing all three
+    together shares the shape/indptr/indices hashing work.
+    """
     h = hashlib.blake2b(digest_size=16)
     h.update(f"{A.n_rows}x{A.n_cols}".encode())
     _update_array(h, A.indptr)
     _update_array(h, A.indices)
+    hs = h.copy()  # structure branch: everything but the values
+    _update_array(h, A.data)
+    hs.update(_triangle_tag(A))
+    hv = hashlib.blake2b(digest_size=16)
+    _update_array(hv, A.data)
+    return h.hexdigest(), hs.hexdigest(), hv.hexdigest()
+
+
+def matrix_fingerprint(A: CSRMatrix) -> str:
+    """A 128-bit hex digest of the matrix's exact content.
+
+    Thin composition over the same hashing pass as :func:`fingerprints`
+    — the output string is unchanged from before the structure/values
+    split.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(f"{A.n_rows}x{A.n_cols}".encode())
+    _update_array(h, A.indptr)
+    _update_array(h, A.indices)
+    _update_array(h, A.data)
+    return h.hexdigest()
+
+
+def structure_fingerprint(A: CSRMatrix) -> str:
+    """A 128-bit hex digest of the sparsity *pattern* only.
+
+    Covers shape, indptr, indices (dtypes included) and the triangle
+    orientation tag — everything the planners read.  Two matrices with
+    the same pattern but different values share this digest; a
+    lower-triangular pattern and its upper mirror do not.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(f"{A.n_rows}x{A.n_cols}".encode())
+    _update_array(h, A.indptr)
+    _update_array(h, A.indices)
+    h.update(_triangle_tag(A))
+    return h.hexdigest()
+
+
+def values_fingerprint(A: CSRMatrix) -> str:
+    """A 128-bit hex digest of the ``data`` array only (dtype included)."""
+    h = hashlib.blake2b(digest_size=16)
     _update_array(h, A.data)
     return h.hexdigest()
 
@@ -81,6 +153,15 @@ def _canon_value(v: Any) -> Hashable:
     return ("repr", type(v).__qualname__, repr(v))
 
 
+def _canon_options(options: Mapping[str, Any] | None) -> tuple:
+    return tuple(
+        sorted(
+            ((k, _canon_value(v)) for k, v in (options or {}).items()),
+            key=lambda kv: kv[0],
+        )
+    )
+
+
 def plan_key(
     fingerprint: str,
     method: str,
@@ -95,10 +176,30 @@ def plan_key(
     canonicalized by :func:`_canon_value` (type tag + exact content)
     rather than ``repr``.
     """
-    opts = tuple(
-        sorted(
-            ((k, _canon_value(v)) for k, v in (options or {}).items()),
-            key=lambda kv: kv[0],
-        )
+    return (fingerprint, method, device.name, _canon_options(options))
+
+
+def structure_key(
+    structure_fp: str,
+    method: str,
+    device: DeviceModel,
+    options: Mapping[str, Any] | None = None,
+    values_dtype: Any = None,
+) -> tuple:
+    """Cache key for a *pattern-level* plan entry.
+
+    Everything that shapes the pattern plan keys the cache: the
+    structure digest, method, device model, solver options, and the
+    values dtype (the work dtype decides kernel dispatch, arena shapes,
+    and the hoisted engines — two dtypes can never share compiled
+    state).  The leading ``"structure"`` tag keeps these keys disjoint
+    from :func:`plan_key` tuples inside a shared cache.
+    """
+    return (
+        "structure",
+        structure_fp,
+        str(values_dtype),
+        method,
+        device.name,
+        _canon_options(options),
     )
-    return (fingerprint, method, device.name, opts)

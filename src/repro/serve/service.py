@@ -1,4 +1,4 @@
-"""`SolveService`: a plan-caching, batching front end over the solvers.
+"""`SolveService`: a plan-caching, structurally-batching solve front end.
 
 The paper's Table 5 argument — preprocessing is paid once and amortized
 over many solves — is exactly the access pattern of a triangular-solve
@@ -6,12 +6,17 @@ over many solves — is exactly the access pattern of a triangular-solve
 streams hit the same factor over and over.  This module packages that
 economy behind one object:
 
-* incoming CSR matrices are fingerprinted (content hash) and their
-  :class:`PreparedSolve` plans kept in a bounded LRU cache — a repeated
-  matrix skips preprocessing entirely;
+* incoming CSR matrices are fingerprinted at two levels
+  (:func:`structure_fingerprint` / :func:`values_fingerprint`): the
+  expensive artifacts — segment layout, level schedules, compiled step
+  graph, distributed schedule — are cached per *pattern*, and each
+  distinct values vector gets a small rebind overlay (a handful of
+  ``data[posmap]`` gathers) instead of a full re-plan;
 * same-matrix requests inside a batch are coalesced into one fused
-  ``solve_multi`` call (the matrix streams once for all of them);
-* independent requests run concurrently on a thread pool behind a
+  ``solve_multi`` call, and same-*pattern* requests are bucketed into
+  one fused structural batch that runs all values-groups over the
+  shared pattern plan (continuous batching for SpTRSV);
+* independent buckets run concurrently on a thread pool behind a
   bounded admission queue, with per-request deadlines;
 * a planner failure degrades gracefully to the level-set baseline and
   is recorded as a fallback;
@@ -27,13 +32,14 @@ economy behind one object:
 from __future__ import annotations
 
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.api import SolveResult, validate_solver_options
+from repro.core.rebind import PlanRebinder, RebindError, tracer_matrix
 from repro.core.solver import SOLVERS, PreparedSolve
 from repro.errors import (
     NotTriangularError,
@@ -47,11 +53,13 @@ from repro.formats.triangular import (
     is_upper_triangular,
     upper_to_lower_mirror,
 )
+from repro.gpu.cost import CostModel
 from repro.gpu.device import TITAN_RTX_SCALED, DeviceModel
 from repro.obs.clock import monotonic
 from repro.obs.runtime import Observability
+from repro.serve.batch import BatchResult, BucketInfo
 from repro.serve.cache import PlanCache
-from repro.serve.fingerprint import matrix_fingerprint, plan_key
+from repro.serve.fingerprint import fingerprints, plan_key, structure_key
 from repro.serve.stats import RequestRecord, ServiceStats
 from repro.validate.invariants import (
     DEFAULT_RESIDUAL_TOL,
@@ -78,7 +86,7 @@ class ServiceConfig:
     #: default method for requests that don't name one
     method: str = "recursive-block"
     device: DeviceModel = TITAN_RTX_SCALED
-    #: LRU capacity of the prepared-plan cache (plans, not bytes)
+    #: LRU capacity of the prepared-plan cache (patterns, not bytes)
     cache_capacity: int = 32
     #: worker threads executing requests
     max_workers: int = 4
@@ -105,6 +113,14 @@ class ServiceConfig:
     #: :class:`repro.dist.DistributedPlan` (1 = the single-device
     #: compiled path; results are bit-identical either way)
     n_devices: int = 1
+    #: key the plan cache by sparsity *structure* and rebind values
+    #: onto the shared pattern plan; batches additionally fuse
+    #: same-pattern requests into one bucket.  False restores the
+    #: 1.1-era full-content keying (every distinct values vector pays
+    #: a full re-plan) — kept as an ablation/bisection switch.
+    structural_batching: bool = True
+    #: values overlays retained per cached pattern (LRU)
+    overlay_capacity: int = 4
 
 
 @dataclass
@@ -118,7 +134,7 @@ class SolveRequest:
 
 @dataclass
 class _PlanEntry:
-    """What the cache stores: a prepared plan plus how it was obtained."""
+    """One executable values overlay: a prepared plan plus provenance."""
 
     prepared: PreparedSolve
     method: str
@@ -127,6 +143,155 @@ class _PlanEntry:
     perm: np.ndarray | None = None
     #: sharded executor when the service runs with n_devices > 1
     dist: object | None = None
+    #: simulated preprocessing cost this overlay actually paid (full
+    #: plan build for pattern misses, gather-only rebind for values
+    #: misses on a cached pattern)
+    prep_time_s: float = 0.0
+
+
+@dataclass
+class _GroupJob:
+    """One coalesced group: same matrix content, same method."""
+
+    rids: list
+    A: CSRMatrix
+    bs: list
+    method: str | None
+    fp: str | None = None
+    sfp: str | None = None
+    vfp: str | None = None
+    positions: list = field(default_factory=list)
+
+
+class _PatternEntry:
+    """What the cache stores: a pattern-level plan plus values overlays.
+
+    For *rebindable* patterns the plan was built once on a tracer
+    matrix (:func:`repro.core.rebind.tracer_matrix`) and every distinct
+    values vector binds onto it with gathers, inheriting the compiled
+    step graph, arena pool, and engine decisions.  Patterns whose value
+    flow cannot be traced (external prepared types, opaque kernels)
+    fall back to one full build per values vector — same cache shape,
+    no sharing.
+    """
+
+    __slots__ = (
+        "method",
+        "fallback",
+        "perm",
+        "requested_method",
+        "rebindable",
+        "binder",
+        "template",
+        "template_compiled",
+        "template_dist",
+        "build_prep_s",
+        "rebind_prep_s",
+        "overlays",
+        "capacity",
+        "_lock",
+        "_flights",
+    )
+
+    def __init__(
+        self,
+        *,
+        method: str,
+        fallback: bool,
+        perm,
+        requested_method: str,
+        rebindable: bool,
+        binder: PlanRebinder | None,
+        template: PreparedSolve | None,
+        template_compiled,
+        template_dist,
+        build_prep_s: float,
+        rebind_prep_s: float,
+        capacity: int,
+    ) -> None:
+        self.method = method
+        self.fallback = fallback
+        self.perm = perm
+        self.requested_method = requested_method
+        self.rebindable = rebindable
+        self.binder = binder
+        self.template = template
+        self.template_compiled = template_compiled
+        self.template_dist = template_dist
+        self.build_prep_s = build_prep_s
+        self.rebind_prep_s = rebind_prep_s
+        self.overlays: OrderedDict[str, _PlanEntry] = OrderedDict()
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._flights: dict[str, threading.Event] = {}
+
+    @property
+    def _latest(self) -> _PlanEntry | None:
+        """The most recently used overlay (None before the first bind)."""
+        with self._lock:
+            if not self.overlays:
+                return None
+            return next(reversed(self.overlays.values()))
+
+    @property
+    def prepared(self):
+        """Latest overlay's prepared plan — the 1.1-era entry surface."""
+        entry = self._latest
+        return entry.prepared if entry is not None else None
+
+    @property
+    def dist(self):
+        """Latest overlay's sharded executor (None for n_devices == 1)."""
+        entry = self._latest
+        return entry.dist if entry is not None else None
+
+    def _install(self, vfp: str, entry: _PlanEntry) -> None:
+        with self._lock:
+            self.overlays[vfp] = entry
+            self.overlays.move_to_end(vfp)
+            while len(self.overlays) > self.capacity:
+                self.overlays.popitem(last=False)
+
+    def overlay_for(
+        self, vfp: str, A: CSRMatrix, service: "SolveService"
+    ) -> tuple[_PlanEntry, bool]:
+        """The overlay for values digest ``vfp``, single-flight per key.
+
+        Returns ``(entry, values_hit)``; concurrent requests for the
+        same values wait for the one in-flight build and count as hits
+        (they paid no preprocessing).
+        """
+        while True:
+            with self._lock:
+                entry = self.overlays.get(vfp)
+                if entry is not None:
+                    self.overlays.move_to_end(vfp)
+                    return entry, True
+                event = self._flights.get(vfp)
+                if event is None:
+                    event = self._flights[vfp] = threading.Event()
+                    building = True
+                else:
+                    building = False
+            if not building:
+                event.wait()
+                with self._lock:
+                    entry = self.overlays.get(vfp)
+                if entry is not None:
+                    return entry, True
+                continue  # the builder failed; this waiter takes over
+            try:
+                entry = service._build_overlay(self, A)
+            except BaseException:
+                with self._lock:
+                    self._flights.pop(vfp, None)
+                event.set()
+                raise
+            self._install(vfp, entry)
+            with self._lock:
+                self._flights.pop(vfp, None)
+            event.set()
+            return entry, False
 
 
 class SolveService:
@@ -154,6 +319,10 @@ class SolveService:
             )
         if cfg.n_devices < 1:
             raise ValueError(f"n_devices must be >= 1, got {cfg.n_devices}")
+        if cfg.overlay_capacity < 1:
+            raise ValueError(
+                f"overlay_capacity must be >= 1, got {cfg.overlay_capacity}"
+            )
         validate_solver_options(cfg.method, cfg.solver_options)
         self.config = cfg
         self.cache = PlanCache(cfg.cache_capacity)
@@ -237,7 +406,10 @@ class SolveService:
         method: str | None = None,
         timeout_s: float | None = None,
     ) -> Future:
-        """Enqueue one request; the future resolves to a :class:`SolveResult`.
+        """Enqueue one request; the future resolves to a
+        :class:`BatchResult` holding one :class:`SolveResult`
+        (``fut.result()[0]`` — the sequence interface is unchanged from
+        the old list return).
 
         Raises :class:`ServiceOverloadedError` when the bounded queue is
         full and :class:`ServiceClosedError` after :meth:`close`.
@@ -247,11 +419,13 @@ class SolveService:
         self._admit(1)
         rid = self._take_ids(1)[0]
         deadline = self._deadline(timeout_s)
-        request = SolveRequest(A=A, b=np.asarray(b), method=method)
+        job = _GroupJob(
+            rids=[rid], A=A, bs=[np.asarray(b)], method=method, positions=[0]
+        )
         try:
-            return self._pool.submit(self._run_group, [rid], request.A,
-                                     [request.b], request.method, deadline,
-                                     None, monotonic())
+            return self._pool.submit(
+                self._run_bucket_task, [job], deadline, monotonic(), True
+            )
         except RuntimeError:
             self._release(1)
             raise ServiceClosedError("service has been shut down")
@@ -272,12 +446,19 @@ class SolveService:
         requests: list[SolveRequest | tuple],
         *,
         timeout_s: float | None = None,
-    ) -> list[SolveResult]:
-        """Solve a batch, coalescing same-matrix requests into one
-        fused multi-RHS call each; independent groups run concurrently.
+    ) -> BatchResult:
+        """Solve a batch with structural fusion.
 
-        ``requests`` items are :class:`SolveRequest` or ``(A, b)`` tuples.
-        Results come back in request order.
+        Requests are bucketed by sparsity pattern (structure digest +
+        values dtype + method); within a bucket, same-content requests
+        coalesce into one fused multi-RHS call, and distinct values
+        vectors run back-to-back over the shared pattern plan — the
+        second and later groups pay only a values rebind, never a
+        re-plan.  Buckets run concurrently.
+
+        ``requests`` items are :class:`SolveRequest` or ``(A, b)``
+        tuples.  Returns a :class:`BatchResult` (list-compatible,
+        results in request order) carrying per-bucket fusion info.
         """
         if self._closed:
             raise ServiceClosedError("service has been shut down")
@@ -286,29 +467,40 @@ class SolveService:
             for r in requests
         ]
         if not reqs:
-            return []
+            return BatchResult([])
+        t_batch = monotonic()
         self._admit(len(reqs))
         ids = self._take_ids(len(reqs))
         deadline = self._deadline(timeout_s)
-        # Group by (matrix content, method): one fused solve per group.
-        groups: dict[tuple, list[int]] = {}
-        fingerprints = [matrix_fingerprint(r.A) for r in reqs]
-        for pos, (r, fp) in enumerate(zip(reqs, fingerprints)):
-            groups.setdefault((fp, r.method), []).append(pos)
+        structural = self.config.structural_batching
+        fps = [fingerprints(r.A) for r in reqs]
+        # Bucket by pattern (or by full content when structural batching
+        # is off); coalesce same-content requests into one group each.
+        buckets: dict[tuple, dict[str, _GroupJob]] = {}
+        for pos, (r, (full, sfp, vfp)) in enumerate(zip(reqs, fps)):
+            if structural:
+                bkey = (sfp, str(r.A.data.dtype), r.method)
+            else:
+                bkey = (full, None, r.method)
+            groups = buckets.setdefault(bkey, {})
+            job = groups.get(full)
+            if job is None:
+                job = groups[full] = _GroupJob(
+                    rids=[], A=r.A, bs=[], method=r.method,
+                    fp=full, sfp=sfp, vfp=vfp,
+                )
+            job.rids.append(ids[pos])
+            job.bs.append(np.asarray(r.b))
+            job.positions.append(pos)
         futures: list[tuple[list[int], Future]] = []
         submitted = 0
         submitted_at = monotonic()
         try:
-            for (fp, method), positions in groups.items():
+            for bkey, groups in buckets.items():
+                jobs = list(groups.values())
+                positions = [p for j in jobs for p in j.positions]
                 fut = self._pool.submit(
-                    self._run_group,
-                    [ids[p] for p in positions],
-                    reqs[positions[0]].A,
-                    [reqs[p].b for p in positions],
-                    method,
-                    deadline,
-                    fp,
-                    submitted_at,
+                    self._run_bucket_task, jobs, deadline, submitted_at, False
                 )
                 submitted += len(positions)
                 futures.append((positions, fut))
@@ -316,18 +508,20 @@ class SolveService:
             self._release(len(reqs) - submitted)
             raise ServiceClosedError("service has been shut down")
         out: list[SolveResult | None] = [None] * len(reqs)
+        infos: list[BucketInfo] = []
         pending_error: Exception | None = None
         for positions, fut in futures:
             try:
-                results = fut.result()
+                results, info = fut.result()
             except Exception as exc:  # noqa: BLE001 - propagate after draining
                 pending_error = exc
                 continue
+            infos.append(info)
             for pos, res in zip(positions, results):
                 out[pos] = res
         if pending_error is not None:
             raise pending_error
-        return out  # type: ignore[return-value]
+        return BatchResult(out, infos, monotonic() - t_batch)
 
     # ------------------------------------------------------------------ #
     # Execution (worker threads)
@@ -336,14 +530,16 @@ class SolveService:
         with self._records_lock:
             self._records.append(rec)
 
-    def _attach_dist(self, prepared) -> object | None:
+    def _attach_dist(self, prepared, template=None) -> object | None:
         """The sharded executor for ``prepared`` when the service is
         configured with more than one device."""
         if self.config.n_devices <= 1 or not isinstance(prepared, PreparedSolve):
             return None
         from repro.dist import DistributedPlan
 
-        return DistributedPlan.from_prepared(prepared, self.config.n_devices)
+        return DistributedPlan.from_prepared(
+            prepared, self.config.n_devices, template=template
+        )
 
     def _build_entry(self, A: CSRMatrix, method: str) -> _PlanEntry:
         """Prepare a plan, mirroring upper systems and degrading on failure."""
@@ -369,8 +565,11 @@ class SolveService:
             # coalesced batch) lands on the zero-allocation executor.
             if isinstance(prepared, PreparedSolve):
                 prepared._compile_quiet()
-            return _PlanEntry(prepared=prepared, method=method, fallback=False,
-                              perm=perm, dist=self._attach_dist(prepared))
+            return _PlanEntry(
+                prepared=prepared, method=method, fallback=False,
+                perm=perm, dist=self._attach_dist(prepared),
+                prep_time_s=getattr(prepared, "preprocessing_time_s", 0.0),
+            )
         except NotTriangularError:
             raise
         except Exception:
@@ -391,66 +590,257 @@ class SolveService:
                 fallback=True,
                 perm=perm,
                 dist=self._attach_dist(prepared),
+                prep_time_s=getattr(prepared, "preprocessing_time_s", 0.0),
             )
+
+    def _rebind_cost(self, A: CSRMatrix) -> float:
+        """Simulated cost of a values rebind: one pass reading the new
+        data array and writing the gathered copies (vs the 5-10x-solve
+        cost of a full plan build, Table 5)."""
+        cost = CostModel(self.config.device)
+        return cost.launch_time() + cost.stream_time(
+            2.0 * A.nnz * A.data.itemsize
+        )
+
+    def _build_pattern(self, A: CSRMatrix, method: str, vfp: str) -> _PatternEntry:
+        """Build the pattern-level cache entry (runs under the cache's
+        single-flight lock), installing ``A``'s values as the first
+        overlay so the building request never binds twice."""
+        cfg = self.config
+        if cfg.structural_batching:
+            try:
+                tracer = tracer_matrix(A)
+                entry_t = self._build_entry(tracer, method)
+                prepared_t = entry_t.prepared
+                # Exact type, not isinstance: a subclass may override
+                # solve() with behavior a rebound plain PreparedSolve
+                # would silently drop (e.g. the fuzzer's sign-flip canary).
+                if type(prepared_t) is not PreparedSolve:
+                    raise RebindError(
+                        f"external prepared type {type(prepared_t).__qualname__}"
+                    )
+                binder = PlanRebinder(prepared_t.plan, A.nnz, A.data.dtype)
+                pattern = _PatternEntry(
+                    method=entry_t.method,
+                    fallback=entry_t.fallback,
+                    perm=entry_t.perm,
+                    requested_method=method,
+                    rebindable=True,
+                    binder=binder,
+                    template=prepared_t,
+                    template_compiled=prepared_t._compile_quiet(),
+                    template_dist=entry_t.dist,
+                    build_prep_s=entry_t.prep_time_s,
+                    rebind_prep_s=self._rebind_cost(A),
+                    capacity=cfg.overlay_capacity,
+                )
+                # The first values variant pays the full (simulated)
+                # plan-build cost; later variants pay only the rebind.
+                first = self._build_overlay(
+                    pattern, A, prep_time_s=pattern.build_prep_s
+                )
+                pattern._install(vfp, first)
+                return pattern
+            except RebindError:
+                pass  # untraceable value flow: full builds per values
+        entry = self._build_entry(A, method)
+        pattern = _PatternEntry(
+            method=entry.method,
+            fallback=entry.fallback,
+            perm=entry.perm,
+            requested_method=method,
+            rebindable=False,
+            binder=None,
+            template=None,
+            template_compiled=None,
+            template_dist=None,
+            build_prep_s=entry.prep_time_s,
+            rebind_prep_s=0.0,
+            capacity=cfg.overlay_capacity,
+        )
+        pattern._install(vfp, entry)
+        return pattern
+
+    def _build_overlay(
+        self, pattern: _PatternEntry, A: CSRMatrix, *, prep_time_s: float | None = None
+    ) -> _PlanEntry:
+        """Bind ``A``'s values onto the pattern plan (or, for patterns
+        that could not be traced, run a full per-values build)."""
+        if not pattern.rebindable:
+            return self._build_entry(A, pattern.requested_method)
+        cfg = self.config
+        plan = pattern.binder.bind(A.data)
+        prepared = PreparedSolve(
+            pattern.method,
+            plan,
+            cfg.device,
+            pattern.template.preprocess_report,
+        )
+        prepared._compile_shared(pattern.template_compiled)
+        if cfg.check:
+            L = (
+                A
+                if pattern.perm is None
+                else upper_to_lower_mirror(A.sort_indices())[0]
+            )
+            check_plan(plan, L, context=f"service:{pattern.method} (rebound)")
+        return _PlanEntry(
+            prepared=prepared,
+            method=pattern.method,
+            fallback=pattern.fallback,
+            perm=pattern.perm,
+            dist=self._attach_dist(prepared, template=pattern.template_dist),
+            prep_time_s=(
+                pattern.rebind_prep_s if prep_time_s is None else prep_time_s
+            ),
+        )
 
     def _check_deadline(self, deadline: float | None) -> None:
         if deadline is not None and monotonic() > deadline:
             raise ServiceTimeoutError("request deadline expired")
 
-    def _run_group(
+    # ------------------------------------------------------------------ #
+    # Bucket execution
+    # ------------------------------------------------------------------ #
+    def _run_bucket_task(
         self,
-        rids: list[int],
-        A: CSRMatrix,
-        bs: list[np.ndarray],
-        method: str | None,
+        jobs: list[_GroupJob],
         deadline: float | None,
-        fingerprint: str | None = None,
-        submitted_at: float | None = None,
-    ) -> list[SolveResult]:
-        """Worker-thread entry: activate observability (when configured)
-        around the whole request, then run the group."""
+        submitted_at: float | None,
+        as_batch: bool,
+    ):
+        """Worker-thread entry for one structural bucket: activate
+        observability (when configured), run every values-group over the
+        shared pattern plan, then release admissions for the bucket."""
         t0 = monotonic()
+        total = sum(len(j.rids) for j in jobs)
+        fused = len(jobs) > 1
         obs = self.config.obs
-        if obs is None:
-            return self._run_group_inner(rids, A, bs, method, deadline,
-                                         fingerprint, t0, None)
-        metrics = obs.serve_metrics
-        with obs.activate():
-            with obs.span(
-                "serve.request",
-                method=method or self.config.method,
-                coalesced=len(rids),
-            ):
-                if submitted_at is not None:
-                    obs.tracer.record_span("serve.queue_wait", submitted_at, t0)
-                    metrics.queue_wait.observe(max(0.0, t0 - submitted_at))
-                try:
-                    return self._run_group_inner(rids, A, bs, method, deadline,
-                                                 fingerprint, t0, obs)
-                except ServiceTimeoutError:
-                    metrics.requests_total.inc(len(rids), status="timeout")
-                    raise
-                except Exception:
-                    metrics.requests_total.inc(len(rids), status="error")
-                    raise
+        try:
+            if obs is None:
+                results, errors, pattern_hit = self._run_bucket_inner(
+                    jobs, deadline, t0, None, submitted_at, fused
+                )
+            else:
+                with obs.activate():
+                    if fused:
+                        with obs.span(
+                            "serve.bucket",
+                            method=jobs[0].method or self.config.method,
+                            n_groups=len(jobs),
+                            n_requests=total,
+                        ):
+                            if submitted_at is not None:
+                                obs.tracer.record_span(
+                                    "serve.queue_wait", submitted_at, t0
+                                )
+                                obs.serve_metrics.queue_wait.observe(
+                                    max(0.0, t0 - submitted_at)
+                                )
+                            results, errors, pattern_hit = self._run_bucket_inner(
+                                jobs, deadline, t0, obs, None, fused
+                            )
+                    else:
+                        results, errors, pattern_hit = self._run_bucket_inner(
+                            jobs, deadline, t0, obs, submitted_at, fused
+                        )
+                    metrics = obs.serve_metrics
+                    metrics.batch_bucket_occupancy.observe(float(total))
+                    if fused:
+                        metrics.batch_fused_total.inc()
+        finally:
+            self._release(total)
+        if errors:
+            raise errors[0]
+        info = BucketInfo(
+            structure=jobs[0].sfp if self.config.structural_batching else None,
+            method=jobs[0].method or self.config.method,
+            n_requests=total,
+            n_groups=len(jobs),
+            n_rhs=sum(
+                1 if b.ndim == 1 else b.shape[1] for j in jobs for b in j.bs
+            ),
+            fused=fused,
+            pattern_hit=pattern_hit,
+            wall_time_s=monotonic() - t0,
+        )
+        if as_batch:
+            return BatchResult(results, [info], monotonic() - t0)
+        return results, info
+
+    def _run_bucket_inner(
+        self,
+        jobs: list[_GroupJob],
+        deadline: float | None,
+        t0: float,
+        obs: Observability | None,
+        submitted_at: float | None,
+        fused: bool,
+    ):
+        """Run the bucket's groups sequentially over the shared pattern
+        plan; a failing group doesn't stop the remaining ones."""
+        results: list[SolveResult] = []
+        errors: list[Exception] = []
+        pattern_hit = False
+        bucket_n = len(jobs)
+        for job in jobs:
+            try:
+                if obs is None:
+                    group_results, p_hit = self._run_group_inner(
+                        job, deadline, None, t0, fused, bucket_n
+                    )
+                else:
+                    metrics = obs.serve_metrics
+                    with obs.span(
+                        "serve.request",
+                        method=job.method or self.config.method,
+                        coalesced=len(job.rids),
+                    ):
+                        if submitted_at is not None:
+                            obs.tracer.record_span(
+                                "serve.queue_wait", submitted_at, t0
+                            )
+                            metrics.queue_wait.observe(max(0.0, t0 - submitted_at))
+                            submitted_at = None
+                        try:
+                            group_results, p_hit = self._run_group_inner(
+                                job, deadline, obs, t0, fused, bucket_n
+                            )
+                        except ServiceTimeoutError:
+                            metrics.requests_total.inc(
+                                len(job.rids), status="timeout"
+                            )
+                            raise
+                        except Exception:
+                            metrics.requests_total.inc(
+                                len(job.rids), status="error"
+                            )
+                            raise
+                results.extend(group_results)
+                pattern_hit = pattern_hit or p_hit
+            except Exception as exc:  # noqa: BLE001 - collected, first re-raised
+                errors.append(exc)
+        return results, errors, pattern_hit
 
     def _run_group_inner(
         self,
-        rids: list[int],
-        A: CSRMatrix,
-        bs: list[np.ndarray],
-        method: str | None,
+        job: _GroupJob,
         deadline: float | None,
-        fingerprint: str | None,
-        t0: float,
         obs: Observability | None,
-    ) -> list[SolveResult]:
-        method = method or self.config.method
-        coalesced = len(rids)
-        n_dev = self.config.n_devices
+        t0: float,
+        fused: bool,
+        bucket_n: int,
+    ) -> tuple[list[SolveResult], bool]:
+        cfg = self.config
+        A = job.A
+        method = job.method or cfg.method
+        coalesced = len(job.rids)
+        n_dev = cfg.n_devices
         dev_label = "0" if n_dev == 1 else f"0-{n_dev - 1}"
-        fp = fingerprint or matrix_fingerprint(A)
-        ncols = [1 if b.ndim == 1 else b.shape[1] for b in bs]
+        if job.fp is None:  # submit path: fingerprints not yet computed
+            job.fp, job.sfp, job.vfp = fingerprints(A)
+        fp = job.fp
+        ncols = [1 if b.ndim == 1 else b.shape[1] for b in job.bs]
         if obs is not None:
             current = obs.tracer.current()
             if current is not None:
@@ -459,10 +849,11 @@ class SolveService:
 
         def fail_records(error: str | None, timed_out: bool = False) -> None:
             wall = monotonic() - t0
-            for rid, k in zip(rids, ncols):
+            for rid, k in zip(job.rids, ncols):
                 self._record(RequestRecord(
                     request_id=rid, fingerprint=fp, method=method,
                     n=A.n_rows, nnz=A.nnz, n_rhs=k, coalesced=coalesced,
+                    fused=fused, bucket=bucket_n,
                     wall_time_s=wall, device=dev_label,
                     error=error, timed_out=timed_out,
                 ))
@@ -473,19 +864,31 @@ class SolveService:
                     f"unknown method {method!r}; choose from {sorted(SOLVERS)}"
                 )
             self._check_deadline(deadline)
-            key = plan_key(fp, method, self.config.device,
-                           self.config.solver_options
-                           if method == self.config.method else {})
-            if obs is None:
-                entry, hit = self.cache.get_or_build(
-                    key, lambda: self._build_entry(A, method)
+            options = cfg.solver_options if method == cfg.method else {}
+            if cfg.structural_batching:
+                key = structure_key(
+                    job.sfp, method, cfg.device, options, A.data.dtype
                 )
             else:
+                key = plan_key(fp, method, cfg.device, options)
+            vfp = job.vfp
+
+            def build() -> _PatternEntry:
+                return self._build_pattern(A, method, vfp)
+
+            if obs is None:
+                pattern, p_hit = self.cache.get_or_build(key, build)
+                entry, v_hit = pattern.overlay_for(vfp, A, self)
+                hit = p_hit and v_hit
+            else:
                 with obs.span("serve.cache_lookup", method=method) as sp:
-                    entry, hit = self.cache.get_or_build(
-                        key, lambda: self._build_entry(A, method)
+                    pattern, p_hit = self.cache.get_or_build(key, build)
+                    entry, v_hit = pattern.overlay_for(vfp, A, self)
+                    hit = p_hit and v_hit
+                    sp.set(
+                        result="hit" if hit else "miss",
+                        pattern="hit" if p_hit else "miss",
                     )
-                    sp.set(result="hit" if hit else "miss")
                 obs.serve_metrics.cache_lookups.inc(
                     result="hit" if hit else "miss"
                 )
@@ -495,7 +898,7 @@ class SolveService:
             # deadline miss — the next request amortizes it anyway.
             self._check_deadline(deadline)
 
-            cols = [b[:, None] if b.ndim == 1 else b for b in bs]
+            cols = [b[:, None] if b.ndim == 1 else b for b in job.bs]
             B0 = cols[0] if len(cols) == 1 else np.concatenate(cols, axis=1)
             B = B0 if entry.perm is None else B0[entry.perm]
             total = B.shape[1]
@@ -509,7 +912,7 @@ class SolveService:
             else:
                 with obs.span(
                     "serve.solve", method=entry.method, n_rhs=total,
-                    n_devices=self.config.n_devices,
+                    n_devices=cfg.n_devices,
                 ) as sp:
                     if total == 1:
                         y, report = executor.solve(B[:, 0])
@@ -522,17 +925,17 @@ class SolveService:
                 X[entry.perm] = Y
             else:
                 X = Y
-            if self.config.check:
+            if cfg.check:
                 check_residual(
-                    A, X, B0, tol=self.config.check_tol,
+                    A, X, B0, tol=cfg.check_tol,
                     context=f"service:{entry.method}",
                 )
 
             wall = monotonic() - t0
-            prep_s = 0.0 if hit else entry.prepared.preprocessing_time_s
+            prep_s = 0.0 if hit else entry.prep_time_s
             results: list[SolveResult] = []
             col = 0
-            for rid, b, k in zip(rids, bs, ncols):
+            for rid, b, k in zip(job.rids, job.bs, ncols):
                 share = (
                     report if total == k
                     else report.scaled(k / total, coalesced=coalesced)
@@ -546,7 +949,8 @@ class SolveService:
                 self._record(RequestRecord(
                     request_id=rid, fingerprint=fp, method=entry.method,
                     n=A.n_rows, nnz=A.nnz, n_rhs=k, cache_hit=hit,
-                    fallback=entry.fallback, coalesced=coalesced,
+                    pattern_hit=p_hit, fallback=entry.fallback,
+                    coalesced=coalesced, fused=fused, bucket=bucket_n,
                     prep_time_s=prep_s, solve_time_s=share.time_s,
                     launches=share.launches, gflops=share.gflops,
                     wall_time_s=wall, device=dev_label,
@@ -558,15 +962,13 @@ class SolveService:
                     metrics.sim_latency.observe(prep_s + share.time_s)
                     if entry.fallback:
                         metrics.fallbacks_total.inc()
-            return results
+            return results, p_hit
         except ServiceTimeoutError:
             fail_records(None, timed_out=True)
             raise
         except Exception as exc:
             fail_records(f"{type(exc).__name__}: {exc}")
             raise
-        finally:
-            self._release(len(rids))
 
     # ------------------------------------------------------------------ #
     # Observability

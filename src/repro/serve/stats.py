@@ -28,8 +28,16 @@ class RequestRecord:
     nnz: int
     n_rhs: int
     cache_hit: bool = False
+    #: the pattern-level plan (structure key) was already cached, even
+    #: if this exact values vector still needed a rebind overlay
+    pattern_hit: bool = False
     fallback: bool = False
     coalesced: int = 1
+    #: True when the request ran inside a fused structural bucket
+    #: (2+ same-pattern values-groups sharing one pattern plan)
+    fused: bool = False
+    #: requests-groups in the structural bucket this request ran in
+    bucket: int = 1
     #: simulated preprocessing time actually paid by this request (0 on hits)
     prep_time_s: float = 0.0
     #: simulated solve time attributed to this request (its share of a batch)
@@ -62,8 +70,11 @@ class RequestRecord:
             "nnz": self.nnz,
             "n_rhs": self.n_rhs,
             "cache_hit": self.cache_hit,
+            "pattern_hit": self.pattern_hit,
             "fallback": self.fallback,
             "coalesced": self.coalesced,
+            "fused": self.fused,
+            "bucket": self.bucket,
             "prep_time_s": self.prep_time_s,
             "solve_time_s": self.solve_time_s,
             "sim_latency_s": self.sim_latency_s,
@@ -113,6 +124,11 @@ class ServiceStats:
     rejected: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: completed requests whose pattern-level plan was already cached
+    #: (values-only changes land here without counting as cache_hits)
+    pattern_hits: int = 0
+    #: completed requests that ran inside a fused structural bucket
+    fused_requests: int = 0
     evictions: int = 0
     fallbacks: int = 0
     coalesced_requests: int = 0
@@ -174,6 +190,8 @@ class ServiceStats:
             rejected=rejected,
             cache_hits=len(hits),
             cache_misses=len(misses),
+            pattern_hits=sum(1 for r in ok if r.pattern_hit),
+            fused_requests=sum(1 for r in ok if r.fused),
             evictions=cache.evictions if cache else 0,
             fallbacks=sum(1 for r in ok if r.fallback),
             coalesced_requests=sum(1 for r in ok if r.coalesced > 1),
@@ -212,6 +230,8 @@ class ServiceStats:
             "rejected": self.rejected,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "pattern_hits": self.pattern_hits,
+            "fused_requests": self.fused_requests,
             "evictions": self.evictions,
             "fallbacks": self.fallbacks,
             "coalesced_requests": self.coalesced_requests,
@@ -249,6 +269,8 @@ class ServiceStats:
             f"  cache         {self.cache_hits:6d} hits / {self.cache_misses} misses"
             f" / {self.evictions} evictions"
             + (f"  (lookup hit rate {self.cache.hit_rate:.0%})" if self.cache else ""),
+            f"  structural    {self.pattern_hits:6d} pattern hits   "
+            f"{self.fused_requests} fused requests",
             f"  fallbacks     {self.fallbacks:6d}   coalesced requests "
             f"{self.coalesced_requests}   distinct matrices {self.distinct_matrices}",
             f"  simulated     prep {self.total_prep_time_s * 1e3:10.3f} ms   "

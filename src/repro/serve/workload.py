@@ -10,7 +10,7 @@ multi-RHS blocks.  Used by the ``repro serve`` CLI command and
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from repro.formats.csr import CSRMatrix
 from repro.matrices.suite import scaled_suite
 from repro.serve.service import SolveRequest, SolveService
 
-__all__ = ["Workload", "mixed_workload", "replay"]
+__all__ = ["Workload", "mixed_workload", "revalued_workload", "replay"]
 
 
 @dataclass
@@ -96,6 +96,61 @@ def mixed_workload(
     hot = names[-effective_hot:] if effective_hot else names
     for _ in range(max(0, n_requests - len(names))):
         name = hot[int(rng.integers(len(hot)))]
+        stream.append((name, rhs(name)))
+    return Workload(matrices=matrices, stream=stream[:n_requests])
+
+
+def revalued_workload(
+    n_requests: int = 40,
+    *,
+    scale: float = 0.05,
+    n_patterns: int = 3,
+    n_values: int = 4,
+    n_rhs: int = 1,
+    seed: int = 0,
+) -> Workload:
+    """Same-pattern/different-values traffic — the structural-batching case.
+
+    Builds ``n_patterns`` suite systems and, for each, ``n_values``
+    values variants sharing the sparsity structure (data scaled by a
+    positive random factor, the ICCG re-factorization pattern).  The
+    stream opens with one request per variant, then draws uniformly —
+    every matrix after the first variant of its pattern should hit the
+    pattern-level plan cache.  Deterministic for a given seed.
+    """
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    if n_values < 1:
+        raise ValueError(f"n_values must be >= 1, got {n_values}")
+    specs = scaled_suite(scale)
+    n_patterns = max(1, min(n_patterns, len(specs)))
+    stride = max(1, len(specs) // n_patterns)
+    chosen = [specs[i * stride] for i in range(n_patterns)]
+    rng = np.random.default_rng(seed)
+    matrices: dict[str, CSRMatrix] = {}
+    for spec in chosen:
+        A = spec.build()
+        for j in range(n_values):
+            if j == 0:
+                variant = A
+            else:
+                factors = rng.uniform(0.5, 1.5, A.nnz).astype(A.data.dtype)
+                variant = replace(
+                    A, data=(A.data * factors).astype(A.data.dtype),
+                    _validated=True,
+                )
+            matrices[f"{spec.name}#v{j}"] = variant
+
+    def rhs(name: str) -> np.ndarray:
+        n = matrices[name].n_rows
+        if n_rhs == 1:
+            return rng.standard_normal(n)
+        return rng.standard_normal((n, n_rhs))
+
+    names = list(matrices)
+    stream = [(name, rhs(name)) for name in names]
+    for _ in range(max(0, n_requests - len(names))):
+        name = names[int(rng.integers(len(names)))]
         stream.append((name, rhs(name)))
     return Workload(matrices=matrices, stream=stream[:n_requests])
 

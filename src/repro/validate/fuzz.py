@@ -247,7 +247,7 @@ class FuzzFailure:
     case: FuzzCase
     method: str
     kind: str  # "mismatch" | "residual" | "invariant" | "exception" | "dtype"
-    via: str = "direct"  # "direct" | "service" | "compiled" | "dist"
+    via: str = "direct"  # "direct" | "service" | "compiled" | "dist" | "fused"
     message: str = ""
     max_err: float | None = None
     minimized: FuzzCase | None = None
@@ -440,6 +440,69 @@ def _dist_solve(
     return x, x1
 
 
+def _fused_solve(
+    case: "FuzzCase",
+    A,
+    b: np.ndarray,
+    method: str,
+    device: DeviceModel,
+    ctol: float,
+) -> list["FuzzFailure"]:
+    """Run three values variants of ``A`` through a fresh service as one
+    structurally-fused batch and cross-check every result.
+
+    Two contracts: each fused result matches the serial oracle for its
+    variant within tolerance, and it is *bit-identical* to the same
+    service's per-request solve of that variant (warmed first, so both
+    samples run the frozen compiled steps — same rule as
+    :func:`_dist_solve`).
+    """
+    from repro.serve.service import SolveRequest, SolveService
+
+    rng = np.random.default_rng((case.seed ^ 0xFACADE) & 0xFFFFFFFF)
+    variants = [A]
+    for _ in range(2):
+        factors = rng.uniform(0.5, 1.5, A.nnz).astype(A.data.dtype)
+        variants.append(replace(
+            A, data=(A.data * factors).astype(A.data.dtype), _validated=True
+        ))
+    failures: list[FuzzFailure] = []
+    with SolveService(
+        device=device, method=method, cache_capacity=4, max_workers=2
+    ) as svc:
+        for V in variants:  # warm: capture-path multi-RHS + overlay builds
+            svc.solve(V, b)
+        batch = svc.solve_batch([SolveRequest(A=V, b=b) for V in variants])
+        for i, (V, res) in enumerate(zip(variants, batch)):
+            x_ref = _reference_solve(V, b)
+            agree, err = _compare(res.x, x_ref, ctol)
+            if not agree:
+                failures.append(FuzzFailure(
+                    case=case, method=method, kind="mismatch", via="fused",
+                    max_err=err,
+                    message=(
+                        f"fused batch result (variant {i}) deviates from "
+                        f"the serial reference by {err:.3e}"
+                    ),
+                ))
+            single = svc.solve(V, b)
+            if not np.array_equal(np.asarray(res.x), np.asarray(single.x)):
+                bit_err = float(np.max(np.abs(
+                    np.asarray(res.x, dtype=np.float64)
+                    - np.asarray(single.x, dtype=np.float64)
+                )))
+                failures.append(FuzzFailure(
+                    case=case, method=method, kind="mismatch", via="fused",
+                    max_err=bit_err,
+                    message=(
+                        f"fused batch result (variant {i}) is not "
+                        "bit-identical to the per-request solve "
+                        f"(max diff {bit_err:.3e})"
+                    ),
+                ))
+    return failures
+
+
 def _compare(x, x_ref: np.ndarray, tol: float) -> tuple[bool, float]:
     x = np.asarray(x, dtype=np.float64)
     err = float(np.max(np.abs(x - x_ref))) if x_ref.size else 0.0
@@ -467,6 +530,8 @@ def run_case(
     compiled_method: str | None = None,
     check_dist: bool = True,
     dist_method: str | None = None,
+    check_fused: bool = True,
+    fused_method: str | None = None,
 ) -> list[FuzzFailure]:
     """Differentially test one case; returns the (possibly empty) failures.
 
@@ -485,6 +550,12 @@ def run_case(
     simulated devices (with ``dist_method``, default the first method),
     checking the result against the oracle *and* — bit for bit — against
     the same prepared plan's single-device solution.
+
+    ``check_fused`` additionally runs three values variants of the case
+    through a fresh :class:`SolveService` as one structurally-fused
+    batch (with ``fused_method``, default the first method), checking
+    each fused result against the oracle and — bit for bit — against
+    the same service's per-request solve.
     """
     A, b = case.build()
     x_ref = _reference_solve(A, b)
@@ -582,6 +653,15 @@ def run_case(
                             f"(max diff {bit_err:.3e})"
                         ),
                     ))
+    if check_fused and methods:
+        fmethod = fused_method or methods[0]
+        try:
+            failures.extend(_fused_solve(case, A, b, fmethod, device, ctol))
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            failures.append(FuzzFailure(
+                case=case, method=fmethod, kind="exception", via="fused",
+                message=f"{type(exc).__name__}: {exc}",
+            ))
     if service is not None:
         smethod = service_method or methods[0]
         try:
@@ -626,6 +706,7 @@ def minimize_failure(
                 candidate, [failure.method], device, tol, service=None,
                 check_compiled=(failure.via == "compiled"),
                 check_dist=(failure.via == "dist"),
+                check_fused=(failure.via == "fused"),
             ))
         except Exception:  # noqa: BLE001 - a crash still reproduces a bug
             return True
@@ -711,7 +792,7 @@ def run_fuzz(
         for r in range(rounds):
             case = sample_case(seed, r, families, base_size)
             report.n_cases += 1
-            report.n_checks += len(methods) + (1 if service else 0) + 2
+            report.n_checks += len(methods) + (1 if service else 0) + 3
             failures = run_case(
                 case,
                 methods,
@@ -721,6 +802,7 @@ def run_fuzz(
                 service_method=methods[r % len(methods)],
                 compiled_method=methods[r % len(methods)],
                 dist_method=methods[r % len(methods)],
+                fused_method=methods[r % len(methods)],
             )
             if failures and log:
                 log(f"round {r}: {len(failures)} failure(s) on {case.token()}")
@@ -734,9 +816,10 @@ def run_fuzz(
             service.close()
     if minimize:
         for f in report.failures:
-            # Direct, compiled, and dist failures are pure functions of
-            # the case; service failures depend on service state.
-            if f.via in ("direct", "compiled", "dist"):
+            # Direct, compiled, dist, and fused failures are pure
+            # functions of the case (fused uses a fresh service per
+            # check); shared-service failures depend on service state.
+            if f.via in ("direct", "compiled", "dist", "fused"):
                 f.minimized = minimize_failure(f, device, tol)
     report.elapsed_s = monotonic() - t0
     return report
