@@ -83,6 +83,7 @@ from repro.obs import (
 )
 from repro.serve import (
     BatchResult,
+    PlanStore,
     ServiceConfig,
     ServiceStats,
     ServiceTimeoutError,
@@ -133,6 +134,7 @@ __all__ = [
     # serving layer
     "SolveService",
     "SolveRequest",
+    "PlanStore",
     "ServiceConfig",
     "ServiceStats",
     "ServiceTimeoutError",

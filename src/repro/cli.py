@@ -20,6 +20,9 @@ Commands
     Differentially fuzz every method (and the service path) against the
     serial reference; exits non-zero with a paste-ready reproduction
     command on the first mismatch.
+``store``
+    Inspect (``ls``), prune (``gc``), or pre-populate (``warm``) a
+    disk-backed :class:`repro.serve.PlanStore` plan store.
 """
 
 from __future__ import annotations
@@ -152,6 +155,80 @@ def cmd_serve(args) -> int:
             json.dump(stats.as_dict(), fh, indent=2)
         print(f"stats written to {args.json}")
     return 0
+
+
+def cmd_store(args) -> int:
+    from repro.serve.store import PlanStore
+
+    store = PlanStore(args.path)
+    try:
+        if args.store_cmd == "ls":
+            rows = store.ls()
+            if not rows:
+                print(f"store {args.path}: empty")
+                return 0
+            print(f"store {args.path}: {len(rows)} entries")
+            print(f"{'file':36s} {'bytes':>10s} {'method':16s} "
+                  f"{'n':>8s} {'nnz':>10s} {'version':10s} structure")
+            for row in rows:
+                if "corrupt" in row:
+                    print(f"{row['file']:36s} {row['bytes']:10d} "
+                          f"CORRUPT: {row['corrupt']}")
+                    continue
+                h = row["header"]
+                print(f"{row['file']:36s} {row['bytes']:10d} "
+                      f"{h.get('method', '?'):16s} {h.get('n', 0):8d} "
+                      f"{h.get('nnz', 0):10d} "
+                      f"{h.get('library_version', '?'):10s} "
+                      f"{str(h.get('structure_fp', '?'))[:16]}")
+            return 0
+        if args.store_cmd == "gc":
+            summary = store.gc(
+                max_bytes=args.max_bytes,
+                max_age_s=args.max_age_s,
+                drop_stale_versions=not args.keep_stale,
+            )
+            reasons = ", ".join(
+                f"{k}: {v}" for k, v in sorted(summary["reasons"].items())
+            ) or "nothing to prune"
+            print(f"store {args.path}: removed {summary['removed']} "
+                  f"entries ({summary['reclaimed_bytes']} bytes), "
+                  f"kept {summary['kept']}  [{reasons}]")
+            return 0
+        # warm: replay a seeded workload through a store-backed service
+        # so a later service (or another process) starts hot.
+        from repro.serve import ServiceConfig, SolveService
+        from repro.serve.workload import mixed_workload, replay
+
+        device = known_devices()[args.device]
+        workload = mixed_workload(
+            args.requests,
+            scale=args.scale,
+            n_matrices=args.matrices,
+            seed=args.seed,
+        )
+        config = ServiceConfig(
+            method=args.method,
+            device=device,
+            max_workers=args.workers,
+            n_devices=args.devices,
+            store=store,
+        )
+        with SolveService(config) as service:
+            replay(service, workload, batch_size=args.batch)
+            stats = service.stats()
+        s = stats.store
+        print(f"warmed store {args.path} with {workload.n_requests} requests "
+              f"over {len(workload.matrices)} matrices "
+              f"(method {args.method}, device {device.name})")
+        print(f"  store: {s.hits} hits, {s.misses} misses, {s.writes} "
+              f"writes, {s.corrupt} corrupt, {s.mismatched} mismatched; "
+              f"{len(store)} entries on disk")
+        print(f"  service: {stats.pattern_builds} pattern builds, "
+              f"{stats.store_hits} requests warmed from disk")
+        return 0
+    finally:
+        store.close()
 
 
 def cmd_fuzz(args) -> int:
@@ -610,6 +687,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interval", type=float, default=0.5,
                    help="snapshot period for --watch (seconds)")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect, prune, or pre-populate a disk plan store",
+        description="Manage a repro.serve.PlanStore directory: `ls` prints "
+        "every entry's header (corrupt entries are flagged, never fatal), "
+        "`gc` prunes corrupt/stale-version/expired/oversized entries, and "
+        "`warm` replays a seeded workload through a store-backed service "
+        "so a later process restart skips all pattern builds.",
+    )
+    ssub = p.add_subparsers(dest="store_cmd", required=True)
+    sp = ssub.add_parser("ls", help="list store entries with headers")
+    sp.add_argument("--path", required=True, help="store directory")
+    sp.set_defaults(fn=cmd_store)
+    sp = ssub.add_parser("gc", help="prune corrupt/stale/expired entries")
+    sp.add_argument("--path", required=True, help="store directory")
+    sp.add_argument("--max-bytes", type=int, default=None,
+                    help="prune oldest entries until the store fits")
+    sp.add_argument("--max-age-s", type=float, default=None,
+                    help="prune entries older than this many seconds")
+    sp.add_argument("--keep-stale", action="store_true",
+                    help="keep entries written by other library versions")
+    sp.set_defaults(fn=cmd_store)
+    sp = ssub.add_parser("warm", help="pre-populate the store from a workload")
+    sp.add_argument("--path", required=True, help="store directory")
+    sp.add_argument("--requests", type=int, default=40, help="stream length")
+    sp.add_argument("--matrices", type=int, default=6, help="distinct systems")
+    sp.add_argument("--method", default="recursive-block",
+                    choices=list(SOLVERS))
+    sp.add_argument("--device", default="titan_rtx_scaled",
+                    choices=list(known_devices()))
+    sp.add_argument("--devices", type=int, default=1,
+                    help="simulated devices (persists the DistSchedule)")
+    sp.add_argument("--workers", type=int, default=4)
+    sp.add_argument("--batch", type=int, default=8)
+    sp.add_argument("--scale", type=float, default=0.05)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=cmd_store)
 
     p = sub.add_parser("calibrate", help="run the Figure 5 sweep")
     p.add_argument("--device", default="titan_rtx_scaled",

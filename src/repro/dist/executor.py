@@ -60,6 +60,7 @@ class DistributedPlan:
         interconnect: Interconnect | None = None,
         compiled: CompiledPlan | None = None,
         template: "DistributedPlan | None" = None,
+        schedule: DistSchedule | None = None,
     ) -> None:
         if n_devices < 1:
             raise ValueError(f"n_devices must be >= 1, got {n_devices}")
@@ -90,13 +91,24 @@ class DistributedPlan:
         else:
             self.dag = build_segment_dag(self.plan)
             self._reports = self._probe_reports(k=0)
-            self.schedule = schedule_dag(
-                self.dag,
-                [r.time_s for r in self._reports],
-                self.n_devices,
-                self.interconnect,
-                method=plan.method,
-            )
+            # A persisted schedule (repro.serve.store) is injected only
+            # when it provably describes this very DAG shape; anything
+            # else silently falls back to recomputing — a wrong schedule
+            # would break the dependency order, not just the timings.
+            if schedule is not None and (
+                schedule.n_devices == self.n_devices
+                and schedule.method == self.plan.method
+                and len(schedule.order) == len(self.plan.segments)
+            ):
+                self.schedule = schedule
+            else:
+                self.schedule = schedule_dag(
+                    self.dag,
+                    [r.time_s for r in self._reports],
+                    self.n_devices,
+                    self.interconnect,
+                    method=plan.method,
+                )
             #: RHS width -> (schedule, per-segment reports); width 0 = 1-D
             self._multi: dict[int, tuple[DistSchedule, list]] = {}
             self._multi_lock = threading.Lock()
@@ -109,6 +121,7 @@ class DistributedPlan:
         *,
         interconnect: Interconnect | None = None,
         template: "DistributedPlan | None" = None,
+        schedule: DistSchedule | None = None,
     ) -> "DistributedPlan":
         """Build from a :class:`repro.PreparedSolve`, reusing (or
         quietly building) its compiled executor for the numerics.
@@ -117,7 +130,10 @@ class DistributedPlan:
         structure — the serve layer's pattern-level instance) the DAG,
         probe reports, and schedules are shared instead of recomputed,
         so a values-only overlay pays gather cost rather than a full
-        schedule rebuild.
+        schedule rebuild.  ``schedule`` injects a persisted
+        :class:`DistSchedule` (the plan store's warm-start path); it is
+        used only if it matches this plan's method, device count, and
+        tiled segment count, else recomputed.
         """
         compile_quiet = getattr(prepared, "_compile_quiet", None)
         compiled = compile_quiet() if callable(compile_quiet) else None
@@ -128,6 +144,7 @@ class DistributedPlan:
             interconnect=interconnect,
             compiled=compiled,
             template=template,
+            schedule=schedule,
         )
 
     def _compile_tiled(

@@ -18,6 +18,7 @@ from repro.utils.arrays import counts_to_indptr
 __all__ = [
     "is_lower_triangular",
     "is_upper_triangular",
+    "triangle_orientation",
     "lower_triangular_from",
     "split_strict_and_diag",
     "check_solvable_diagonal",
@@ -35,6 +36,24 @@ def is_upper_triangular(csr: CSRMatrix) -> bool:
     """True when no stored entry lies below the main diagonal."""
     row_ids = np.repeat(np.arange(csr.n_rows), csr.row_counts())
     return bool(np.all(csr.indices >= row_ids))
+
+
+def triangle_orientation(csr: CSRMatrix) -> str:
+    """``"L"``, ``"U"``, or ``"G"`` (general) in one structure pass.
+
+    Equivalent to probing :func:`is_lower_triangular` then
+    :func:`is_upper_triangular` — a diagonal-only matrix reports ``"L"``
+    — but builds the row-id expansion once instead of once per probe,
+    so callers that need the orientation (fingerprinting, the serve
+    layer's mirror decision) can compute it a single time per request
+    and thread it through.
+    """
+    row_ids = np.repeat(np.arange(csr.n_rows), csr.row_counts())
+    if bool(np.all(csr.indices <= row_ids)):
+        return "L"
+    if bool(np.all(csr.indices >= row_ids)):
+        return "U"
+    return "G"
 
 
 def lower_triangular_from(csr: CSRMatrix, *, unit_fill: float = 1.0) -> CSRMatrix:

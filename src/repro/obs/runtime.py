@@ -114,6 +114,22 @@ class ServeMetrics:
             "repro_fallbacks_total",
             "requests degraded to the fallback method after planner failure",
         )
+        # Disk warm-tier families (repro.serve.store).
+        self.store_lookups = registry.counter(
+            "repro_store_lookups_total",
+            "disk plan-store lookups by result "
+            "(hit/miss/corrupt/mismatch; non-hits degrade to cold builds)",
+            labelnames=("result",),
+        )
+        self.store_writes = registry.counter(
+            "repro_store_writes_total",
+            "pattern entries written back to the disk plan store",
+        )
+        self.overlay_evictions = registry.counter(
+            "repro_overlay_evictions_total",
+            "values overlays evicted from cached patterns under "
+            "overlay_capacity pressure",
+        )
         self.kernel_launches = registry.counter(
             "repro_kernel_launches_total",
             "simulated kernel launches by kernel name and executing device",

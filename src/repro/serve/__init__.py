@@ -23,6 +23,7 @@ from repro.serve.service import (
     SolveService,
 )
 from repro.serve.stats import RequestRecord, ServiceStats
+from repro.serve.store import PlanStore, StoreStats
 from repro.serve.workload import (
     Workload,
     mixed_workload,
@@ -39,6 +40,8 @@ __all__ = [
     "BucketInfo",
     "CacheStats",
     "PlanCache",
+    "PlanStore",
+    "StoreStats",
     "matrix_fingerprint",
     "structure_fingerprint",
     "values_fingerprint",

@@ -63,7 +63,10 @@ class PlanCache:
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
-        self._key_locks: dict[Hashable, threading.Lock] = {}
+        #: key -> [lock, waiter refcount]; the refcount keeps the lock
+        #: entry alive while *any* thread holds or waits on it, so every
+        #: concurrent miss for a key serializes on one lock object
+        self._key_locks: dict[Hashable, list] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -110,7 +113,15 @@ class PlanCache:
         if value is not _MISS:
             return value, True
         with self._lock:
-            key_lock = self._key_locks.setdefault(key, threading.Lock())
+            slot = self._key_locks.setdefault(key, [threading.Lock(), 0])
+            # Refcount while held/waited on: popping the entry while
+            # other threads still wait on (or are about to acquire) the
+            # lock would hand later arrivals a *fresh* lock, letting two
+            # threads build the same key concurrently after a failing or
+            # slow builder.  The last thread out removes the entry, so
+            # repeated failing keys still don't leak.
+            slot[1] += 1
+            key_lock = slot[0]
         try:
             with key_lock:
                 # Double-check: another thread may have built it while we
@@ -127,11 +138,10 @@ class PlanCache:
                     self._put_locked(key, value)
                 return value, False
         finally:
-            # Always drop the per-key lock entry — including when
-            # builder() raises — or repeated failing keys (e.g.
-            # non-triangular submissions) leak one entry each.
             with self._lock:
-                self._key_locks.pop(key, None)
+                slot[1] -= 1
+                if slot[1] == 0 and self._key_locks.get(key) is slot:
+                    del self._key_locks[key]
 
     def clear(self) -> None:
         with self._lock:

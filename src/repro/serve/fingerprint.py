@@ -25,7 +25,7 @@ from typing import Any, Hashable, Mapping
 import numpy as np
 
 from repro.formats.csr import CSRMatrix
-from repro.formats.triangular import is_lower_triangular, is_upper_triangular
+from repro.formats.triangular import triangle_orientation
 from repro.gpu.device import DeviceModel
 
 __all__ = [
@@ -43,21 +43,32 @@ def _update_array(h, arr: np.ndarray) -> None:
     h.update(np.ascontiguousarray(arr).tobytes())
 
 
-def _triangle_tag(A: CSRMatrix) -> bytes:
-    if is_lower_triangular(A):
-        return b"L"
-    if is_upper_triangular(A):
-        return b"U"
-    return b"G"
+def _triangle_tag(A: CSRMatrix, orientation: str | None = None) -> bytes:
+    # One structural pass via triangle_orientation; callers on the
+    # request hot path (the serve layer) compute the orientation once
+    # per request and pass it through instead of re-scanning O(nnz)
+    # here — the old per-call is_lower/is_upper probes scanned the
+    # index array up to twice per fingerprint, on top of the service's
+    # own orientation checks.  Measured (best-of-200, mixed_workload
+    # scale=0.1): passing a precomputed orientation cuts fingerprints()
+    # from 1394-2600us to 1246-2364us on the 40k-83k nnz matrices
+    # (8-12%), and the orientation scan itself (93-165us) now runs
+    # exactly once per request instead of up to three times.
+    return (orientation or triangle_orientation(A)).encode()
 
 
-def fingerprints(A: CSRMatrix) -> tuple[str, str, str]:
+def fingerprints(
+    A: CSRMatrix, *, orientation: str | None = None
+) -> tuple[str, str, str]:
     """``(full, structure, values)`` digests in one pass over the matrix.
 
     The full digest equals :func:`matrix_fingerprint`; the structure
     digest covers shape + indptr + indices + triangle orientation; the
     values digest covers only the ``data`` array.  Computing all three
     together shares the shape/indptr/indices hashing work.
+    ``orientation`` (``"L"``/``"U"``/``"G"``, from
+    :func:`repro.formats.triangular.triangle_orientation`) skips the
+    structure scan when the caller already knows it.
     """
     h = hashlib.blake2b(digest_size=16)
     h.update(f"{A.n_rows}x{A.n_cols}".encode())
@@ -65,7 +76,7 @@ def fingerprints(A: CSRMatrix) -> tuple[str, str, str]:
     _update_array(h, A.indices)
     hs = h.copy()  # structure branch: everything but the values
     _update_array(h, A.data)
-    hs.update(_triangle_tag(A))
+    hs.update(_triangle_tag(A, orientation))
     hv = hashlib.blake2b(digest_size=16)
     _update_array(hv, A.data)
     return h.hexdigest(), hs.hexdigest(), hv.hexdigest()
@@ -86,19 +97,22 @@ def matrix_fingerprint(A: CSRMatrix) -> str:
     return h.hexdigest()
 
 
-def structure_fingerprint(A: CSRMatrix) -> str:
+def structure_fingerprint(
+    A: CSRMatrix, *, orientation: str | None = None
+) -> str:
     """A 128-bit hex digest of the sparsity *pattern* only.
 
     Covers shape, indptr, indices (dtypes included) and the triangle
     orientation tag — everything the planners read.  Two matrices with
     the same pattern but different values share this digest; a
     lower-triangular pattern and its upper mirror do not.
+    ``orientation`` skips the structure scan when already known.
     """
     h = hashlib.blake2b(digest_size=16)
     h.update(f"{A.n_rows}x{A.n_cols}".encode())
     _update_array(h, A.indptr)
     _update_array(h, A.indices)
-    h.update(_triangle_tag(A))
+    h.update(_triangle_tag(A, orientation))
     return h.hexdigest()
 
 

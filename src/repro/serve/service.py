@@ -39,6 +39,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.api import SolveResult, validate_solver_options
+from repro.core.executor import compile_plan
 from repro.core.rebind import PlanRebinder, RebindError, tracer_matrix
 from repro.core.solver import SOLVERS, PreparedSolve
 from repro.errors import (
@@ -49,8 +50,7 @@ from repro.errors import (
 )
 from repro.formats.csr import CSRMatrix
 from repro.formats.triangular import (
-    is_lower_triangular,
-    is_upper_triangular,
+    triangle_orientation,
     upper_to_lower_mirror,
 )
 from repro.gpu.cost import CostModel
@@ -61,6 +61,7 @@ from repro.serve.batch import BatchResult, BucketInfo
 from repro.serve.cache import PlanCache
 from repro.serve.fingerprint import fingerprints, plan_key, structure_key
 from repro.serve.stats import RequestRecord, ServiceStats
+from repro.serve.store import PlanStore
 from repro.validate.invariants import (
     DEFAULT_RESIDUAL_TOL,
     check_plan,
@@ -121,6 +122,15 @@ class ServiceConfig:
     structural_batching: bool = True
     #: values overlays retained per cached pattern (LRU)
     overlay_capacity: int = 4
+    #: directory of the disk-backed second-level plan store
+    #: (:class:`repro.serve.store.PlanStore`): cache misses consult it
+    #: before building, successful builds write back asynchronously, and
+    #: a restarted service warms from it with zero full pattern builds.
+    #: ``None`` (default) disables persistence.
+    store_path: str | None = None
+    #: a pre-built :class:`PlanStore` to share across services (takes
+    #: precedence over ``store_path``; the caller owns its lifecycle)
+    store: PlanStore | None = None
 
 
 @dataclass
@@ -160,6 +170,9 @@ class _GroupJob:
     fp: str | None = None
     sfp: str | None = None
     vfp: str | None = None
+    #: triangle orientation ("L"/"U"/"G"), computed once per request and
+    #: threaded through fingerprinting and plan building
+    orient: str | None = None
     positions: list = field(default_factory=list)
 
 
@@ -189,6 +202,7 @@ class _PatternEntry:
         "rebind_prep_s",
         "overlays",
         "capacity",
+        "evict_cb",
         "_lock",
         "_flights",
     )
@@ -208,6 +222,7 @@ class _PatternEntry:
         build_prep_s: float,
         rebind_prep_s: float,
         capacity: int,
+        evict_cb=None,
     ) -> None:
         self.method = method
         self.fallback = fallback
@@ -222,6 +237,7 @@ class _PatternEntry:
         self.rebind_prep_s = rebind_prep_s
         self.overlays: OrderedDict[str, _PlanEntry] = OrderedDict()
         self.capacity = capacity
+        self.evict_cb = evict_cb
         self._lock = threading.Lock()
         self._flights: dict[str, threading.Event] = {}
 
@@ -246,11 +262,18 @@ class _PatternEntry:
         return entry.dist if entry is not None else None
 
     def _install(self, vfp: str, entry: _PlanEntry) -> None:
+        evicted = 0
         with self._lock:
             self.overlays[vfp] = entry
             self.overlays.move_to_end(vfp)
             while len(self.overlays) > self.capacity:
                 self.overlays.popitem(last=False)
+                evicted += 1
+        # Overlay-capacity thrash (the revalued-workload failure mode)
+        # must be diagnosable: report evictions to the owning service
+        # outside our lock.
+        if evicted and self.evict_cb is not None:
+            self.evict_cb(evicted)
 
     def overlay_for(
         self, vfp: str, A: CSRMatrix, service: "SolveService"
@@ -326,6 +349,18 @@ class SolveService:
         validate_solver_options(cfg.method, cfg.solver_options)
         self.config = cfg
         self.cache = PlanCache(cfg.cache_capacity)
+        if cfg.store is not None:
+            self.store: PlanStore | None = cfg.store
+            self._owns_store = False
+        elif cfg.store_path is not None:
+            self.store = PlanStore(cfg.store_path)
+            self._owns_store = True
+        else:
+            self.store = None
+            self._owns_store = False
+        self._counter_lock = threading.Lock()
+        self._overlay_evictions = 0
+        self._pattern_builds = 0
         self._pool = ThreadPoolExecutor(
             max_workers=cfg.max_workers, thread_name_prefix="repro-serve"
         )
@@ -357,6 +392,11 @@ class SolveService:
         """Finish in-flight requests and reject new ones."""
         self._closed = True
         self._pool.shutdown(wait=True)
+        if self.store is not None:
+            if self._owns_store:
+                self.store.close()  # flushes queued write-backs
+            else:
+                self.store.flush()  # shared store stays open
 
     def __enter__(self) -> "SolveService":
         return self
@@ -473,7 +513,13 @@ class SolveService:
         ids = self._take_ids(len(reqs))
         deadline = self._deadline(timeout_s)
         structural = self.config.structural_batching
-        fps = [fingerprints(r.A) for r in reqs]
+        # One structure scan per request: the orientation feeds both the
+        # fingerprint's triangle tag and the mirror decision at build
+        # time (previously re-scanned O(nnz) inside each).
+        orients = [triangle_orientation(r.A) for r in reqs]
+        fps = [
+            fingerprints(r.A, orientation=o) for r, o in zip(reqs, orients)
+        ]
         # Bucket by pattern (or by full content when structural batching
         # is off); coalesce same-content requests into one group each.
         buckets: dict[tuple, dict[str, _GroupJob]] = {}
@@ -487,7 +533,7 @@ class SolveService:
             if job is None:
                 job = groups[full] = _GroupJob(
                     rids=[], A=r.A, bs=[], method=r.method,
-                    fp=full, sfp=sfp, vfp=vfp,
+                    fp=full, sfp=sfp, vfp=vfp, orient=orients[pos],
                 )
             job.rids.append(ids[pos])
             job.bs.append(np.asarray(r.b))
@@ -541,11 +587,20 @@ class SolveService:
             prepared, self.config.n_devices, template=template
         )
 
-    def _build_entry(self, A: CSRMatrix, method: str) -> _PlanEntry:
-        """Prepare a plan, mirroring upper systems and degrading on failure."""
-        if is_lower_triangular(A):
+    def _build_entry(
+        self, A: CSRMatrix, method: str, orientation: str | None = None
+    ) -> _PlanEntry:
+        """Prepare a plan, mirroring upper systems and degrading on failure.
+
+        ``orientation`` is the request's precomputed triangle tag; when
+        absent one O(nnz) structure scan runs here (the fingerprint path
+        always passes it, so hot requests never rescan)."""
+        orient = (
+            orientation if orientation is not None else triangle_orientation(A)
+        )
+        if orient == "L":
             L, perm = A, None
-        elif is_upper_triangular(A):
+        elif orient == "U":
             L, perm = upper_to_lower_mirror(A.sort_indices())
         else:
             raise NotTriangularError(
@@ -602,15 +657,23 @@ class SolveService:
             2.0 * A.nnz * A.data.itemsize
         )
 
-    def _build_pattern(self, A: CSRMatrix, method: str, vfp: str) -> _PatternEntry:
+    def _build_pattern(
+        self,
+        A: CSRMatrix,
+        method: str,
+        vfp: str,
+        orientation: str | None = None,
+    ) -> _PatternEntry:
         """Build the pattern-level cache entry (runs under the cache's
         single-flight lock), installing ``A``'s values as the first
         overlay so the building request never binds twice."""
         cfg = self.config
+        with self._counter_lock:
+            self._pattern_builds += 1
         if cfg.structural_batching:
             try:
                 tracer = tracer_matrix(A)
-                entry_t = self._build_entry(tracer, method)
+                entry_t = self._build_entry(tracer, method, orientation)
                 prepared_t = entry_t.prepared
                 # Exact type, not isinstance: a subclass may override
                 # solve() with behavior a rebound plain PreparedSolve
@@ -633,6 +696,7 @@ class SolveService:
                     build_prep_s=entry_t.prep_time_s,
                     rebind_prep_s=self._rebind_cost(A),
                     capacity=cfg.overlay_capacity,
+                    evict_cb=self._overlay_evicted,
                 )
                 # The first values variant pays the full (simulated)
                 # plan-build cost; later variants pay only the rebind.
@@ -643,7 +707,7 @@ class SolveService:
                 return pattern
             except RebindError:
                 pass  # untraceable value flow: full builds per values
-        entry = self._build_entry(A, method)
+        entry = self._build_entry(A, method, orientation)
         pattern = _PatternEntry(
             method=entry.method,
             fallback=entry.fallback,
@@ -657,9 +721,259 @@ class SolveService:
             build_prep_s=entry.prep_time_s,
             rebind_prep_s=0.0,
             capacity=cfg.overlay_capacity,
+            evict_cb=self._overlay_evicted,
         )
         pattern._install(vfp, entry)
         return pattern
+
+    def _overlay_evicted(self, n: int) -> None:
+        """Count values overlays dropped under ``overlay_capacity``."""
+        with self._counter_lock:
+            self._overlay_evictions += n
+        obs = self.config.obs
+        if obs is not None:
+            obs.serve_metrics.overlay_evictions.inc(n)
+
+    # ------------------------------------------------------------------ #
+    # Disk warm tier (repro.serve.store)
+    # ------------------------------------------------------------------ #
+    def _load_pattern(
+        self,
+        key: tuple,
+        job: _GroupJob,
+        method: str,
+        obs: Observability | None,
+    ) -> _PatternEntry | None:
+        """Reconstruct a pattern entry from the disk store, or ``None``.
+
+        Every failure mode — damaged bytes, version drift, a stale
+        fingerprint, a payload that no longer reconstructs — degrades to
+        ``None`` (a counted miss, so the caller falls through to a cold
+        build); nothing propagates to the request.
+        """
+        cfg = self.config
+        A = job.A
+        expect = {
+            "kind": "pattern",
+            "structure_fp": job.sfp,
+            "dtype": str(A.data.dtype),
+            "method": method,
+            "device": cfg.device.name,
+        }
+        if obs is not None:
+            with obs.span("serve.store.load", method=method) as sp:
+                result, loaded = self.store.lookup(key, expect=expect)
+                pattern = self._reconstruct(loaded, key, job)
+                if loaded is not None and pattern is None:
+                    result = "corrupt"
+                sp.set(result=result)
+        else:
+            result, loaded = self.store.lookup(key, expect=expect)
+            pattern = self._reconstruct(loaded, key, job)
+            if loaded is not None and pattern is None:
+                result = "corrupt"
+        if obs is not None:
+            obs.serve_metrics.store_lookups.inc(result=result)
+        return pattern
+
+    def _reconstruct(
+        self, loaded, key: tuple, job: _GroupJob
+    ) -> _PatternEntry | None:
+        if loaded is None:
+            return None
+        try:
+            header, payload = loaded
+            pattern = self._pattern_from_payload(payload)
+            # Bind the *incoming* values as the first overlay: a warm
+            # start pays one gather-rebind, never the Table 5 analysis.
+            first = self._build_overlay(pattern, job.A)
+            pattern._install(job.vfp, first)
+            if header.get("values_fp") == job.vfp:
+                # Identical value bytes to the entry's writer: adopt its
+                # verified engine verdicts instead of re-probing them.
+                compiled = first.prepared._compiled
+                steps = getattr(compiled, "_steps", None) or []
+                for idx, dec in enumerate(
+                    payload.get("engine_decisions") or []
+                ):
+                    if not dec or idx >= len(steps):
+                        continue
+                    trust = getattr(steps[idx], "_trust_engine", None)
+                    if callable(trust):
+                        for dt, keep in dec.items():
+                            if keep:
+                                trust(np.dtype(dt))
+        except Exception:  # noqa: BLE001 - stale payload = counted miss
+            self.store.count_corrupt(key)
+            return None
+        return pattern
+
+    def _pattern_from_payload(self, payload: dict) -> _PatternEntry:
+        """A live :class:`_PatternEntry` from a deserialized payload.
+
+        Only the pure-data artifacts were persisted (the template
+        :class:`ExecutionPlan`, its preprocess report, the mirror perm,
+        the :class:`DistSchedule`); the compiled step graph, the
+        rebinder's position maps, and the sharded executor are rebuilt
+        here — cheap derivations compared to the planning they encode.
+        """
+        cfg = self.config
+        if payload.get("kind") != "pattern" or not payload.get("rebindable"):
+            raise ValueError("not a rebindable pattern payload")
+        plan = payload["template_plan"]
+        dtype = np.dtype(payload["dtype"])
+        binder = PlanRebinder(plan, int(payload["nnz"]), dtype)
+        prepared_t = PreparedSolve(
+            payload["method"], plan, cfg.device, payload["preprocess_report"]
+        )
+        # Captured reports ride along in the payload: injecting them
+        # skips the compile-time probe solve, the same way values
+        # overlays inherit them from the pattern template in-process.
+        template_compiled = None
+        frozen = payload.get("frozen_reports")
+        if frozen is not None:
+            try:
+                template_compiled = compile_plan(
+                    plan, cfg.device, frozen=tuple(frozen)
+                )
+                prepared_t._compiled = template_compiled
+            except Exception:  # noqa: BLE001 - fall back to a fresh probe
+                template_compiled = None
+        if template_compiled is None:
+            template_compiled = prepared_t._compile_quiet()
+        if template_compiled is not None:
+            for idx, dec in enumerate(payload.get("engine_decisions") or []):
+                if not dec or idx >= len(template_compiled._steps):
+                    continue
+                seed = getattr(
+                    template_compiled._steps[idx], "_seed_engine", None
+                )
+                if callable(seed):
+                    for dt, keep in dec.items():
+                        seed(np.dtype(dt), bool(keep))
+        template_dist = None
+        if cfg.n_devices > 1:
+            sched = payload.get("dist_schedule")
+            if payload.get("dist_n_devices") != cfg.n_devices:
+                sched = None
+            from repro.dist import DistributedPlan
+
+            template_dist = DistributedPlan.from_prepared(
+                prepared_t, cfg.n_devices, schedule=sched
+            )
+        return _PatternEntry(
+            method=payload["method"],
+            fallback=bool(payload.get("fallback", False)),
+            perm=payload.get("perm"),
+            requested_method=payload.get(
+                "requested_method", payload["method"]
+            ),
+            rebindable=True,
+            binder=binder,
+            template=prepared_t,
+            template_compiled=template_compiled,
+            template_dist=template_dist,
+            build_prep_s=float(payload.get("build_prep_s", 0.0)),
+            rebind_prep_s=float(payload.get("rebind_prep_s", 0.0)),
+            capacity=cfg.overlay_capacity,
+            evict_cb=self._overlay_evicted,
+        )
+
+    def _persist_pattern(
+        self,
+        key: tuple,
+        job: _GroupJob,
+        method: str,
+        pattern: _PatternEntry,
+        obs: Observability | None,
+    ) -> None:
+        """Write a freshly built pattern back to the store.
+
+        Encoding runs here (the plan objects must be captured before
+        later solves touch their cost caches); the disk write happens on
+        the store's background writer.  Non-rebindable patterns carry
+        per-values state that cannot warm another process, so they are
+        counted as skipped instead of written.
+        """
+        cfg = self.config
+        if not pattern.rebindable or pattern.template is None:
+            self.store.count_skipped()
+            return
+        A = job.A
+        payload = {
+            "kind": "pattern",
+            "rebindable": True,
+            "method": pattern.method,
+            "requested_method": pattern.requested_method,
+            "fallback": pattern.fallback,
+            "perm": pattern.perm,
+            "template_plan": pattern.template.plan,
+            "preprocess_report": pattern.template.preprocess_report,
+            "nnz": int(pattern.binder.nnz),
+            "dtype": str(pattern.binder.dtype),
+            "build_prep_s": pattern.build_prep_s,
+            "rebind_prep_s": pattern.rebind_prep_s,
+            "engine_decisions": self._engine_decisions(
+                pattern, pattern.binder.dtype
+            ),
+            "frozen_reports": (
+                (
+                    pattern.template_compiled._frozen,
+                    pattern.template_compiled._merged,
+                )
+                if pattern.template_compiled is not None
+                and pattern.template_compiled.pure
+                else None
+            ),
+            "dist_n_devices": cfg.n_devices,
+            "dist_schedule": (
+                pattern.template_dist.schedule
+                if pattern.template_dist is not None
+                else None
+            ),
+        }
+        header = {
+            "kind": "pattern",
+            "structure_fp": job.sfp,
+            "values_fp": job.vfp,
+            "dtype": str(A.data.dtype),
+            "method": method,
+            "device": cfg.device.name,
+            "n": A.n_rows,
+            "nnz": A.nnz,
+        }
+        if obs is not None:
+            with obs.span("serve.store.write", method=method):
+                self.store.put(key, header, payload)
+            obs.serve_metrics.store_writes.inc()
+        else:
+            self.store.put(key, header, payload)
+
+    def _engine_decisions(self, pattern: _PatternEntry, dtype) -> list:
+        """Resolve and capture the compiled template's per-segment numeric
+        engine choices for ``dtype``.
+
+        The keep-or-drop decision includes a *timed* probe (engine vs
+        kernel); re-running that race in a loading process could flip
+        the winner and break loaded-vs-built bit identity, so the
+        writing process resolves it now and ships the verdicts.
+        """
+        compiled = pattern.template_compiled
+        if compiled is None:
+            return []
+        dt = np.dtype(dtype)
+        out: list = []
+        for step in compiled._steps:
+            resolve = getattr(step, "_engine_for", None)
+            if getattr(step, "try_engine", False) and callable(resolve):
+                try:
+                    engine = resolve(dt)
+                except Exception:  # noqa: BLE001 - probe failure = kernel path
+                    engine = None
+                out.append({str(dt): engine is not None})
+            else:
+                out.append(None)
+        return out
 
     def _build_overlay(
         self, pattern: _PatternEntry, A: CSRMatrix, *, prep_time_s: float | None = None
@@ -838,7 +1152,8 @@ class SolveService:
         n_dev = cfg.n_devices
         dev_label = "0" if n_dev == 1 else f"0-{n_dev - 1}"
         if job.fp is None:  # submit path: fingerprints not yet computed
-            job.fp, job.sfp, job.vfp = fingerprints(A)
+            job.orient = triangle_orientation(A)
+            job.fp, job.sfp, job.vfp = fingerprints(A, orientation=job.orient)
         fp = job.fp
         ncols = [1 if b.ndim == 1 else b.shape[1] for b in job.bs]
         if obs is not None:
@@ -872,9 +1187,21 @@ class SolveService:
             else:
                 key = plan_key(fp, method, cfg.device, options)
             vfp = job.vfp
+            from_store: list = []
 
             def build() -> _PatternEntry:
-                return self._build_pattern(A, method, vfp)
+                # Cache miss: the disk warm tier is consulted before the
+                # cold build; a loaded pattern skips the Table 5 analysis
+                # entirely, a fresh build is written back asynchronously.
+                if self.store is not None:
+                    loaded = self._load_pattern(key, job, method, obs)
+                    if loaded is not None:
+                        from_store.append(True)
+                        return loaded
+                pattern = self._build_pattern(A, method, vfp, job.orient)
+                if self.store is not None:
+                    self._persist_pattern(key, job, method, pattern, obs)
+                return pattern
 
             if obs is None:
                 pattern, p_hit = self.cache.get_or_build(key, build)
@@ -949,7 +1276,8 @@ class SolveService:
                 self._record(RequestRecord(
                     request_id=rid, fingerprint=fp, method=entry.method,
                     n=A.n_rows, nnz=A.nnz, n_rhs=k, cache_hit=hit,
-                    pattern_hit=p_hit, fallback=entry.fallback,
+                    pattern_hit=p_hit, store_hit=bool(from_store),
+                    fallback=entry.fallback,
                     coalesced=coalesced, fused=fused, bucket=bucket_n,
                     prep_time_s=prep_s, solve_time_s=share.time_s,
                     launches=share.launches, gflops=share.gflops,
@@ -979,10 +1307,18 @@ class SolveService:
             return list(self._records)
 
     def stats(self) -> ServiceStats:
-        """Aggregate snapshot over retained records + cache counters."""
+        """Aggregate snapshot over retained records + cache/store counters."""
         with self._records_lock:
             records = list(self._records)
             rejected = self._rejected
+        with self._counter_lock:
+            overlay_evictions = self._overlay_evictions
+            pattern_builds = self._pattern_builds
         return ServiceStats.from_records(
-            records, self.cache.stats(), rejected=rejected
+            records,
+            self.cache.stats(),
+            rejected=rejected,
+            store=self.store.stats() if self.store is not None else None,
+            overlay_evictions=overlay_evictions,
+            pattern_builds=pattern_builds,
         )

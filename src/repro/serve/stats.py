@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.serve.cache import CacheStats
+from repro.serve.store import StoreStats
 
 __all__ = ["RequestRecord", "ServiceStats", "percentile"]
 
@@ -31,6 +32,9 @@ class RequestRecord:
     #: the pattern-level plan (structure key) was already cached, even
     #: if this exact values vector still needed a rebind overlay
     pattern_hit: bool = False
+    #: the pattern plan was loaded from the disk store instead of built
+    #: (this request paid a rebind, not the Table 5 analysis)
+    store_hit: bool = False
     fallback: bool = False
     coalesced: int = 1
     #: True when the request ran inside a fused structural bucket
@@ -71,6 +75,7 @@ class RequestRecord:
             "n_rhs": self.n_rhs,
             "cache_hit": self.cache_hit,
             "pattern_hit": self.pattern_hit,
+            "store_hit": self.store_hit,
             "fallback": self.fallback,
             "coalesced": self.coalesced,
             "fused": self.fused,
@@ -129,6 +134,14 @@ class ServiceStats:
     pattern_hits: int = 0
     #: completed requests that ran inside a fused structural bucket
     fused_requests: int = 0
+    #: completed requests whose pattern plan came from the disk store
+    store_hits: int = 0
+    #: values overlays dropped under overlay_capacity pressure — the
+    #: revalued-workload thrash signal
+    overlay_evictions: int = 0
+    #: full pattern builds the service actually ran (a warm restart
+    #: against a populated store keeps this at zero)
+    pattern_builds: int = 0
     evictions: int = 0
     fallbacks: int = 0
     coalesced_requests: int = 0
@@ -152,6 +165,8 @@ class ServiceStats:
     #: services, so the label set is a stable part of the snapshot
     per_device: dict = field(default_factory=dict)
     cache: CacheStats | None = None
+    #: disk warm-tier counters (None when no store is configured)
+    store: StoreStats | None = None
     detail: dict = field(default_factory=dict)
 
     @classmethod
@@ -161,6 +176,9 @@ class ServiceStats:
         cache: CacheStats | None = None,
         *,
         rejected: int = 0,
+        store: StoreStats | None = None,
+        overlay_evictions: int = 0,
+        pattern_builds: int = 0,
     ) -> "ServiceStats":
         ok = [r for r in records if r.ok]
         hits = [r for r in ok if r.cache_hit]
@@ -192,6 +210,9 @@ class ServiceStats:
             cache_misses=len(misses),
             pattern_hits=sum(1 for r in ok if r.pattern_hit),
             fused_requests=sum(1 for r in ok if r.fused),
+            store_hits=sum(1 for r in ok if r.store_hit),
+            overlay_evictions=overlay_evictions,
+            pattern_builds=pattern_builds,
             evictions=cache.evictions if cache else 0,
             fallbacks=sum(1 for r in ok if r.fallback),
             coalesced_requests=sum(1 for r in ok if r.coalesced > 1),
@@ -212,6 +233,7 @@ class ServiceStats:
             p99_sim_latency_s=percentile(sims, 99),
             per_device=per_device,
             cache=cache,
+            store=store,
         )
 
     @property
@@ -232,6 +254,9 @@ class ServiceStats:
             "cache_misses": self.cache_misses,
             "pattern_hits": self.pattern_hits,
             "fused_requests": self.fused_requests,
+            "store_hits": self.store_hits,
+            "overlay_evictions": self.overlay_evictions,
+            "pattern_builds": self.pattern_builds,
             "evictions": self.evictions,
             "fallbacks": self.fallbacks,
             "coalesced_requests": self.coalesced_requests,
@@ -255,6 +280,8 @@ class ServiceStats:
         }
         if self.cache is not None:
             out["cache"] = self.cache.as_dict()
+        if self.store is not None:
+            out["store"] = self.store.as_dict()
         if self.detail:
             out["detail"] = dict(self.detail)
         return out
@@ -270,7 +297,9 @@ class ServiceStats:
             f" / {self.evictions} evictions"
             + (f"  (lookup hit rate {self.cache.hit_rate:.0%})" if self.cache else ""),
             f"  structural    {self.pattern_hits:6d} pattern hits   "
-            f"{self.fused_requests} fused requests",
+            f"{self.fused_requests} fused requests   "
+            f"{self.pattern_builds} pattern builds   "
+            f"{self.overlay_evictions} overlay evictions",
             f"  fallbacks     {self.fallbacks:6d}   coalesced requests "
             f"{self.coalesced_requests}   distinct matrices {self.distinct_matrices}",
             f"  simulated     prep {self.total_prep_time_s * 1e3:10.3f} ms   "
@@ -288,6 +317,15 @@ class ServiceStats:
             f"  throughput    {self.mean_gflops:.3f} mean simulated GFLOPS over "
             f"{self.total_rhs} right-hand sides",
         ]
+        if self.store is not None:
+            s = self.store
+            lines.insert(
+                3,
+                f"  store         {s.hits:6d} hits / {s.misses} misses / "
+                f"{s.writes} writes / {s.corrupt} corrupt / "
+                f"{s.mismatched} mismatched ({self.store_hits} requests "
+                f"warmed from disk)",
+            )
         for dev, d in self.per_device.items():
             lines.append(
                 f"  device {dev:<6} {d['requests']:6d} requests   "
