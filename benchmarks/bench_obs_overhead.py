@@ -1,0 +1,189 @@
+"""Enforced observability overhead budget for the serve warm path.
+
+PR 3 measured the *disabled* observability path at ~0.3 % on
+``bench_serve_throughput`` (one thread-local lookup per instrumentation
+point).  This benchmark turns the *enabled* path into an enforced
+budget: a :class:`SolveService` carrying a full bundle — tracer,
+labelled metric families, an SLO policy evaluated per request, and the
+always-on flight recorder ring — replays warm single-RHS solves of a
+large suite matrix and must stay within ``OVERHEAD_CEILING`` of an
+identical obs-off service.
+
+Methodology: ONE plan-warmed service A/Bs its own instrumentation via
+:meth:`SolveService.set_observability`, so both sides run the identical
+compiled plan in the identical memory — two separate services would
+differ by plan-allocation/cache-layout luck worth more than the budget
+itself.  Solves alternate off/on one at a time and the overhead is the
+*median of the paired differences* over the run: host-load excursions
+hit adjacent solves of both sides and a handful of outlier pairs
+cannot move a median, where a min- or mean-based estimator swings by
+more than the budget between invocations.  The check also asserts the
+observed half really recorded telemetry (spans per solve, recorder
+frames, SLO observations) — a gate that silently measured a disabled
+bundle would be meaningless.
+
+Writes ``BENCH_obs_overhead.json`` at the repository root (and the
+rendered summary to ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.matrices.suite import generate, scaled_suite
+from repro.obs import FlightRecorder, Observability, SLOEngine, SLOPolicy
+from repro.serve import ServiceConfig, SolveService
+
+from conftest import publish
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+
+#: suite matrix the warm loop replays (large enough that the solve,
+#: not the instrumentation, dominates — the regime the budget is about)
+MATRIX = "kkt_wide_b"
+SCALE = 0.5
+#: alternating (off, on) solve pairs; the median paired difference is
+#: the overhead estimate
+PAIRS = 120
+#: the enforced budget: obs-on warm solves may cost at most this
+#: fraction more than obs-off (tracer + metrics + SLO + recorder)
+OVERHEAD_CEILING = 0.02
+
+
+def _full_bundle() -> Observability:
+    """The complete serve-path bundle, recorder and SLO engine included.
+
+    The SLO objective is far above any warm solve so the run measures
+    steady-state evaluation cost, not incident dumps."""
+    engine = SLOEngine([
+        SLOPolicy("warm-budget", objective_s=5.0, target=0.95,
+                  window=64, fast_window=8),
+    ])
+    return Observability(slo=engine, recorder=FlightRecorder(capacity=256))
+
+
+def run() -> dict:
+    spec = {s.name: s for s in scaled_suite(scale=SCALE)}[MATRIX]
+    A = generate(spec)
+    b = np.ones(A.n_rows)
+
+    obs = _full_bundle()
+    svc = SolveService(ServiceConfig(max_workers=1))
+    try:
+        # Plan-build + one warm solve per side (first observed solve
+        # freezes the instrumentation constants).
+        svc.solve(A, b)
+        svc.set_observability(obs)
+        svc.solve(A, b)
+        svc.set_observability(None)
+        # Freeze the warmed heap (plan, aux structures, service) so
+        # generational collections during the timed region only walk
+        # each side's own allocation churn, not the multi-hundred-MB
+        # plan state — whichever batch a full collection landed in
+        # would otherwise eat a millisecond of one-sided noise.
+        gc.collect()
+        gc.freeze()
+
+        offs = []
+        ons = []
+        for _ in range(PAIRS):
+            svc.set_observability(None)
+            t0 = time.perf_counter()
+            svc.solve(A, b)
+            offs.append(time.perf_counter() - t0)
+            svc.set_observability(obs)
+            t0 = time.perf_counter()
+            svc.solve(A, b)
+            ons.append(time.perf_counter() - t0)
+
+        solves_on = 1 + PAIRS
+        stats_all = svc.stats()
+    finally:
+        gc.unfreeze()
+        svc.close()
+
+    med_off = float(np.median(offs))
+    med_on = float(np.median(ons))
+    diffs = np.array(ons) - np.array(offs)
+    med_diff = float(np.median(diffs))
+    overhead = med_diff / med_off
+    n_spans = len(obs.tracer.spans())
+    slo_status = obs.slo.status()[0]
+    return {
+        "matrix": MATRIX,
+        "scale": SCALE,
+        "n": int(A.n_rows),
+        "nnz": int(A.nnz),
+        "pairs": PAIRS,
+        "warm_solve_off_ms": med_off * 1e3,
+        "warm_solve_on_ms": med_on * 1e3,
+        "median_paired_diff_us": med_diff * 1e6,
+        "overhead": overhead,
+        "overhead_ceiling": OVERHEAD_CEILING,
+        "solves_observed": solves_on,
+        "spans_recorded": n_spans,
+        "spans_per_solve": n_spans / solves_on,
+        "frames_recorded": obs.recorder.total_recorded,
+        "slo_observed": slo_status["n_observed"],
+        "slo_breaches": slo_status["n_breaches"],
+        "requests_completed": stats_all.completed,
+    }
+
+
+def render(result: dict) -> str:
+    gate = "PASS" if result["overhead"] <= result["overhead_ceiling"] else "FAIL"
+    return "\n".join([
+        "observability overhead budget (obs-on vs obs-off warm solves)",
+        f"  matrix {result['matrix']} (scale {result['scale']}, "
+        f"n={result['n']}, nnz={result['nnz']})",
+        f"  median over {result['pairs']} alternating solve pairs:",
+        f"    obs-off {result['warm_solve_off_ms']:8.3f} ms",
+        f"    obs-on  {result['warm_solve_on_ms']:8.3f} ms   "
+        f"(tracer + metrics + SLO + recorder)",
+        f"  median paired diff {result['median_paired_diff_us']:+.0f} us -> "
+        f"overhead {result['overhead'] * 100:+.2f}%  "
+        f"(budget {result['overhead_ceiling'] * 100:.0f}%)  [{gate}]",
+        f"  telemetry while timed: {result['spans_recorded']} spans "
+        f"({result['spans_per_solve']:.1f}/solve), "
+        f"{result['frames_recorded']} recorder frames, "
+        f"{result['slo_observed']} SLO evaluations",
+    ])
+
+
+def check(result: dict) -> None:
+    # The enforced budget.
+    assert result["overhead"] <= result["overhead_ceiling"], (
+        f"obs-on warm-solve overhead {result['overhead'] * 100:.2f}% "
+        f"exceeds the {result['overhead_ceiling'] * 100:.0f}% budget"
+    )
+    # The observed side must have been genuinely observed: every solve
+    # framed by the recorder and judged by the SLO engine, with the
+    # request + per-segment span tree intact.
+    n = result["solves_observed"]
+    assert result["frames_recorded"] == n, result
+    assert result["slo_observed"] == n, result
+    assert result["slo_breaches"] == 0, result
+    # ...and the off side ran detached: the service completed both
+    # halves, but only the obs-on half reached the bundle above.
+    assert result["requests_completed"] == 2 * n, result
+    assert result["spans_per_solve"] > 3, result
+
+
+def test_obs_overhead(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(result)
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    publish("obs_overhead", render(result))
+
+
+if __name__ == "__main__":
+    result = run()
+    check(result)
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    print(render(result))
+    print(f"wrote {BENCH_JSON}")

@@ -23,6 +23,15 @@ Commands
 ``store``
     Inspect (``ls``), prune (``gc``), or pre-populate (``warm``) a
     disk-backed :class:`repro.serve.PlanStore` plan store.
+``slo``
+    Replay a seeded same-pattern workload under per-tenant SLO
+    policies (optionally with an injected latency fault), print the
+    burn-rate table, fired alerts, flight-recorder incidents, and the
+    span tree of the trace behind the breached latency bucket's
+    exemplar.
+``incidents``
+    List or render flight-recorder incident dumps written by ``slo``
+    (or any service with an ``incident_dir``-backed recorder).
 """
 
 from __future__ import annotations
@@ -491,6 +500,142 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_slo(args) -> int:
+    from repro.obs import (
+        AlertSink,
+        FlightRecorder,
+        Observability,
+        SLOEngine,
+        SLOPolicy,
+    )
+    from repro.serve import ServiceConfig, SolveService
+    from repro.serve.workload import replay, revalued_workload
+    from repro.validate import FaultInjector
+
+    device = known_devices()[args.device]
+    tenants = tuple(t for t in args.tenants.split(",") if t) or ()
+    try:
+        common = dict(
+            objective_s=args.objective_ms / 1e3,
+            target=args.target,
+            window=args.window,
+            fast_window=args.fast_window,
+            burn_threshold=args.burn_threshold,
+            latency=args.latency,
+        )
+        if tenants:
+            policies = [
+                SLOPolicy(name=f"p-{t}", tenant=t, **common) for t in tenants
+            ]
+        else:
+            policies = [SLOPolicy(name="p-all", **common)]
+    except ValueError as exc:
+        raise SystemExit(f"bad SLO policy: {exc}")
+    sink = AlertSink(jsonl_path=args.alerts_jsonl or None)
+    engine = SLOEngine(policies, sink=sink)
+    recorder = FlightRecorder(
+        capacity=args.ring, incident_dir=args.incident_dir or None
+    )
+    obs = Observability(slo=engine, recorder=recorder)
+    injector = None
+    if args.fault_delay_ms > 0:
+        injector = FaultInjector(
+            solve_delay_s=args.fault_delay_ms / 1e3,
+            max_faults=args.max_faults,
+        )
+    workload = revalued_workload(
+        args.requests,
+        scale=args.scale,
+        n_patterns=args.patterns,
+        seed=args.seed,
+        tenants=tenants,
+    )
+    # One worker keeps completion order equal to submission order, so
+    # burn-rate alerts land at exact, reproducible request indices.
+    config = ServiceConfig(device=device, obs=obs, max_workers=1)
+    with SolveService(config, fault_injector=injector) as service:
+        replay(service, workload, batch_size=1)
+
+    print(
+        f"replayed {workload.n_requests} requests "
+        f"({len(workload.matrices)} matrices, "
+        f"tenants {', '.join(tenants) if tenants else 'default'}) "
+        f"on {device.name}"
+        + (f"; injected {injector.faults_fired} "
+           f"x {args.fault_delay_ms:.0f}ms solve delay" if injector else "")
+    )
+    print()
+    print(engine.render())
+
+    alerts = list(sink.alerts)
+    print(f"\nalerts fired: {len(alerts)}")
+    for alert in alerts:
+        print("  " + alert.render())
+
+    incidents = list(recorder.incidents)
+    print(f"\nincidents dumped: {len(incidents)}")
+    for inc in incidents:
+        where = f" -> {inc.path}" if inc.path else ""
+        print(f"  #{inc.incident_id} {inc.reason} "
+              f"(trace {inc.trace_id}, {len(inc.frames)} frames){where}")
+
+    # Resolve the breached bucket's exemplar back to its span tree: the
+    # histogram keeps one trace id per latency bucket, so the bucket
+    # above the objective names a concrete offending request.
+    shown = False
+    m = obs.serve_metrics
+    hist = m.request_latency if args.latency == "wall" else m.sim_latency
+    for alert in alerts:
+        check = [alert.tenant] if alert.tenant else \
+            sorted({workload.tenant_of(i) for i in range(workload.n_requests)})
+        for tenant in check:
+            for le, e in sorted(hist.exemplars(tenant=tenant).items()):
+                if e["value"] > alert.objective_s:
+                    print(f"\nexemplar for breached bucket "
+                          f"le={le:g} (tenant {tenant}): trace "
+                          f"{e['exemplar']} at {e['value'] * 1e3:.2f} ms")
+                    print(obs.tracer.render_tree(
+                        trace_id=int(e["exemplar"])))
+                    shown = True
+                    break
+            if shown:
+                break
+        if shown:
+            break
+
+    if args.expect_alert and not alerts:
+        print("EXPECTED AN ALERT: no policy fired", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_incidents(args) -> int:
+    from repro.obs import FlightRecorder
+
+    try:
+        incidents = FlightRecorder.load_incidents(args.dir)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"could not read incidents from {args.dir!r}: {exc}")
+    if not incidents:
+        print(f"no incidents under {args.dir}")
+        return 0
+    if args.show is not None:
+        by_id = {inc.incident_id: inc for inc in incidents}
+        if args.show not in by_id:
+            raise SystemExit(
+                f"no incident #{args.show} under {args.dir} "
+                f"(have {sorted(by_id)})"
+            )
+        print(by_id[args.show].render(last=args.frames))
+        return 0
+    print(f"{len(incidents)} incidents under {args.dir}")
+    for inc in incidents:
+        trace = inc.trace_id if inc.trace_id is not None else "-"
+        print(f"  #{inc.incident_id:<4d} {inc.reason:24s} trace {trace!s:8s} "
+              f"{len(inc.frames)} frames of {inc.total_recorded} recorded")
+    return 0
+
+
 def cmd_calibrate(args) -> int:
     from repro.core.calibrate import run_calibration
 
@@ -725,6 +870,65 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--scale", type=float, default=0.05)
     sp.add_argument("--seed", type=int, default=0)
     sp.set_defaults(fn=cmd_store)
+
+    p = sub.add_parser(
+        "slo",
+        help="replay a workload under SLO policies; print burn rates, "
+             "alerts, incidents",
+        description="Replay a seeded same-pattern workload through an "
+        "instrumented service with one SLO policy per tenant (or one "
+        "global policy), optionally delaying the first solves with a "
+        "deterministic fault injector so the burn-rate alert fires at a "
+        "known request index.  Prints the per-policy burn-rate table, "
+        "every fired alert, every flight-recorder incident, and resolves "
+        "the breached latency bucket's exemplar back to its span tree.",
+    )
+    p.add_argument("--requests", type=int, default=24, help="stream length")
+    p.add_argument("--patterns", type=int, default=2,
+                   help="distinct sparsity patterns in the workload")
+    p.add_argument("--tenants", default="",
+                   help="comma-separated tenant names, round-robin over "
+                        "the stream (default: single 'default' tenant)")
+    p.add_argument("--objective-ms", type=float, default=50.0,
+                   help="latency objective in milliseconds")
+    p.add_argument("--target", type=float, default=0.9,
+                   help="fraction of windowed requests that must meet it")
+    p.add_argument("--window", type=int, default=16,
+                   help="slow window length in requests")
+    p.add_argument("--fast-window", type=int, default=4,
+                   help="fast window length in requests")
+    p.add_argument("--burn-threshold", type=float, default=1.0)
+    p.add_argument("--latency", default="wall", choices=("wall", "sim"),
+                   help="judge host wall clock or deterministic sim time")
+    p.add_argument("--fault-delay-ms", type=float, default=0.0,
+                   help="inject this solve delay (0 = no injection)")
+    p.add_argument("--max-faults", type=int, default=2,
+                   help="number of delayed solves when injecting")
+    p.add_argument("--ring", type=int, default=256,
+                   help="flight-recorder capacity in frames")
+    p.add_argument("--incident-dir", default="",
+                   help="also write incident dumps as JSONL here")
+    p.add_argument("--alerts-jsonl", default="",
+                   help="append fired alerts as JSON lines here")
+    p.add_argument("--expect-alert", action="store_true",
+                   help="exit non-zero unless at least one alert fired")
+    p.add_argument("--device", default="titan_rtx_scaled",
+                   choices=list(known_devices()))
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_slo)
+
+    p = sub.add_parser(
+        "incidents",
+        help="list or render flight-recorder incident dumps",
+    )
+    p.add_argument("--dir", required=True,
+                   help="directory holding incident-*.jsonl dumps")
+    p.add_argument("--show", type=int, default=None,
+                   help="render this incident id in full")
+    p.add_argument("--frames", type=int, default=10,
+                   help="ring frames to show per rendered incident")
+    p.set_defaults(fn=cmd_incidents)
 
     p = sub.add_parser("calibrate", help="run the Figure 5 sweep")
     p.add_argument("--device", default="titan_rtx_scaled",

@@ -31,9 +31,12 @@ report is a pure function of ``(aux, device, n_rhs)``.
   works on the kernel path.
 
 Observability is preserved by construction: with an active
-:class:`repro.obs.Observability` the compiled plan delegates to
-``plan.solve`` so spans, per-segment profiles and the live traffic
-counters are identical to the uncompiled path; the disabled-obs check
+:class:`repro.obs.Observability` the compiled steps run inside the same
+per-segment spans the plan path emits, with identical profile rows and
+live traffic counters — the per-segment simulated reports are read from
+the frozen captures (valid under the ``pure_report`` contract) instead
+of being rebuilt, so a traced warm solve keeps the compiled numerics
+and pays only for the instrumentation itself.  The disabled-obs check
 remains a single thread-local lookup.
 """
 
@@ -50,6 +53,8 @@ from repro.gpu.report import KernelReport, SolveReport, merge_reports
 from repro.kernels.base import PreparedLower, solve_dtype
 from repro.core.plan import ExecutionPlan, TriSegment
 from repro.obs import runtime as obs_runtime
+from repro.obs.clock import monotonic
+from repro.obs.trace import Span
 
 __all__ = ["CompiledPlan", "compile_plan"]
 
@@ -436,6 +441,8 @@ class CompiledPlan:
         self._dtype_cache: dict = {}
         self._multi_frozen: dict[int, tuple[list[KernelReport], SolveReport]] = {}
         self._multi_lock = threading.Lock()
+        #: instrumentation constants per frozen capture ("s" or RHS width)
+        self._obs_cache: dict = {}
         if not self.pure:
             self._steps = []
             self._frozen = []
@@ -582,10 +589,89 @@ class CompiledPlan:
         )
 
     # -- hot paths ----------------------------------------------------- #
+    def _obs_static(self, key, frozen) -> tuple:
+        """Instrumentation constants for one frozen capture list.
+
+        Everything a traced compiled solve emits except the wall times —
+        span attributes, profile-row templates, per-kernel launch
+        totals, and the live Tables 1-2 traffic sums — is a pure
+        function of (segment layout, frozen reports), so it is computed
+        once per capture and replayed on every warm observed solve.
+        """
+        cached = self._obs_cache.get(key)
+        if cached is not None:
+            return cached
+        rows: list[tuple] = []
+        launch_totals: dict[str, int] = {}
+        live_b = 0
+        live_x = 0
+        for idx, (meta, rep) in enumerate(
+            zip(self.plan._segment_meta(), frozen)
+        ):
+            span_name, kind, seg_rows, cols, nnz, kname, d_b, d_x = meta
+            attrs = {"index": idx, "kernel": kname, "rows": seg_rows,
+                     "nnz": nnz, "sim_time_s": rep.time_s}
+            tmpl = {"index": idx, "kind": kind, "kernel": kname,
+                    "rows": seg_rows, "cols": cols, "nnz": nnz,
+                    "sim_time_s": rep.time_s, "wall_time_s": 0.0,
+                    "launches": rep.launches}
+            rows.append((span_name, attrs, tmpl))
+            launch_totals[kname] = launch_totals.get(kname, 0) + rep.launches
+            live_b += d_b
+            live_x += d_x
+        cached = (rows, launch_totals, live_b, live_x)
+        self._obs_cache[key] = cached
+        return cached
+
+    def _run_steps_observed(
+        self, obs, work, out, scratch, key, frozen, multi: bool
+    ) -> list[dict]:
+        """The compiled step loop under an active observability bundle.
+
+        Emits exactly what ``plan._execute_segments`` emits — one
+        ``segment.*`` span per step, kernel-launch counters, profile
+        rows, and the live Tables 1-2 traffic accounting — but keeps the
+        compiled numerics.  The per-segment simulated reports come from
+        the frozen captures; the ``pure_report`` contract guarantees
+        they equal what a live reporting pass would rebuild.
+
+        Segment spans are leaves, so they skip the context-manager
+        stack machinery: parent/trace resolved once per solve, spans
+        built from the precomputed attrs (shared read-only dicts) with
+        two clock reads around each step, and handed to the tracer in
+        one batched append.
+        """
+        static_rows, launch_totals, live_b, live_x = self._obs_static(key, frozen)
+        tracer = obs.tracer
+        tid, pid, thread = tracer.leaf_context()
+        next_id = tracer.next_span_id
+        profile: list[dict] = []
+        leaves: list[Span] = []
+        for step, (span_name, attrs, tmpl) in zip(self._steps, static_rows):
+            t0 = monotonic()
+            if multi:
+                step.run_multi(work, out, scratch)
+            else:
+                step.run(work, out, scratch)
+            t1 = monotonic()
+            leaves.append(
+                Span(span_name, tid, next_id(), pid, t0, t1, thread, attrs)
+            )
+            row = dict(tmpl)
+            row["wall_time_s"] = t1 - t0
+            profile.append(row)
+        tracer.record_leaves(leaves)
+        inc = obs.serve_metrics.kernel_launches.inc
+        for kname, n in launch_totals.items():
+            inc(n, kernel=kname, device="0")
+        obs_runtime.record_solve_traffic(obs, self.plan, live_b, live_x)
+        return profile
+
     def solve(self, b: np.ndarray) -> tuple[np.ndarray, SolveReport]:
         """One SpTRSV; drop-in for ``plan.solve(b, device)``."""
-        if not self.pure or obs_runtime.active() is not None:
+        if not self.pure:
             return self.plan.solve(b, self.device)
+        obs = obs_runtime.active()
         b = np.asarray(b)
         if b.shape != (self.n,):
             raise ShapeMismatchError(f"b must have shape ({self.n},)")
@@ -606,13 +692,22 @@ class CompiledPlan:
             if self._needs_zero:
                 out.fill(0)
             scratch = arena.scratch
-            for step in self._steps:
-                step.run(work, out, scratch)
+            if obs is None:
+                profile = None
+                for step in self._steps:
+                    step.run(work, out, scratch)
+            else:
+                profile = self._run_steps_observed(
+                    obs, work, out, scratch, "s", self._frozen, multi=False
+                )
             if perm is not None:
                 result[perm] = out
         finally:
             self._pool.release(arena)
-        return result, self._fresh_report(self._merged)
+        report = self._fresh_report(self._merged)
+        if profile is not None:
+            report.profile = profile
+        return result, report
 
     # -- ordered execution (multi-device schedules) -------------------- #
     def _check_order(self, order) -> None:
@@ -626,7 +721,7 @@ class CompiledPlan:
                 f"order must be a permutation of range({len(self._steps)})"
             )
 
-    def solve_ordered(self, b: np.ndarray, order) -> np.ndarray:
+    def solve_ordered(self, b: np.ndarray, order, step_cb=None) -> np.ndarray:
         """Run the compiled steps in ``order`` (a permutation of segment
         indices) and return the solution.
 
@@ -636,6 +731,11 @@ class CompiledPlan:
         :meth:`solve`, so the result is bit-identical to the
         single-device compiled path.  No report is built — a sharded
         schedule times itself.
+
+        ``step_cb(idx, t0_s, t1_s)``, when given, is called after each
+        step with its segment index and wall-clock bounds — how the
+        sharded executor emits per-segment spans without giving up the
+        compiled numerics.
         """
         self._check_order(order)
         b = np.asarray(b)
@@ -659,15 +759,21 @@ class CompiledPlan:
                 out.fill(0)
             scratch = arena.scratch
             steps = self._steps
-            for idx in order:
-                steps[idx].run(work, out, scratch)
+            if step_cb is None:
+                for idx in order:
+                    steps[idx].run(work, out, scratch)
+            else:
+                for idx in order:
+                    t0 = monotonic()
+                    steps[idx].run(work, out, scratch)
+                    step_cb(idx, t0, monotonic())
             if perm is not None:
                 result[perm] = out
         finally:
             self._pool.release(arena)
         return result
 
-    def solve_multi_ordered(self, B: np.ndarray, order) -> np.ndarray:
+    def solve_multi_ordered(self, B: np.ndarray, order, step_cb=None) -> np.ndarray:
         """Multi-RHS :meth:`solve_ordered`; bit-identical to the frozen
         multi-RHS path of :meth:`solve_multi` for topological orders."""
         self._check_order(order)
@@ -693,8 +799,14 @@ class CompiledPlan:
                 out.fill(0)
             scratch = arena.scratch
             steps = self._steps
-            for idx in order:
-                steps[idx].run_multi(work, out, scratch)
+            if step_cb is None:
+                for idx in order:
+                    steps[idx].run_multi(work, out, scratch)
+            else:
+                for idx in order:
+                    t0 = monotonic()
+                    steps[idx].run_multi(work, out, scratch)
+                    step_cb(idx, t0, monotonic())
             if perm is not None:
                 result[perm] = out
         finally:
@@ -703,8 +815,9 @@ class CompiledPlan:
 
     def solve_multi(self, B: np.ndarray) -> tuple[np.ndarray, SolveReport]:
         """Fused multi-RHS solve; drop-in for ``plan.solve_multi``."""
-        if not self.pure or obs_runtime.active() is not None:
+        if not self.pure:
             return self.plan.solve_multi(B, self.device)
+        obs = obs_runtime.active()
         B = np.asarray(B)
         if B.ndim != 2 or B.shape[0] != self.n:
             raise ShapeMismatchError(f"B must have shape ({self.n}, k)")
@@ -723,21 +836,44 @@ class CompiledPlan:
                 np.copyto(work, B, casting="unsafe")
             result = np.empty((self.n, k), dtype=dtype)
             out = result if perm is None else arena.out
+            profile = None
             frozen = self._multi_frozen.get(k)
             if frozen is None:
+                # First solve at this RHS width: run the kernels'
+                # reporting path once — instrumented when observed, so
+                # the spans/profile of a traced first solve are intact —
+                # and freeze the per-segment reports for later solves.
                 out.fill(0)
-                merged = self._fresh_report(self._capture_multi(work, out))
+                if obs is None:
+                    merged = self._fresh_report(self._capture_multi(work, out))
+                else:
+                    reports, profile = self.plan._execute_segments(
+                        work, out, self.device, multi=True
+                    )
+                    raw = merge_reports(
+                        self.method, reports, n_rhs=k, fused=True
+                    )
+                    with self._multi_lock:
+                        self._multi_frozen.setdefault(k, (reports, raw))
+                    merged = self._fresh_report(raw)
             else:
                 if self._needs_zero:
                     out.fill(0)
                 scratch = arena.scratch
-                for step in self._steps:
-                    step.run_multi(work, out, scratch)
+                if obs is None:
+                    for step in self._steps:
+                        step.run_multi(work, out, scratch)
+                else:
+                    profile = self._run_steps_observed(
+                        obs, work, out, scratch, k, frozen[0], multi=True
+                    )
                 merged = self._fresh_report(frozen[1])
             if perm is not None:
                 result[perm] = out
         finally:
             self._pool.release(arena)
+        if profile is not None:
+            merged.profile = profile
         return result, merged
 
 

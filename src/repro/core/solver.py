@@ -42,7 +42,7 @@ from repro.gpu.report import KernelReport, SolveReport
 from repro.kernels import SPTRSV_KERNELS
 from repro.kernels.base import prepare_lower
 from repro.kernels.sptrsv_serial import SerialKernel
-from repro.obs.runtime import active as obs_active, span as obs_span
+from repro.obs.runtime import span as obs_span
 
 __all__ = [
     "TriangularSolver",
@@ -137,10 +137,9 @@ class PreparedSolve:
 
     def solve(self, b: np.ndarray) -> tuple[np.ndarray, SolveReport]:
         """One SpTRSV: exact solution + simulated timing report."""
-        # Traced solves take the instrumented plan path (identical
-        # spans/profile/traffic counters) and never trigger compilation.
-        if obs_active() is not None:
-            return self.plan.solve(b, self.device)
+        # Traced solves stay on the compiled path: CompiledPlan emits
+        # the same spans/profile/traffic counters as the plan loop while
+        # keeping the compiled numerics (see executor._run_steps_observed).
         compiled = self._compile_quiet()
         if compiled is None:
             return self.plan.solve(b, self.device)
@@ -162,8 +161,6 @@ class PreparedSolve:
             x, rep = self.solve(B)
             return x, rep
         if fused:
-            if obs_active() is not None:
-                return self.plan.solve_multi(B, self.device)
             compiled = self._compile_quiet()
             if compiled is None:
                 return self.plan.solve_multi(B, self.device)

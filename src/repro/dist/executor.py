@@ -13,11 +13,14 @@ Numerics and timing are deliberately decoupled:
   communication events; per-RHS-width timelines are scheduled once and
   cached.
 
-With an active :class:`repro.obs.Observability` the executor takes the
-instrumented path: per-segment spans carry the executing device, the
-live traffic counters are accumulated *per device* (the device-tagged
-families of PR 5), and the schedule's occupancy / critical path /
-transfer volume are exported as gauges.
+With an active :class:`repro.obs.Observability` the executor keeps the
+compiled numerics and instruments the ordered step loop via the
+``step_cb`` hook of :meth:`CompiledPlan.solve_ordered`: per-segment
+spans carry the executing device, the live traffic counters are
+accumulated *per device* (the device-tagged families of PR 5), and the
+schedule's occupancy / critical path / transfer volume are exported as
+gauges.  Only plans that did not compile pure fall back to the
+instrumented plan path.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from repro.gpu.report import SolveReport, merge_reports
 from repro.kernels.base import solve_dtype
 from repro.obs import runtime as obs_runtime
 from repro.obs.clock import monotonic
+from repro.obs.trace import Span
 
 __all__ = ["DistributedPlan"]
 
@@ -272,8 +276,13 @@ class DistributedPlan:
             raise ShapeMismatchError(f"b must have shape ({self.plan.n},)")
         sched, reports = self._schedule_for(0)
         obs = obs_runtime.active()
-        if obs is None and self.compiled is not None and self.compiled.pure:
-            x = self.compiled.solve_ordered(b, sched.order)
+        if self.compiled is not None and self.compiled.pure:
+            if obs is None:
+                x = self.compiled.solve_ordered(b, sched.order)
+            else:
+                x = self._solve_compiled_observed(
+                    b, sched, reports, obs, multi=False
+                )
         else:
             x = self._solve_plan_path(b, sched, obs, multi=False)
         return x, self._report(sched, reports)
@@ -286,11 +295,68 @@ class DistributedPlan:
         k = B.shape[1]
         sched, reports = self._schedule_for(k)
         obs = obs_runtime.active()
-        if obs is None and self.compiled is not None and self.compiled.pure:
-            X = self.compiled.solve_multi_ordered(B, sched.order)
+        if self.compiled is not None and self.compiled.pure:
+            if obs is None:
+                X = self.compiled.solve_multi_ordered(B, sched.order)
+            else:
+                X = self._solve_compiled_observed(
+                    B, sched, reports, obs, multi=True
+                )
         else:
             X = self._solve_plan_path(B, sched, obs, multi=True)
         return X, self._report(sched, reports, n_rhs=k, fused=True)
+
+    def _solve_compiled_observed(
+        self, b, sched: DistSchedule, reports: list, obs, *, multi: bool
+    ):
+        """Schedule-ordered compiled execution under an active bundle.
+
+        Same floating-point operations as the obs-off ordered path —
+        the solution stays bit-identical to the single-device compiled
+        solve — with the per-segment telemetry of the plan path: leaf
+        spans tagged with the executing device, device-tagged kernel
+        launch and live traffic counters, and the schedule gauges.
+        The simulated per-segment reports come from the schedule's
+        (frozen) probe reports rather than a live reporting pass."""
+        plan = self.plan
+        segments = plan.segments
+        assignment = sched.assignment
+        tracer = obs.tracer
+        tid, pid, thread = tracer.leaf_context()
+        next_id = tracer.next_span_id
+        leaves: list[Span] = []
+        launch_totals: dict[tuple, int] = {}
+        live_b = [0] * sched.n_devices
+        live_x = [0] * sched.n_devices
+
+        def step_cb(idx: int, t0: float, t1: float) -> None:
+            seg = segments[idx]
+            dev = assignment[idx]
+            tri = isinstance(seg, TriSegment)
+            rep = reports[idx]
+            leaves.append(Span(
+                "segment.tri" if tri else "segment.spmv",
+                tid, next_id(), pid, t0, t1, thread,
+                {"index": idx, "kernel": seg.kernel.name, "device": dev,
+                 "nnz": seg.nnz, "sim_time_s": rep.time_s,
+                 "wall_time_s": t1 - t0},
+            ))
+            key = (seg.kernel.name, dev)
+            launch_totals[key] = launch_totals.get(key, 0) + rep.launches
+            live_b[dev] += seg.n_rows
+            if not tri:
+                live_x[dev] += seg.n_cols
+
+        if multi:
+            x = self.compiled.solve_multi_ordered(b, sched.order, step_cb)
+        else:
+            x = self.compiled.solve_ordered(b, sched.order, step_cb)
+        tracer.record_leaves(leaves)
+        inc = obs.serve_metrics.kernel_launches.inc
+        for (kname, dev), n in launch_totals.items():
+            inc(n, kernel=kname, device=str(dev))
+        obs_runtime.record_dist_solve(obs, plan, sched, live_b, live_x)
+        return x
 
     def _solve_plan_path(self, b, sched: DistSchedule, obs, *, multi: bool):
         """Schedule-ordered execution through the plan's own segments —

@@ -9,7 +9,14 @@ Three pieces, composable and test-isolated:
 * :mod:`repro.obs.metrics` — counters/gauges/histograms in per-instance
   registries (no process globals), including the live §3.2 traffic
   counters cross-checked against ``analysis.traffic.measured_traffic``;
-* :mod:`repro.obs.export` — JSON and Prometheus text exporters.
+* :mod:`repro.obs.export` — JSON and Prometheus text exporters, with
+  OpenMetrics exemplars on histogram buckets;
+* :mod:`repro.obs.slo` / :mod:`repro.obs.alerts` — per-tenant latency
+  objectives with multi-window burn-rate alerting into a deterministic
+  :class:`AlertSink`;
+* :mod:`repro.obs.recorder` — an always-on flight-recorder ring of
+  compact per-request frames, dumped to JSONL incidents on SLO breach
+  or fault-injector trips.
 
 Instrumentation is off by default and near-free when off; enable it via
 ``ServiceConfig(obs=Observability())`` on the serving layer or
@@ -18,6 +25,7 @@ Instrumentation is off by default and near-free when off; enable it via
 ``repro trace`` and ``repro stats`` CLI commands.
 """
 
+from repro.obs.alerts import AlertSink, SLOAlert
 from repro.obs.clock import monotonic
 from repro.obs.export import metrics_to_dict, to_prometheus
 from repro.obs.metrics import (
@@ -26,8 +34,11 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    MICRO_TIME_BUCKETS,
 )
+from repro.obs.recorder import FRAME_FIELDS, FlightRecorder, Incident
 from repro.obs.runtime import Observability, ServeMetrics, active, span
+from repro.obs.slo import SLOEngine, SLOPolicy
 from repro.obs.trace import SPAN_SCHEMA_FIELDS, Span, Tracer
 
 __all__ = [
@@ -40,10 +51,18 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
+    "MICRO_TIME_BUCKETS",
     "Observability",
     "ServeMetrics",
     "active",
     "span",
     "metrics_to_dict",
     "to_prometheus",
+    "SLOPolicy",
+    "SLOEngine",
+    "SLOAlert",
+    "AlertSink",
+    "FlightRecorder",
+    "Incident",
+    "FRAME_FIELDS",
 ]

@@ -1,0 +1,113 @@
+"""Deterministic alert delivery for the SLO engine.
+
+Production alerting pipelines are asynchronous and lossy; this one is
+neither, on purpose.  An :class:`AlertSink` delivers every
+:class:`SLOAlert` synchronously on the thread that completed the
+triggering request, in order, to three destinations at once: an
+in-memory list (``sink.alerts``, what tests assert on), an optional
+callback, and an optional JSON-lines file.  Because the
+:class:`~repro.obs.slo.SLOEngine` evaluates policies per completed
+request on request-count windows, a seeded workload fires its alerts at
+*exact request indices* — the property the acceptance test pins down.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["AlertSink", "SLOAlert"]
+
+
+@dataclass(frozen=True)
+class SLOAlert:
+    """One burn-rate alert: a policy's fast *and* slow windows both
+    exceeded the burn threshold."""
+
+    #: name of the :class:`~repro.obs.slo.SLOPolicy` that fired
+    policy: str
+    #: tenant the policy watches (None = all tenants)
+    tenant: str | None
+    #: engine-global completed-request index at fire time (1-based)
+    seq: int
+    #: policy-local count of matching requests seen at fire time
+    n_observed: int
+    fast_burn: float
+    slow_burn: float
+    #: fraction of the slow window's error budget still unspent
+    budget_remaining: float
+    #: latency of the request that tipped the windows over
+    latency_s: float
+    objective_s: float
+    #: trace id of the most recent breaching request (None when the
+    #: request ran without a tracer span)
+    trace_id: int | None = None
+    detail: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        out = {
+            "policy": self.policy,
+            "tenant": self.tenant,
+            "seq": self.seq,
+            "n_observed": self.n_observed,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+            "budget_remaining": self.budget_remaining,
+            "latency_s": self.latency_s,
+            "objective_s": self.objective_s,
+            "trace_id": self.trace_id,
+        }
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+    def render(self) -> str:
+        tenant = self.tenant if self.tenant is not None else "*"
+        trace = self.trace_id if self.trace_id is not None else "-"
+        return (
+            f"ALERT {self.policy} (tenant {tenant}) at request {self.seq}: "
+            f"burn fast {self.fast_burn:.2f} / slow {self.slow_burn:.2f}, "
+            f"budget {self.budget_remaining:.0%} remaining, "
+            f"latency {self.latency_s * 1e3:.2f} ms "
+            f"(objective {self.objective_s * 1e3:.2f} ms), trace {trace}"
+        )
+
+
+class AlertSink:
+    """Synchronous, ordered fan-out for :class:`SLOAlert` objects.
+
+    Parameters
+    ----------
+    callback:
+        Called with each alert after it is appended to :attr:`alerts`.
+        Exceptions propagate to the emitting thread — a test callback
+        that raises *should* fail the test.
+    jsonl_path:
+        Append each alert as one JSON object per line.  The file is
+        opened per emit and flushed, so a crashed process leaves every
+        delivered alert on disk.
+    """
+
+    def __init__(self, callback=None, jsonl_path=None) -> None:
+        self.callback = callback
+        self.jsonl_path = str(jsonl_path) if jsonl_path is not None else None
+        self.alerts: list[SLOAlert] = []
+        self._lock = threading.Lock()
+
+    def emit(self, alert: SLOAlert) -> None:
+        with self._lock:
+            self.alerts.append(alert)
+            if self.jsonl_path is not None:
+                with open(self.jsonl_path, "a") as fh:
+                    fh.write(json.dumps(alert.as_dict()) + "\n")
+        if self.callback is not None:
+            self.callback(alert)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.alerts.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.alerts)

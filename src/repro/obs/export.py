@@ -5,6 +5,18 @@ The Prometheus output follows the text exposition format version 0.0.4:
 histograms expanded to cumulative ``_bucket{le=...}`` samples plus
 ``_sum`` and ``_count``.  ``tests/test_obs_metrics.py`` re-parses the
 output with a minimal independent parser to keep the format honest.
+
+Hardening contract (regression-tested against that parser):
+
+* label values escape ``\\``, ``"`` and newline; HELP text escapes only
+  ``\\`` and newline (quotes are legal there, per the format spec);
+* *every* histogram series — including an unlabelled family that was
+  never observed — exposes its full ``_bucket`` ladder up to ``+Inf``
+  plus ``_sum`` and ``_count``, so dashboards never see a family
+  flicker in and out of existence;
+* bucket samples carry their retained exemplar as an OpenMetrics-style
+  ``# {trace_id="..."} value`` suffix (disable with
+  ``to_prometheus(..., exemplars=False)`` for strict 0.0.4 consumers).
 """
 
 from __future__ import annotations
@@ -28,7 +40,7 @@ def metrics_to_dict(registry: MetricsRegistry) -> dict:
             ]
         elif isinstance(metric, Histogram):
             series = []
-            for labels in metric.series_keys():
+            for labels in _histogram_series(metric):
                 snap = metric.snapshot(**labels)
                 series.append({
                     "labels": labels,
@@ -38,10 +50,23 @@ def metrics_to_dict(registry: MetricsRegistry) -> dict:
                     },
                     "sum": snap["sum"],
                     "count": snap["count"],
+                    "exemplars": {
+                        _le(bound): ex
+                        for bound, ex in metric.exemplars(**labels).items()
+                    },
                 })
             entry["series"] = series
         out[metric.name] = entry
     return out
+
+
+def _histogram_series(metric: Histogram) -> list[dict]:
+    """Observed series keys — plus the one empty series an unlabelled
+    histogram always exposes (zero buckets beat a vanishing family)."""
+    keys = metric.series_keys()
+    if not keys and not metric.labelnames:
+        return [{}]
+    return keys
 
 
 def _le(bound: float) -> str:
@@ -57,6 +82,12 @@ def _escape(value: str) -> str:
         .replace('"', '\\"')
         .replace("\n", "\\n")
     )
+
+
+def _escape_help(value: str) -> str:
+    # HELP lines escape backslash and newline only; a double quote is a
+    # legal character there and escaping it corrupts the help text.
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _labelstr(labels: dict, extra: dict | None = None) -> str:
@@ -77,12 +108,17 @@ def _num(value: float) -> str:
     return repr(float(value))
 
 
-def to_prometheus(registry: MetricsRegistry) -> str:
-    """The registry in Prometheus text exposition format."""
+def to_prometheus(registry: MetricsRegistry, *, exemplars: bool = True) -> str:
+    """The registry in Prometheus text exposition format.
+
+    ``exemplars=True`` (default) appends each bucket's retained exemplar
+    as an OpenMetrics ``# {trace_id="..."} value`` suffix; pass ``False``
+    for consumers that reject anything beyond strict 0.0.4.
+    """
     lines: list[str] = []
     for metric in registry.collect():
         if metric.help:
-            lines.append(f"# HELP {metric.name} {_escape(metric.help)}")
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         if isinstance(metric, (Counter, Gauge)):
             samples = metric.samples()
@@ -91,11 +127,19 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             for labels, value in samples:
                 lines.append(f"{metric.name}{_labelstr(labels)} {_num(value)}")
         elif isinstance(metric, Histogram):
-            for labels in metric.series_keys():
+            for labels in _histogram_series(metric):
                 snap = metric.snapshot(**labels)
+                ex = metric.exemplars(**labels) if exemplars else {}
                 for bound, count in snap["buckets"].items():
                     ls = _labelstr(labels, {"le": _le(bound)})
-                    lines.append(f"{metric.name}_bucket{ls} {count}")
+                    suffix = ""
+                    e = ex.get(bound)
+                    if e is not None:
+                        suffix = (
+                            f' # {{trace_id="{_escape(e["exemplar"])}"}}'
+                            f' {_num(e["value"])}'
+                        )
+                    lines.append(f"{metric.name}_bucket{ls} {count}{suffix}")
                 lines.append(
                     f"{metric.name}_sum{_labelstr(labels)} {_num(snap['sum'])}"
                 )

@@ -27,6 +27,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
+    "MICRO_TIME_BUCKETS",
 ]
 
 #: fixed latency buckets in seconds, spanning sub-µs simulated kernels
@@ -34,6 +35,20 @@ __all__ = [
 DEFAULT_TIME_BUCKETS = (
     1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
     1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+#: microsecond-resolution preset for solve/segment timings: the
+#: simulated solve latencies of the suite land between ~10 µs and ~5 ms,
+#: where :data:`DEFAULT_TIME_BUCKETS` offers only two bounds per decade.
+#: Wall-clock families (request latency, queue wait) keep the default
+#: preset; simulated-time families use this one.
+MICRO_TIME_BUCKETS = (
+    1e-7, 2.5e-7, 5e-7,
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 5e-2, 0.1, 1.0,
 )
 
 
@@ -49,12 +64,19 @@ class _Metric:
         self._lock = threading.Lock()
 
     def _key(self, labels: dict) -> tuple:
-        if set(labels) != set(self.labelnames):
-            raise ValueError(
-                f"metric {self.name!r} takes labels {self.labelnames}, "
-                f"got {tuple(sorted(labels))}"
-            )
-        return tuple(str(labels[ln]) for ln in self.labelnames)
+        # Hot path: every inc/observe builds a key.  A matching length
+        # plus one successful lookup per labelname proves set equality
+        # without materialising two sets per call.
+        names = self.labelnames
+        if len(labels) == len(names):
+            try:
+                return tuple([str(labels[ln]) for ln in names])
+            except KeyError:
+                pass
+        raise ValueError(
+            f"metric {self.name!r} takes labels {self.labelnames}, "
+            f"got {tuple(sorted(labels))}"
+        )
 
 
 class Counter(_Metric):
@@ -120,7 +142,15 @@ class Gauge(_Metric):
 
 
 class Histogram(_Metric):
-    """Fixed-bucket distribution; exports cumulative Prometheus buckets."""
+    """Fixed-bucket distribution; exports cumulative Prometheus buckets.
+
+    ``observe(..., exemplar=...)`` retains one exemplar per bucket (last
+    write wins): a short opaque reference — in this code base always a
+    span ``trace_id`` — that lets a reader jump from "the p99 bucket"
+    to the exact trace that landed there.  Exemplars ride along in both
+    exporters (OpenMetrics ``# {trace_id="..."} value`` suffix on bucket
+    samples, an ``exemplars`` map in the JSON form).
+    """
 
     kind = "histogram"
 
@@ -136,10 +166,11 @@ class Histogram(_Metric):
         if not bl:
             raise ValueError("histogram needs at least one bucket bound")
         self.buckets = bl
-        #: per label key: (per-bucket counts incl. +Inf, sum, count)
+        #: per label key: [per-bucket counts incl. +Inf, sum, count,
+        #: per-bucket exemplar (trace ref, observed value) or None]
         self._series: dict[tuple, list] = {}
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, exemplar=None, **labels) -> None:
         key = self._key(labels)
         idx = bisect_left(self.buckets, value)
         with self._lock:
@@ -147,10 +178,30 @@ class Histogram(_Metric):
             if series is None:
                 series = self._series[key] = [
                     [0] * (len(self.buckets) + 1), 0.0, 0,
+                    [None] * (len(self.buckets) + 1),
                 ]
             series[0][idx] += 1
             series[1] += value
             series[2] += 1
+            if exemplar is not None:
+                series[3][idx] = (str(exemplar), value)
+
+    def exemplars(self, **labels) -> dict:
+        """``{le_bound: {"exemplar": ref, "value": v}}`` for buckets that
+        retained one (``le_bound`` is the bucket's upper bound; the
+        overflow bucket appears as ``inf``)."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return {}
+            stored = list(series[3])
+        bounds = list(self.buckets) + [float("inf")]
+        return {
+            bound: {"exemplar": ex[0], "value": ex[1]}
+            for bound, ex in zip(bounds, stored)
+            if ex is not None
+        }
 
     def snapshot(self, **labels) -> dict:
         """``{"buckets": {le: cumulative}, "sum": s, "count": n}``."""

@@ -1,0 +1,257 @@
+"""Always-on flight recorder: the last N requests, ready for post-mortem.
+
+Traces answer "what happened inside request X"; the flight recorder
+answers "what were the last few hundred requests *before* things went
+wrong".  It is a fixed-capacity ring of compact per-request frames —
+plain tuples of scalars (fingerprint, tenant, queue wait, segment
+profile digest, outcome, trace id) — recorded unconditionally on every
+completed request.  Steady-state cost is one lock acquisition and one
+slot assignment; the ring is allocated once, so a service that runs for
+weeks allocates nothing further.
+
+When something *does* go wrong — an SLO burn-rate alert, a
+fault-injector incident, a timeout — ``dump(reason, ...)`` freezes the
+ring into an :class:`Incident`: an ordered JSONL artifact (one frame
+per line, preceded by a header line) written under ``incident_dir``.
+``repro incidents`` lists and renders them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["FRAME_FIELDS", "FlightRecorder", "Incident"]
+
+#: the scalar fields of one ring frame, in storage order.
+FRAME_FIELDS = (
+    "seq",          # recorder-global 1-based completion index
+    "tenant",
+    "fingerprint",  # matrix/plan fingerprint (pattern digest)
+    "method",
+    "queue_wait_s",
+    "wall_s",
+    "sim_s",
+    "digest",       # compact segment-profile digest, e.g. "12l/3k"
+    "outcome",      # ok | error | timeout | rejected
+    "trace_id",
+)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One frozen snapshot of the recorder ring."""
+
+    #: incident ordinal within this recorder (1-based)
+    incident_id: int
+    #: why the dump happened, e.g. ``slo:p99-default`` or ``timeout``
+    reason: str
+    #: trace id of the triggering request, when known
+    trace_id: int | None
+    #: total requests the recorder had seen at dump time
+    total_recorded: int
+    #: ring frames oldest-first, each a dict over :data:`FRAME_FIELDS`
+    frames: tuple = ()
+    detail: dict = field(default_factory=dict)
+    #: where the JSONL artifact was written (None for in-memory dumps)
+    path: str | None = None
+
+    def header(self) -> dict:
+        out = {
+            "incident_id": self.incident_id,
+            "reason": self.reason,
+            "trace_id": self.trace_id,
+            "total_recorded": self.total_recorded,
+            "n_frames": len(self.frames),
+        }
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps({"incident": self.header()})]
+        lines.extend(json.dumps(dict(f)) for f in self.frames)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str, path: str | None = None) -> "Incident":
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            raise ValueError("empty incident file")
+        head = json.loads(lines[0])
+        if "incident" not in head:
+            raise ValueError("incident file missing header line")
+        head = head["incident"]
+        frames = tuple(json.loads(ln) for ln in lines[1:])
+        return cls(
+            incident_id=head["incident_id"],
+            reason=head["reason"],
+            trace_id=head.get("trace_id"),
+            total_recorded=head["total_recorded"],
+            frames=frames,
+            detail=head.get("detail", {}),
+            path=path,
+        )
+
+    def render(self, last: int = 10) -> str:
+        trace = self.trace_id if self.trace_id is not None else "-"
+        lines = [
+            f"incident #{self.incident_id}: {self.reason} "
+            f"(trace {trace}, {len(self.frames)} frames of "
+            f"{self.total_recorded} recorded)"
+        ]
+        shown = self.frames[-last:] if last else self.frames
+        if len(shown) < len(self.frames):
+            lines.append(f"  ... {len(self.frames) - len(shown)} older frames")
+        for f in shown:
+            mark = ">>" if f.get("trace_id") == self.trace_id else "  "
+            wait = f.get("queue_wait_s") or 0.0
+            lines.append(
+                f"{mark} #{f['seq']:<5d} {f.get('tenant') or '-':10s} "
+                f"{f.get('outcome') or '?':8s} "
+                f"wall {(f.get('wall_s') or 0.0) * 1e3:8.2f}ms "
+                f"wait {wait * 1e3:6.2f}ms {f.get('method') or '-':10s} "
+                f"{f.get('digest') or '-':10s} trace {f.get('trace_id')}"
+            )
+        return "\n".join(lines)
+
+
+class FlightRecorder:
+    """Lock-cheap ring buffer of per-request frames.
+
+    Parameters
+    ----------
+    capacity:
+        Frames retained; older frames are overwritten in place.
+    incident_dir:
+        When set, every :meth:`dump` also writes
+        ``incident-NNNN-<reason>.jsonl`` under this directory
+        (created on first dump).
+    max_incidents:
+        Hard cap on dumps kept (in memory and on disk) so a flapping
+        alert cannot fill the disk; once reached, further dumps are
+        counted but dropped.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        incident_dir=None,
+        max_incidents: int = 64,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_incidents < 1:
+            raise ValueError(f"max_incidents must be >= 1, got {max_incidents}")
+        self.capacity = capacity
+        self.incident_dir = (
+            Path(incident_dir) if incident_dir is not None else None
+        )
+        self.max_incidents = max_incidents
+        self._ring: list = [None] * capacity
+        self._seq = 0
+        self._lock = threading.Lock()
+        self.incidents: list[Incident] = []
+        self._dropped_incidents = 0
+
+    def record(
+        self,
+        *,
+        tenant: str = "default",
+        fingerprint: str | None = None,
+        method: str | None = None,
+        queue_wait_s: float | None = None,
+        wall_s: float = 0.0,
+        sim_s: float = 0.0,
+        digest: str | None = None,
+        outcome: str = "ok",
+        trace_id: int | None = None,
+    ) -> int:
+        """Append one frame; returns its recorder-global sequence number."""
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            self._ring[(seq - 1) % self.capacity] = (
+                seq, tenant, fingerprint, method, queue_wait_s,
+                wall_s, sim_s, digest, outcome, trace_id,
+            )
+        return seq
+
+    @property
+    def total_recorded(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return min(self._seq, self.capacity)
+
+    def frames(self) -> list[dict]:
+        """Retained frames oldest-first, as dicts over FRAME_FIELDS."""
+        with self._lock:
+            seq = self._seq
+            ring = list(self._ring)
+        if seq <= self.capacity:
+            raw = ring[:seq]
+        else:
+            split = seq % self.capacity
+            raw = ring[split:] + ring[:split]
+        return [dict(zip(FRAME_FIELDS, f)) for f in raw if f is not None]
+
+    def dump(
+        self,
+        reason: str,
+        trace_id: int | None = None,
+        detail: dict | None = None,
+    ) -> Incident | None:
+        """Freeze the ring into an :class:`Incident`.
+
+        Returns the incident, or ``None`` once ``max_incidents`` dumps
+        exist (the drop is counted in :attr:`dropped_incidents`).
+        """
+        frames = tuple(self.frames())
+        with self._lock:
+            if len(self.incidents) >= self.max_incidents:
+                self._dropped_incidents += 1
+                return None
+            incident_id = len(self.incidents) + 1
+            total = self._seq
+        path = None
+        if self.incident_dir is not None:
+            safe = "".join(
+                c if c.isalnum() or c in "-_." else "-" for c in reason
+            )
+            self.incident_dir.mkdir(parents=True, exist_ok=True)
+            path = str(
+                self.incident_dir / f"incident-{incident_id:04d}-{safe}.jsonl"
+            )
+        incident = Incident(
+            incident_id=incident_id,
+            reason=reason,
+            trace_id=trace_id,
+            total_recorded=total,
+            frames=frames,
+            detail=dict(detail) if detail else {},
+            path=path,
+        )
+        if path is not None:
+            Path(path).write_text(incident.to_jsonl())
+        with self._lock:
+            self.incidents.append(incident)
+        return incident
+
+    @property
+    def dropped_incidents(self) -> int:
+        with self._lock:
+            return self._dropped_incidents
+
+    @staticmethod
+    def load_incidents(directory) -> list[Incident]:
+        """Read every ``incident-*.jsonl`` under ``directory``, sorted."""
+        directory = Path(directory)
+        out = []
+        for p in sorted(directory.glob("incident-*.jsonl")):
+            out.append(Incident.from_jsonl(p.read_text(), path=str(p)))
+        return out

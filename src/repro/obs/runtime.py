@@ -27,7 +27,12 @@ from __future__ import annotations
 
 import threading
 
-from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    MICRO_TIME_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.recorder import FlightRecorder
 from repro.obs.trace import Tracer
 
 __all__ = ["Observability", "ServeMetrics", "active", "span"]
@@ -98,8 +103,9 @@ class ServeMetrics:
     def __init__(self, registry: MetricsRegistry) -> None:
         self.requests_total = registry.counter(
             "repro_requests_total",
-            "requests finished by the serve layer, by terminal status",
-            labelnames=("status",),
+            "requests finished by the serve layer, by terminal status "
+            "and tenant",
+            labelnames=("status", "tenant"),
         )
         self.rejected_total = registry.counter(
             "repro_rejected_total",
@@ -137,17 +143,23 @@ class ServeMetrics:
         )
         self.request_latency = registry.histogram(
             "repro_request_latency_seconds",
-            "host wall-clock per request (queueing + numerics)",
+            "host wall-clock per request (queueing + numerics), per tenant",
+            labelnames=("tenant",),
             buckets=DEFAULT_TIME_BUCKETS,
         )
+        # Simulated latencies live in the µs-to-ms range; the wall-clock
+        # preset has only two bounds per decade there.
         self.sim_latency = registry.histogram(
             "repro_sim_latency_seconds",
-            "simulated end-to-end latency per request (prep if paid + solve)",
-            buckets=DEFAULT_TIME_BUCKETS,
+            "simulated end-to-end latency per request (prep if paid + "
+            "solve), per tenant",
+            labelnames=("tenant",),
+            buckets=MICRO_TIME_BUCKETS,
         )
         self.queue_wait = registry.histogram(
             "repro_queue_wait_seconds",
-            "wall-clock between submission and worker pickup",
+            "wall-clock between submission and worker pickup, per tenant",
+            labelnames=("tenant",),
             buckets=DEFAULT_TIME_BUCKETS,
         )
         self.solves_total = registry.counter(
@@ -239,11 +251,20 @@ class Observability:
         metrics: MetricsRegistry | None = None,
         *,
         max_spans: int = 100_000,
+        slo=None,
+        recorder: FlightRecorder | None = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else Tracer(max_spans=max_spans)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._serve_lock = threading.Lock()
         self._serve: ServeMetrics | None = None
+        #: always-on ring of per-request frames (see repro.obs.recorder)
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        #: optional repro.obs.slo.SLOEngine; binding registers its
+        #: repro_slo_* families on this bundle's registry
+        self.slo = slo
+        if slo is not None:
+            slo.bind(self.metrics)
 
     @property
     def serve_metrics(self) -> ServeMetrics:
@@ -260,6 +281,61 @@ class Observability:
     def activate(self) -> _Activation:
         """Install this bundle on the current thread (re-entrant)."""
         return _Activation(self)
+
+    def note_request(
+        self,
+        *,
+        tenant: str = "default",
+        fingerprint: str | None = None,
+        method: str | None = None,
+        queue_wait_s: float | None = None,
+        wall_s: float = 0.0,
+        sim_s: float = 0.0,
+        digest: str | None = None,
+        outcome: str = "ok",
+        trace_id: int | None = None,
+    ) -> list:
+        """One completed request: record a recorder frame, evaluate SLO
+        policies, and dump the recorder once per fired alert.
+
+        The serve layer calls this for every terminal request outcome;
+        the returned list holds the :class:`~repro.obs.alerts.SLOAlert`
+        objects that fired (usually empty).
+        """
+        self.recorder.record(
+            tenant=tenant,
+            fingerprint=fingerprint,
+            method=method,
+            queue_wait_s=queue_wait_s,
+            wall_s=wall_s,
+            sim_s=sim_s,
+            digest=digest,
+            outcome=outcome,
+            trace_id=trace_id,
+        )
+        if self.slo is None:
+            return []
+        alerts = self.slo.observe(
+            tenant=tenant,
+            wall_s=wall_s,
+            sim_s=sim_s,
+            trace_id=trace_id,
+            ok=outcome == "ok",
+        )
+        for alert in alerts:
+            self.recorder.dump(
+                f"slo:{alert.policy}",
+                trace_id=alert.trace_id,
+                detail=alert.as_dict(),
+            )
+        return alerts
+
+    def note_incident(
+        self, reason: str, trace_id: int | None = None, detail=None
+    ):
+        """Dump the flight recorder for a non-SLO incident (timeout,
+        fault-injector trip, planner error)."""
+        return self.recorder.dump(reason, trace_id=trace_id, detail=detail)
 
     # Convenience exports ------------------------------------------------ #
     def to_prometheus(self) -> str:
@@ -285,19 +361,30 @@ def record_solve_traffic(
     ``device`` tags the executing queue; single-device solves keep the
     stable label ``"0"``.
     """
-    from repro.analysis.traffic import measured_traffic, predicted_traffic
-
     m = obs.serve_metrics
     method = plan.method
     m.solves_total.inc(method=method)
     m.b_writes.inc(live_b, method=method, device=device)
     m.x_loads.inc(live_x, method=method, device=device)
-    measured_b, measured_x = measured_traffic(plan)
+    # Both accountings are pure functions of the plan layout, which is
+    # frozen after build — compute them once per (cached, reused) plan
+    # instead of re-walking every segment on every warm solve.  The live
+    # counters accumulated by the execution loop still cross-check
+    # against them each solve.
+    cached = getattr(plan, "_traffic_cache", None)
+    if cached is None:
+        from repro.analysis.traffic import measured_traffic, predicted_traffic
+
+        cached = (measured_traffic(plan), predicted_traffic(plan))
+        try:
+            plan._traffic_cache = cached
+        except AttributeError:
+            pass  # slots/frozen plan stand-ins: recompute per solve
+    (measured_b, measured_x), predicted = cached
     m.traffic_measured.set(measured_b, method=method, table="b_writes")
     m.traffic_measured.set(measured_x, method=method, table="x_loads")
     if (live_b, live_x) != (measured_b, measured_x):
         m.traffic_mismatch.inc(method=method)
-    predicted = predicted_traffic(plan)
     if predicted is not None:
         m.traffic_predicted.set(predicted[0], method=method, table="b_writes")
         m.traffic_predicted.set(predicted[1], method=method, table="x_loads")

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import threading
 from dataclasses import dataclass, field
+from itertools import count
 
 from repro.obs.clock import monotonic
 
@@ -39,7 +40,7 @@ SPAN_SCHEMA_FIELDS = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One timed operation; part of a per-request tree."""
 
@@ -113,43 +114,46 @@ class Tracer:
         self._tls = threading.local()
         self._lock = threading.Lock()
         self._finished: list[Span] = []
-        self._next_id = 1
-        self._next_trace = 1
+        # itertools.count.__next__ is atomic under the GIL, so span and
+        # trace ids need no lock — this runs once per span on the solve
+        # hot path.
+        self._span_ids = count(1)
+        self._trace_ids = count(1)
         self.dropped = 0
 
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
     def _stack(self) -> list[Span]:
-        stack = getattr(self._tls, "stack", None)
+        tls = self._tls
+        stack = getattr(tls, "stack", None)
         if stack is None:
-            stack = self._tls.stack = []
+            stack = tls.stack = []
+            # The thread name never changes for our worker threads;
+            # resolving it once per thread keeps it off the span path.
+            tls.thread_name = threading.current_thread().name
         return stack
-
-    def _ids(self, new_trace: bool) -> tuple[int, int | None]:
-        with self._lock:
-            sid = self._next_id
-            self._next_id += 1
-            if new_trace:
-                tid = self._next_trace
-                self._next_trace += 1
-                return sid, tid
-            return sid, None
 
     def span(self, name: str, **attrs) -> _OpenSpan:
         """Open a span as a child of this thread's innermost open span
         (a new root/trace when none is open).  Use as a context manager."""
         stack = self._stack()
-        parent = stack[-1] if stack else None
-        sid, tid = self._ids(new_trace=parent is None)
+        if stack:
+            parent = stack[-1]
+            tid = parent.trace_id
+            pid = parent.span_id
+        else:
+            tid = next(self._trace_ids)
+            pid = None
         span = Span(
-            name=name,
-            trace_id=parent.trace_id if parent is not None else tid,
-            span_id=sid,
-            parent_id=parent.span_id if parent is not None else None,
-            start_s=monotonic(),
-            thread=threading.current_thread().name,
-            attrs=attrs,
+            name,
+            tid,
+            next(self._span_ids),
+            pid,
+            monotonic(),
+            0.0,
+            self._tls.thread_name,
+            attrs,
         )
         stack.append(span)
         return _OpenSpan(self, span)
@@ -157,17 +161,54 @@ class Tracer:
     def _finish(self, span: Span) -> None:
         span.end_s = monotonic()
         stack = self._stack()
-        # Pop through anything the body leaked (it cannot happen with
-        # context-managed children, but stay robust to misuse).
-        while stack and stack[-1] is not span:
-            stack.pop()
         if stack:
-            stack.pop()
+            if stack[-1] is span:
+                stack.pop()
+            else:
+                # Pop through anything the body leaked (it cannot happen
+                # with context-managed children, but stay robust to misuse).
+                while stack and stack[-1] is not span:
+                    stack.pop()
+                if stack:
+                    stack.pop()
         with self._lock:
             if len(self._finished) >= self.max_spans:
                 self.dropped += 1
             else:
                 self._finished.append(span)
+
+    def leaf_context(self) -> tuple[int, int | None, str]:
+        """``(trace_id, parent_id, thread)`` for leaf spans of the
+        current open span.
+
+        The compiled executor's observed loop emits one leaf per
+        segment; resolving the parent once per solve instead of once
+        per span (and skipping the open-span stack entirely — leaves
+        cannot have children) is what keeps full-fidelity tracing
+        inside the serve path's overhead budget."""
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+            return parent.trace_id, parent.span_id, self._tls.thread_name
+        return next(self._trace_ids), None, self._tls.thread_name
+
+    def record_leaves(self, spans: list[Span]) -> None:
+        """Append pre-built finished spans under one lock acquisition.
+
+        Callers construct the :class:`Span` objects themselves (ids from
+        :meth:`next_span_id`, context from :meth:`leaf_context`); the
+        ``max_spans`` cap and drop accounting match :meth:`_finish`."""
+        with self._lock:
+            room = self.max_spans - len(self._finished)
+            if room >= len(spans):
+                self._finished.extend(spans)
+            else:
+                if room > 0:
+                    self._finished.extend(spans[:room])
+                self.dropped += len(spans) - max(0, room)
+
+    def next_span_id(self) -> int:
+        return next(self._span_ids)
 
     def record_span(
         self, name: str, start_s: float, end_s: float, **attrs
@@ -175,17 +216,22 @@ class Tracer:
         """Attach an already-timed interval (e.g. queue wait measured
         between two threads) as a completed child of the current span."""
         stack = self._stack()
-        parent = stack[-1] if stack else None
-        sid, tid = self._ids(new_trace=parent is None)
+        if stack:
+            parent = stack[-1]
+            tid = parent.trace_id
+            pid = parent.span_id
+        else:
+            tid = next(self._trace_ids)
+            pid = None
         span = Span(
-            name=name,
-            trace_id=parent.trace_id if parent is not None else tid,
-            span_id=sid,
-            parent_id=parent.span_id if parent is not None else None,
-            start_s=start_s,
-            end_s=end_s,
-            thread=threading.current_thread().name,
-            attrs=attrs,
+            name,
+            tid,
+            next(self._span_ids),
+            pid,
+            start_s,
+            end_s,
+            self._tls.thread_name,
+            attrs,
         )
         with self._lock:
             if len(self._finished) >= self.max_spans:
@@ -232,9 +278,14 @@ class Tracer:
             fh.write(json.dumps(s.as_dict()) + "\n")
         return len(spans)
 
-    def render_tree(self) -> str:
-        """ASCII rendering of the span forest, durations in ms."""
+    def render_tree(self, trace_id: int | None = None) -> str:
+        """ASCII rendering of the span forest, durations in ms.
+
+        ``trace_id`` restricts the output to one request's tree — how
+        ``repro slo`` resolves an exemplar back to its trace."""
         spans = self.spans()
+        if trace_id is not None:
+            spans = [s for s in spans if s.trace_id == trace_id]
         children: dict[int | None, list[Span]] = {}
         for s in spans:
             children.setdefault(s.parent_id, []).append(s)

@@ -58,6 +58,8 @@ class BucketInfo:
     fused: bool
     pattern_hit: bool
     wall_time_s: float
+    #: submitting tenant (buckets are tenant-homogeneous by keying)
+    tenant: str = "default"
 
 
 class BatchResult(Sequence):

@@ -98,7 +98,9 @@ class ServiceConfig:
     #: degrade to ``fallback_method`` when the requested planner fails
     fallback: bool = True
     fallback_method: str = "levelset"
-    #: how many request records to keep for stats
+    #: request records retained for stats (a ring: oldest dropped
+    #: first; lifetime outcome counters stay exact past the cap, while
+    #: percentiles describe the retained window — see ServiceStats)
     history_limit: int = 100_000
     #: options forwarded to the default method's constructor
     solver_options: dict = field(default_factory=dict)
@@ -140,6 +142,9 @@ class SolveRequest:
     A: CSRMatrix
     b: np.ndarray
     method: str | None = None
+    #: submitting tenant: flows into spans, request records, the
+    #: ``tenant`` label on serve metrics, and SLO policy matching
+    tenant: str = "default"
 
 
 @dataclass
@@ -167,6 +172,7 @@ class _GroupJob:
     A: CSRMatrix
     bs: list
     method: str | None
+    tenant: str = "default"
     fp: str | None = None
     sfp: str | None = None
     vfp: str | None = None
@@ -346,6 +352,10 @@ class SolveService:
             raise ValueError(
                 f"overlay_capacity must be >= 1, got {cfg.overlay_capacity}"
             )
+        if cfg.history_limit < 1:
+            raise ValueError(
+                f"history_limit must be >= 1, got {cfg.history_limit}"
+            )
         validate_solver_options(cfg.method, cfg.solver_options)
         self.config = cfg
         self.cache = PlanCache(cfg.cache_capacity)
@@ -367,11 +377,34 @@ class SolveService:
         self._admission = threading.BoundedSemaphore(cfg.queue_limit)
         self._records: deque[RequestRecord] = deque(maxlen=cfg.history_limit)
         self._records_lock = threading.Lock()
+        # Lifetime outcome counters: exact past the retention cap, where
+        # the ring above starts dropping its oldest records.
+        self._lifetime = {
+            "requests": 0, "completed": 0, "failed": 0, "timeouts": 0,
+        }
         self._id_lock = threading.Lock()
         self._next_id = 0
         self._rejected = 0
         self._closed = False
         self._fault_injector = fault_injector
+        self._obs = cfg.obs
+
+    @property
+    def observability(self) -> Observability | None:
+        """The bundle currently instrumenting requests (None = off)."""
+        return self._obs
+
+    def set_observability(self, obs: Observability | None) -> None:
+        """Attach, swap, or (with ``None``) detach telemetry live.
+
+        Requests picked up after the call run under ``obs``; in-flight
+        requests finish under the bundle they started with.  Detaching
+        restores the obs-off fast path exactly — no spans, no metric
+        families touched, one thread-local check per instrumentation
+        point — which is what lets a single warmed service A/B its own
+        instrumentation cost (see ``benchmarks/bench_obs_overhead.py``).
+        """
+        self._obs = obs
 
     def install_fault_injector(self, injector) -> None:
         """Install (or, with ``None``, remove) a fault injector.
@@ -423,8 +456,8 @@ class SolveService:
                     self._admission.release()
                 with self._records_lock:
                     self._rejected += 1
-                if self.config.obs is not None:
-                    self.config.obs.serve_metrics.rejected_total.inc()
+                if self._obs is not None:
+                    self._obs.serve_metrics.rejected_total.inc()
                 raise ServiceOverloadedError(
                     f"admission queue full ({self.config.queue_limit} in flight); "
                     "retry later or raise queue_limit"
@@ -445,6 +478,7 @@ class SolveService:
         *,
         method: str | None = None,
         timeout_s: float | None = None,
+        tenant: str = "default",
     ) -> Future:
         """Enqueue one request; the future resolves to a
         :class:`BatchResult` holding one :class:`SolveResult`
@@ -460,7 +494,8 @@ class SolveService:
         rid = self._take_ids(1)[0]
         deadline = self._deadline(timeout_s)
         job = _GroupJob(
-            rids=[rid], A=A, bs=[np.asarray(b)], method=method, positions=[0]
+            rids=[rid], A=A, bs=[np.asarray(b)], method=method,
+            tenant=tenant, positions=[0],
         )
         try:
             return self._pool.submit(
@@ -477,9 +512,12 @@ class SolveService:
         *,
         method: str | None = None,
         timeout_s: float | None = None,
+        tenant: str = "default",
     ) -> SolveResult:
         """Synchronous single solve through the full service path."""
-        return self.submit(A, b, method=method, timeout_s=timeout_s).result()[0]
+        return self.submit(
+            A, b, method=method, timeout_s=timeout_s, tenant=tenant
+        ).result()[0]
 
     def solve_batch(
         self,
@@ -521,18 +559,20 @@ class SolveService:
             fingerprints(r.A, orientation=o) for r, o in zip(reqs, orients)
         ]
         # Bucket by pattern (or by full content when structural batching
-        # is off); coalesce same-content requests into one group each.
+        # is off) and tenant — buckets stay tenant-homogeneous so every
+        # per-bucket observation carries one attribution label;
+        # coalesce same-content requests into one group each.
         buckets: dict[tuple, dict[str, _GroupJob]] = {}
         for pos, (r, (full, sfp, vfp)) in enumerate(zip(reqs, fps)):
             if structural:
-                bkey = (sfp, str(r.A.data.dtype), r.method)
+                bkey = (sfp, str(r.A.data.dtype), r.method, r.tenant)
             else:
-                bkey = (full, None, r.method)
+                bkey = (full, None, r.method, r.tenant)
             groups = buckets.setdefault(bkey, {})
             job = groups.get(full)
             if job is None:
                 job = groups[full] = _GroupJob(
-                    rids=[], A=r.A, bs=[], method=r.method,
+                    rids=[], A=r.A, bs=[], method=r.method, tenant=r.tenant,
                     fp=full, sfp=sfp, vfp=vfp, orient=orients[pos],
                 )
             job.rids.append(ids[pos])
@@ -575,6 +615,14 @@ class SolveService:
     def _record(self, rec: RequestRecord) -> None:
         with self._records_lock:
             self._records.append(rec)
+            life = self._lifetime
+            life["requests"] += 1
+            if rec.timed_out:
+                life["timeouts"] += 1
+            elif rec.error is not None:
+                life["failed"] += 1
+            else:
+                life["completed"] += 1
 
     def _attach_dist(self, prepared, template=None) -> object | None:
         """The sharded executor for ``prepared`` when the service is
@@ -730,7 +778,7 @@ class SolveService:
         """Count values overlays dropped under ``overlay_capacity``."""
         with self._counter_lock:
             self._overlay_evictions += n
-        obs = self.config.obs
+        obs = self._obs
         if obs is not None:
             obs.serve_metrics.overlay_evictions.inc(n)
 
@@ -1029,11 +1077,13 @@ class SolveService:
         t0 = monotonic()
         total = sum(len(j.rids) for j in jobs)
         fused = len(jobs) > 1
-        obs = self.config.obs
+        obs = self._obs
+        tenant = jobs[0].tenant  # buckets are tenant-homogeneous
+        qwait = None if submitted_at is None else max(0.0, t0 - submitted_at)
         try:
             if obs is None:
                 results, errors, pattern_hit = self._run_bucket_inner(
-                    jobs, deadline, t0, None, submitted_at, fused
+                    jobs, deadline, t0, None, submitted_at, fused, qwait
                 )
             else:
                 with obs.activate():
@@ -1041,6 +1091,7 @@ class SolveService:
                         with obs.span(
                             "serve.bucket",
                             method=jobs[0].method or self.config.method,
+                            tenant=tenant,
                             n_groups=len(jobs),
                             n_requests=total,
                         ):
@@ -1049,14 +1100,14 @@ class SolveService:
                                     "serve.queue_wait", submitted_at, t0
                                 )
                                 obs.serve_metrics.queue_wait.observe(
-                                    max(0.0, t0 - submitted_at)
+                                    qwait, tenant=tenant
                                 )
                             results, errors, pattern_hit = self._run_bucket_inner(
-                                jobs, deadline, t0, obs, None, fused
+                                jobs, deadline, t0, obs, None, fused, qwait
                             )
                     else:
                         results, errors, pattern_hit = self._run_bucket_inner(
-                            jobs, deadline, t0, obs, submitted_at, fused
+                            jobs, deadline, t0, obs, submitted_at, fused, qwait
                         )
                     metrics = obs.serve_metrics
                     metrics.batch_bucket_occupancy.observe(float(total))
@@ -1069,6 +1120,7 @@ class SolveService:
         info = BucketInfo(
             structure=jobs[0].sfp if self.config.structural_batching else None,
             method=jobs[0].method or self.config.method,
+            tenant=tenant,
             n_requests=total,
             n_groups=len(jobs),
             n_rhs=sum(
@@ -1090,6 +1142,7 @@ class SolveService:
         obs: Observability | None,
         submitted_at: float | None,
         fused: bool,
+        qwait: float | None = None,
     ):
         """Run the bucket's groups sequentially over the shared pattern
         plan; a failing group doesn't stop the remaining ones."""
@@ -1101,33 +1154,44 @@ class SolveService:
             try:
                 if obs is None:
                     group_results, p_hit = self._run_group_inner(
-                        job, deadline, None, t0, fused, bucket_n
+                        job, deadline, None, t0, fused, bucket_n, qwait
                     )
                 else:
                     metrics = obs.serve_metrics
                     with obs.span(
                         "serve.request",
                         method=job.method or self.config.method,
+                        tenant=job.tenant,
                         coalesced=len(job.rids),
-                    ):
+                    ) as req_span:
                         if submitted_at is not None:
                             obs.tracer.record_span(
                                 "serve.queue_wait", submitted_at, t0
                             )
-                            metrics.queue_wait.observe(max(0.0, t0 - submitted_at))
+                            metrics.queue_wait.observe(
+                                max(0.0, t0 - submitted_at), tenant=job.tenant
+                            )
                             submitted_at = None
                         try:
                             group_results, p_hit = self._run_group_inner(
-                                job, deadline, obs, t0, fused, bucket_n
+                                job, deadline, obs, t0, fused, bucket_n, qwait
                             )
                         except ServiceTimeoutError:
                             metrics.requests_total.inc(
-                                len(job.rids), status="timeout"
+                                len(job.rids), status="timeout",
+                                tenant=job.tenant,
+                            )
+                            self._note_failure(
+                                obs, job, req_span, t0, qwait, "timeout"
                             )
                             raise
                         except Exception:
                             metrics.requests_total.inc(
-                                len(job.rids), status="error"
+                                len(job.rids), status="error",
+                                tenant=job.tenant,
+                            )
+                            self._note_failure(
+                                obs, job, req_span, t0, qwait, "error"
                             )
                             raise
                 results.extend(group_results)
@@ -1135,6 +1199,31 @@ class SolveService:
             except Exception as exc:  # noqa: BLE001 - collected, first re-raised
                 errors.append(exc)
         return results, errors, pattern_hit
+
+    def _note_failure(
+        self,
+        obs: Observability,
+        job: _GroupJob,
+        req_span,
+        t0: float,
+        qwait: float | None,
+        outcome: str,
+    ) -> None:
+        """Feed a failed group to the recorder + SLO engine, then dump
+        the flight recorder for the incident (bounded by its cap)."""
+        wall = monotonic() - t0
+        tid = req_span.trace_id if req_span is not None else None
+        for _ in job.rids:
+            obs.note_request(
+                tenant=job.tenant,
+                fingerprint=job.fp,
+                method=job.method or self.config.method,
+                queue_wait_s=qwait,
+                wall_s=wall,
+                outcome=outcome,
+                trace_id=tid,
+            )
+        obs.note_incident(outcome, trace_id=tid)
 
     def _run_group_inner(
         self,
@@ -1144,6 +1233,7 @@ class SolveService:
         t0: float,
         fused: bool,
         bucket_n: int,
+        qwait: float | None = None,
     ) -> tuple[list[SolveResult], bool]:
         cfg = self.config
         A = job.A
@@ -1156,20 +1246,24 @@ class SolveService:
             job.fp, job.sfp, job.vfp = fingerprints(A, orientation=job.orient)
         fp = job.fp
         ncols = [1 if b.ndim == 1 else b.shape[1] for b in job.bs]
+        trace_id: int | None = None
         if obs is not None:
             current = obs.tracer.current()
             if current is not None:
                 current.set(fingerprint=fp, n=A.n_rows, nnz=A.nnz,
                             n_rhs=sum(ncols))
+                trace_id = current.trace_id
 
         def fail_records(error: str | None, timed_out: bool = False) -> None:
             wall = monotonic() - t0
             for rid, k in zip(job.rids, ncols):
                 self._record(RequestRecord(
                     request_id=rid, fingerprint=fp, method=method,
-                    n=A.n_rows, nnz=A.nnz, n_rhs=k, coalesced=coalesced,
+                    n=A.n_rows, nnz=A.nnz, n_rhs=k, tenant=job.tenant,
+                    coalesced=coalesced,
                     fused=fused, bucket=bucket_n,
                     wall_time_s=wall, device=dev_label,
+                    trace_id=trace_id,
                     error=error, timed_out=timed_out,
                 ))
 
@@ -1275,21 +1369,44 @@ class SolveService:
                 ))
                 self._record(RequestRecord(
                     request_id=rid, fingerprint=fp, method=entry.method,
-                    n=A.n_rows, nnz=A.nnz, n_rhs=k, cache_hit=hit,
+                    n=A.n_rows, nnz=A.nnz, n_rhs=k, tenant=job.tenant,
+                    cache_hit=hit,
                     pattern_hit=p_hit, store_hit=bool(from_store),
                     fallback=entry.fallback,
                     coalesced=coalesced, fused=fused, bucket=bucket_n,
                     prep_time_s=prep_s, solve_time_s=share.time_s,
                     launches=share.launches, gflops=share.gflops,
                     wall_time_s=wall, device=dev_label,
+                    trace_id=trace_id,
                 ))
                 if obs is not None:
                     metrics = obs.serve_metrics
-                    metrics.requests_total.inc(status="ok")
-                    metrics.request_latency.observe(wall)
-                    metrics.sim_latency.observe(prep_s + share.time_s)
+                    sim_s = prep_s + share.time_s
+                    metrics.requests_total.inc(
+                        status="ok", tenant=job.tenant
+                    )
+                    metrics.request_latency.observe(
+                        wall, exemplar=trace_id, tenant=job.tenant
+                    )
+                    metrics.sim_latency.observe(
+                        sim_s, exemplar=trace_id, tenant=job.tenant
+                    )
                     if entry.fallback:
                         metrics.fallbacks_total.inc()
+                    obs.note_request(
+                        tenant=job.tenant,
+                        fingerprint=fp,
+                        method=entry.method,
+                        queue_wait_s=qwait,
+                        wall_s=wall,
+                        sim_s=sim_s,
+                        digest=(
+                            f"{share.launches}l/"
+                            f"{len(getattr(share, 'kernels', ()) or ())}k"
+                        ),
+                        outcome="ok",
+                        trace_id=trace_id,
+                    )
             return results, p_hit
         except ServiceTimeoutError:
             fail_records(None, timed_out=True)
@@ -1311,6 +1428,7 @@ class SolveService:
         with self._records_lock:
             records = list(self._records)
             rejected = self._rejected
+            lifetime = dict(self._lifetime)
         with self._counter_lock:
             overlay_evictions = self._overlay_evictions
             pattern_builds = self._pattern_builds
@@ -1321,4 +1439,5 @@ class SolveService:
             store=self.store.stats() if self.store is not None else None,
             overlay_evictions=overlay_evictions,
             pattern_builds=pattern_builds,
+            lifetime=lifetime,
         )

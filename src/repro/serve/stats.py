@@ -28,6 +28,8 @@ class RequestRecord:
     n: int
     nnz: int
     n_rhs: int
+    #: submitting tenant (the attribution label on serve metrics)
+    tenant: str = "default"
     cache_hit: bool = False
     #: the pattern-level plan (structure key) was already cached, even
     #: if this exact values vector still needed a rebind overlay
@@ -53,6 +55,8 @@ class RequestRecord:
     #: executing device queue(s): the stable label "0" for single-device
     #: services, "0-{N-1}" for sharded ones (repro.dist)
     device: str = "0"
+    #: tracer trace id of the request's span tree (None without obs)
+    trace_id: int | None = None
     error: str | None = None
     timed_out: bool = False
 
@@ -73,6 +77,7 @@ class RequestRecord:
             "n": self.n,
             "nnz": self.nnz,
             "n_rhs": self.n_rhs,
+            "tenant": self.tenant,
             "cache_hit": self.cache_hit,
             "pattern_hit": self.pattern_hit,
             "store_hit": self.store_hit,
@@ -87,6 +92,7 @@ class RequestRecord:
             "gflops": self.gflops,
             "wall_time_s": self.wall_time_s,
             "device": self.device,
+            "trace_id": self.trace_id,
             "error": self.error,
             "timed_out": self.timed_out,
         }
@@ -118,12 +124,24 @@ def percentile(xs: list[float], q: float) -> float:
 
 @dataclass
 class ServiceStats:
-    """Aggregate snapshot over the records a service has kept."""
+    """Aggregate snapshot over the records a service has kept.
+
+    Retention semantics: the service keeps at most ``history_limit``
+    records in a ring (oldest dropped first) but counts every request in
+    lifetime counters, so ``requests``/``completed``/``failed``/
+    ``timeouts`` stay exact past the cap while every *distribution*
+    statistic — means, nearest-rank percentiles, per-device and
+    per-tenant breakdowns, ``distinct_matrices`` — describes only the
+    ``retained`` most recent records.  Below the cap the two views
+    coincide.
+    """
 
     requests: int = 0
     completed: int = 0
     failed: int = 0
     timeouts: int = 0
+    #: records currently retained in the ring (percentile sample size)
+    retained: int = 0
     #: submissions refused at the admission gate (no record is created
     #: for these — they never entered the queue)
     rejected: int = 0
@@ -164,6 +182,8 @@ class ServiceStats:
     #: "p50/p95/p99_sim_latency_s"} — one entry ("0") for single-device
     #: services, so the label set is a stable part of the snapshot
     per_device: dict = field(default_factory=dict)
+    #: same shape keyed by tenant — the SLO engine's attribution view
+    per_tenant: dict = field(default_factory=dict)
     cache: CacheStats | None = None
     #: disk warm-tier counters (None when no store is configured)
     store: StoreStats | None = None
@@ -179,17 +199,24 @@ class ServiceStats:
         store: StoreStats | None = None,
         overlay_evictions: int = 0,
         pattern_builds: int = 0,
+        lifetime: dict | None = None,
     ) -> "ServiceStats":
+        """Aggregate ``records`` (the retained ring) into a snapshot.
+
+        ``lifetime``, when given, supplies exact
+        ``requests``/``completed``/``failed``/``timeouts`` counts from
+        the service's monotonic counters; without it those fields are
+        derived from the records and are only exact below the retention
+        cap.
+        """
         ok = [r for r in records if r.ok]
         hits = [r for r in ok if r.cache_hit]
         misses = [r for r in ok if not r.cache_hit]
         walls = [r.wall_time_s for r in ok]
         sims = [r.sim_latency_s for r in ok]
-        by_device: dict[str, list[RequestRecord]] = {}
-        for r in ok:
-            by_device.setdefault(r.device, []).append(r)
-        per_device = {
-            dev: {
+
+        def _latency_summary(rs: list[RequestRecord]) -> dict:
+            return {
                 "requests": len(rs),
                 "p50_wall_time_s": percentile([r.wall_time_s for r in rs], 50),
                 "p95_wall_time_s": percentile([r.wall_time_s for r in rs], 95),
@@ -198,13 +225,29 @@ class ServiceStats:
                 "p95_sim_latency_s": percentile([r.sim_latency_s for r in rs], 95),
                 "p99_sim_latency_s": percentile([r.sim_latency_s for r in rs], 99),
             }
-            for dev, rs in sorted(by_device.items())
+
+        by_device: dict[str, list[RequestRecord]] = {}
+        by_tenant: dict[str, list[RequestRecord]] = {}
+        for r in ok:
+            by_device.setdefault(r.device, []).append(r)
+            by_tenant.setdefault(r.tenant, []).append(r)
+        per_device = {
+            dev: _latency_summary(rs) for dev, rs in sorted(by_device.items())
         }
+        per_tenant = {
+            t: _latency_summary(rs) for t, rs in sorted(by_tenant.items())
+        }
+        life = lifetime or {}
         return cls(
-            requests=len(records),
-            completed=len(ok),
-            failed=sum(1 for r in records if r.error is not None),
-            timeouts=sum(1 for r in records if r.timed_out),
+            requests=life.get("requests", len(records)),
+            completed=life.get("completed", len(ok)),
+            failed=life.get(
+                "failed", sum(1 for r in records if r.error is not None)
+            ),
+            timeouts=life.get(
+                "timeouts", sum(1 for r in records if r.timed_out)
+            ),
+            retained=len(records),
             rejected=rejected,
             cache_hits=len(hits),
             cache_misses=len(misses),
@@ -232,6 +275,7 @@ class ServiceStats:
             p95_sim_latency_s=percentile(sims, 95),
             p99_sim_latency_s=percentile(sims, 99),
             per_device=per_device,
+            per_tenant=per_tenant,
             cache=cache,
             store=store,
         )
@@ -249,6 +293,7 @@ class ServiceStats:
             "completed": self.completed,
             "failed": self.failed,
             "timeouts": self.timeouts,
+            "retained": self.retained,
             "rejected": self.rejected,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -277,6 +322,7 @@ class ServiceStats:
             "p95_sim_latency_s": self.p95_sim_latency_s,
             "p99_sim_latency_s": self.p99_sim_latency_s,
             "per_device": {k: dict(v) for k, v in self.per_device.items()},
+            "per_tenant": {k: dict(v) for k, v in self.per_tenant.items()},
         }
         if self.cache is not None:
             out["cache"] = self.cache.as_dict()
@@ -292,7 +338,12 @@ class ServiceStats:
             "service stats",
             f"  requests      {self.requests:6d}   completed {self.completed}, "
             f"failed {self.failed}, timeouts {self.timeouts}, "
-            f"rejected {self.rejected}",
+            f"rejected {self.rejected}"
+            + (
+                f"   ({self.retained} retained for percentiles)"
+                if self.retained < self.requests
+                else ""
+            ),
             f"  cache         {self.cache_hits:6d} hits / {self.cache_misses} misses"
             f" / {self.evictions} evictions"
             + (f"  (lookup hit rate {self.cache.hit_rate:.0%})" if self.cache else ""),
@@ -336,4 +387,17 @@ class ServiceStats:
                 f"{d['p95_sim_latency_s'] * 1e3:.4f} / "
                 f"{d['p99_sim_latency_s'] * 1e3:.4f} ms"
             )
+        # A lone "default" tenant adds no information; print the
+        # breakdown only for genuinely multi-tenant traffic.
+        if self.per_tenant and set(self.per_tenant) != {"default"}:
+            for ten, d in self.per_tenant.items():
+                lines.append(
+                    f"  tenant {ten:<8} {d['requests']:5d} requests   "
+                    f"wall p50/95/99 {d['p50_wall_time_s'] * 1e3:.4f} / "
+                    f"{d['p95_wall_time_s'] * 1e3:.4f} / "
+                    f"{d['p99_wall_time_s'] * 1e3:.4f} ms   "
+                    f"sim p50/95/99 {d['p50_sim_latency_s'] * 1e3:.4f} / "
+                    f"{d['p95_sim_latency_s'] * 1e3:.4f} / "
+                    f"{d['p99_sim_latency_s'] * 1e3:.4f} ms"
+                )
         return "\n".join(lines)

@@ -28,13 +28,32 @@ class Workload:
     matrices: dict[str, CSRMatrix]
     #: request stream: (matrix name, RHS array) in arrival order
     stream: list[tuple[str, np.ndarray]] = field(default_factory=list)
+    #: per-request tenant labels aligned with ``stream`` (empty = every
+    #: request belongs to the "default" tenant)
+    tenants: list[str] = field(default_factory=list)
 
     @property
     def n_requests(self) -> int:
         return len(self.stream)
 
+    def tenant_of(self, i: int) -> str:
+        return self.tenants[i] if self.tenants else "default"
+
     def requests(self) -> list[SolveRequest]:
-        return [SolveRequest(A=self.matrices[name], b=b) for name, b in self.stream]
+        return [
+            SolveRequest(
+                A=self.matrices[name], b=b, tenant=self.tenant_of(i)
+            )
+            for i, (name, b) in enumerate(self.stream)
+        ]
+
+
+def _assign_tenants(n: int, tenants: tuple) -> list[str]:
+    """Round-robin tenant assignment over the stream — deterministic by
+    request index, independent of the RNG draws shaping the traffic."""
+    if not tenants:
+        return []
+    return [str(tenants[i % len(tenants)]) for i in range(n)]
 
 
 def mixed_workload(
@@ -45,6 +64,7 @@ def mixed_workload(
     hot_matrices: int = 3,
     n_rhs: int = 1,
     seed: int = 0,
+    tenants: tuple = (),
 ) -> Workload:
     """A tour of ``n_matrices`` suite systems followed by hot-set traffic.
 
@@ -97,7 +117,11 @@ def mixed_workload(
     for _ in range(max(0, n_requests - len(names))):
         name = hot[int(rng.integers(len(hot)))]
         stream.append((name, rhs(name)))
-    return Workload(matrices=matrices, stream=stream[:n_requests])
+    stream = stream[:n_requests]
+    return Workload(
+        matrices=matrices, stream=stream,
+        tenants=_assign_tenants(len(stream), tenants),
+    )
 
 
 def revalued_workload(
@@ -108,6 +132,7 @@ def revalued_workload(
     n_values: int = 4,
     n_rhs: int = 1,
     seed: int = 0,
+    tenants: tuple = (),
 ) -> Workload:
     """Same-pattern/different-values traffic — the structural-batching case.
 
@@ -152,7 +177,11 @@ def revalued_workload(
     for _ in range(max(0, n_requests - len(names))):
         name = names[int(rng.integers(len(names)))]
         stream.append((name, rhs(name)))
-    return Workload(matrices=matrices, stream=stream[:n_requests])
+    stream = stream[:n_requests]
+    return Workload(
+        matrices=matrices, stream=stream,
+        tenants=_assign_tenants(len(stream), tenants),
+    )
 
 
 def replay(
@@ -169,7 +198,9 @@ def replay(
     """
     requests = workload.requests()
     if batch_size <= 1:
-        futures = [service.submit(r.A, r.b) for r in requests]
+        futures = [
+            service.submit(r.A, r.b, tenant=r.tenant) for r in requests
+        ]
         return [f.result()[0] for f in futures]
     results = []
     for i in range(0, len(requests), batch_size):

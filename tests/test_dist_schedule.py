@@ -280,7 +280,7 @@ class TestServiceIntegration:
             svc.solve(L, np.ones(L.n_rows))
         m = obs.serve_metrics
         assert m.dist_solves.value(method="column-block", n_devices="2") == 1
-        assert m.requests_total.value(status="ok") == 1
+        assert m.requests_total.value(status="ok", tenant="default") == 1
 
 
 class TestCLI:

@@ -153,16 +153,16 @@ def test_service_stress_no_span_leak_and_counters_match_records():
 
     m = obs.serve_metrics
     assert len(records) == n_requests
-    assert m.requests_total.value(status="ok") == n_requests
+    assert m.requests_total.value(status="ok", tenant="default") == n_requests
     assert m.cache_lookups.value(result="miss") == 3
     assert m.cache_lookups.value(result="hit") == n_requests - 3
     assert m.kernel_launches.total() == sum(r.launches for r in records)
-    assert m.request_latency.snapshot()["count"] == n_requests
-    assert m.request_latency.snapshot()["sum"] == pytest.approx(
+    assert m.request_latency.snapshot(tenant="default")["count"] == n_requests
+    assert m.request_latency.snapshot(tenant="default")["sum"] == pytest.approx(
         sum(r.wall_time_s for r in records))
-    assert m.sim_latency.snapshot()["sum"] == pytest.approx(
+    assert m.sim_latency.snapshot(tenant="default")["sum"] == pytest.approx(
         sum(r.prep_time_s + r.solve_time_s for r in records))
-    assert m.queue_wait.snapshot()["count"] == n_requests
+    assert m.queue_wait.snapshot(tenant="default")["count"] == n_requests
     assert m.solves_total.total() == n_requests
     assert m.traffic_mismatch.total() == 0
     assert m.fallbacks_total.total() == 0
@@ -178,7 +178,7 @@ def test_service_stress_no_span_leak_and_counters_match_records():
     assert fams["repro_b_writes_total"]["type"] == "counter"
     assert fams["repro_traffic_measured_items"]["type"] == "gauge"
     assert fams["repro_request_latency_seconds"]["samples"][
-        ("repro_request_latency_seconds_count", ())
+        ("repro_request_latency_seconds_count", (("tenant", "default"),))
     ] == n_requests
 
 
@@ -259,4 +259,4 @@ def test_cli_stats_prints_snapshot_and_metrics(capsys):
     assert "service stats" in out
     assert "p50/95/99" in out
     assert "# TYPE repro_requests_total counter" in out
-    assert "repro_requests_total{status=\"ok\"} 6" in out
+    assert 'repro_requests_total{status="ok",tenant="default"} 6' in out

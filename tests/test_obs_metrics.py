@@ -97,13 +97,16 @@ def test_concurrent_increments_do_not_lose_updates():
 _SAMPLE_RE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
     r'(?:\{(?P<labels>[^}]*)\})?'
-    r' (?P<value>[^ ]+)$'
+    r' (?P<value>[^ ]+)'
+    # OpenMetrics exemplar suffix: ` # {label="..."} value`
+    r'(?: # \{(?P<exlabels>[^}]*)\} (?P<exvalue>[^ ]+))?$'
 )
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
 def parse_prometheus(text: str) -> dict:
-    """{family: {"type": str, "help": str, "samples": {(name, labels): float}}}"""
+    """{family: {"type": str, "help": str, "samples": {(name, labels): float},
+    "exemplars": {(name, labels): (labels, float)}}}"""
     families: dict = {}
     for line in text.splitlines():
         if not line:
@@ -112,13 +115,15 @@ def parse_prometheus(text: str) -> dict:
             _, _, rest = line.partition("# HELP ")
             name, _, help_ = rest.partition(" ")
             families.setdefault(
-                name, {"type": None, "help": "", "samples": {}}
+                name, {"type": None, "help": "", "samples": {},
+                       "exemplars": {}}
             )["help"] = help_
         elif line.startswith("# TYPE "):
             _, _, rest = line.partition("# TYPE ")
             name, _, kind = rest.partition(" ")
             families.setdefault(
-                name, {"type": None, "help": "", "samples": {}}
+                name, {"type": None, "help": "", "samples": {},
+                       "exemplars": {}}
             )["type"] = kind
         elif line.startswith("#"):
             continue
@@ -132,6 +137,13 @@ def parse_prometheus(text: str) -> dict:
             key = base if base in families else family
             assert key in families, f"sample {base} without TYPE header"
             families[key]["samples"][(base, labels)] = value
+            if m.group("exvalue") is not None:
+                assert base.endswith("_bucket"), \
+                    f"exemplar on non-bucket sample: {line!r}"
+                families[key]["exemplars"][(base, labels)] = (
+                    tuple(sorted(_LABEL_RE.findall(m.group("exlabels")))),
+                    float(m.group("exvalue")),
+                )
     return families
 
 
@@ -200,3 +212,89 @@ def test_metrics_to_dict_matches_registry():
     series = d["repro_latency_seconds"]["series"][0]
     assert series["count"] == 3
     assert series["buckets"]["+Inf"] == 3
+
+
+def test_prometheus_escapes_help_but_not_quotes():
+    reg = MetricsRegistry()
+    reg.counter("h_total", 'say "hi"\nwith\\slash')
+    text = to_prometheus(reg)
+    # Backslash and newline are escaped in HELP; the quote is legal.
+    assert '# HELP h_total say "hi"\\nwith\\\\slash' in text
+    parse_prometheus(text)  # and the whole thing still parses
+
+
+def test_histogram_exemplars_retained_per_bucket():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_seconds", "latency", buckets=(0.001, 0.1))
+    h.observe(0.0005, exemplar=11)
+    h.observe(0.05, exemplar=12)
+    h.observe(0.06, exemplar=13)  # same bucket: last write wins
+    h.observe(5.0)                # no exemplar for the overflow bucket
+    ex = h.exemplars()
+    assert ex[0.001] == {"exemplar": "11", "value": 0.0005}
+    assert ex[0.1] == {"exemplar": "13", "value": 0.06}
+    assert float("inf") not in ex
+
+    fams = parse_prometheus(to_prometheus(reg))
+    exemplars = fams["lat_seconds"]["exemplars"]
+    assert exemplars[
+        ("lat_seconds_bucket", (("le", "0.001"),))
+    ] == ((("trace_id", "11"),), 0.0005)
+    assert exemplars[
+        ("lat_seconds_bucket", (("le", "0.1"),))
+    ] == ((("trace_id", "13"),), 0.06)
+    assert ("lat_seconds_bucket", (("le", "+Inf"),)) not in exemplars
+
+    # Strict 0.0.4 consumers can turn the suffix off.
+    assert " # {" not in to_prometheus(reg, exemplars=False)
+
+    # The JSON exporter carries the same exemplars.
+    d = metrics_to_dict(reg)
+    series = d["lat_seconds"]["series"][0]
+    assert series["exemplars"]["0.001"] == {"exemplar": "11", "value": 0.0005}
+
+
+def test_unobserved_unlabelled_histogram_exposes_zero_ladder():
+    reg = MetricsRegistry()
+    reg.histogram("cold_seconds", "never observed", buckets=(0.5, 1.0))
+    fams = parse_prometheus(to_prometheus(reg))
+    s = fams["cold_seconds"]["samples"]
+    assert s[("cold_seconds_bucket", (("le", "0.5"),))] == 0
+    assert s[("cold_seconds_bucket", (("le", "1.0"),))] == 0
+    assert s[("cold_seconds_bucket", (("le", "+Inf"),))] == 0
+    assert s[("cold_seconds_count", ())] == 0
+    assert s[("cold_seconds_sum", ())] == 0.0
+
+
+def test_every_histogram_series_has_inf_sum_and_count():
+    reg = MetricsRegistry()
+    h = reg.histogram("l_seconds", "labelled", labelnames=("tenant",),
+                      buckets=(0.1,))
+    h.observe(0.05, tenant="a")
+    h.observe(3.0, tenant="b")
+    fams = parse_prometheus(to_prometheus(reg))
+    s = fams["l_seconds"]["samples"]
+    for tenant in ("a", "b"):
+        labels = (("tenant", tenant),)
+        assert ("l_seconds_bucket", tuple(sorted(labels + (("le", "+Inf"),)))) in s
+        assert ("l_seconds_sum", labels) in s
+        assert ("l_seconds_count", labels) in s
+
+
+def test_micro_bucket_preset_resolves_microseconds():
+    from repro.obs import DEFAULT_TIME_BUCKETS, MICRO_TIME_BUCKETS
+
+    reg = MetricsRegistry()
+    h = reg.histogram("sim_seconds", "sim", buckets=MICRO_TIME_BUCKETS)
+    # Two latencies one decade apart in the µs range land in distinct
+    # buckets under the micro preset...
+    h.observe(2e-6)
+    h.observe(4e-6)
+    snap = h.snapshot()
+    assert snap["buckets"][2.5e-6] == 1
+    assert snap["buckets"][5e-6] == 2
+    # ...where the wall-clock preset has at most two bounds per decade.
+    per_decade = sum(1 for b in DEFAULT_TIME_BUCKETS if 1e-6 <= b <= 1e-5)
+    assert per_decade <= 3 < sum(
+        1 for b in MICRO_TIME_BUCKETS if 1e-6 <= b <= 1e-5
+    )

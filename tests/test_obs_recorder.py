@@ -1,0 +1,134 @@
+"""Units for the flight recorder: ring semantics, incident dumps,
+JSONL round-trips, and the disk loader behind ``repro incidents``."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import FRAME_FIELDS, FlightRecorder, Incident
+
+
+def _fill(rec: FlightRecorder, n: int, **kw) -> None:
+    for i in range(n):
+        rec.record(tenant=f"t{i % 2}", wall_s=i * 1e-3, trace_id=i, **kw)
+
+
+class TestRing:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(max_incidents=0)
+
+    def test_frames_before_wrap_are_in_order(self):
+        rec = FlightRecorder(capacity=8)
+        _fill(rec, 5)
+        frames = rec.frames()
+        assert [f["seq"] for f in frames] == [1, 2, 3, 4, 5]
+        assert len(rec) == 5 and rec.total_recorded == 5
+        assert set(frames[0]) == set(FRAME_FIELDS)
+
+    def test_ring_wraps_keeping_newest(self):
+        rec = FlightRecorder(capacity=4)
+        _fill(rec, 11)
+        frames = rec.frames()
+        assert [f["seq"] for f in frames] == [8, 9, 10, 11]
+        assert len(rec) == 4          # retained
+        assert rec.total_recorded == 11  # lifetime
+
+    def test_record_is_thread_safe(self):
+        rec = FlightRecorder(capacity=64)
+
+        def work():
+            for _ in range(500):
+                rec.record(tenant="t")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.total_recorded == 2000
+        # The retained window is the contiguous newest suffix.
+        assert [f["seq"] for f in rec.frames()] == list(range(1937, 2001))
+
+
+class TestDump:
+    def test_dump_freezes_the_ring(self):
+        rec = FlightRecorder(capacity=4)
+        _fill(rec, 6)
+        inc = rec.dump("timeout", trace_id=5, detail={"policy": "p"})
+        assert inc.incident_id == 1
+        assert inc.reason == "timeout"
+        assert inc.total_recorded == 6
+        assert [f["seq"] for f in inc.frames] == [3, 4, 5, 6]
+        assert inc.detail == {"policy": "p"}
+        # Later records do not mutate the frozen incident.
+        _fill(rec, 4)
+        assert [f["seq"] for f in inc.frames] == [3, 4, 5, 6]
+
+    def test_max_incidents_caps_and_counts_drops(self):
+        rec = FlightRecorder(capacity=2, max_incidents=2)
+        _fill(rec, 2)
+        assert rec.dump("a") is not None
+        assert rec.dump("b") is not None
+        assert rec.dump("c") is None
+        assert rec.dump("d") is None
+        assert len(rec.incidents) == 2
+        assert rec.dropped_incidents == 2
+
+    def test_dump_writes_sanitized_jsonl(self, tmp_path):
+        rec = FlightRecorder(capacity=4, incident_dir=tmp_path / "inc")
+        _fill(rec, 3)
+        inc = rec.dump("slo:p/99 burn!", trace_id=2)
+        assert inc.path is not None
+        name = inc.path.rsplit("/", 1)[-1]
+        assert name == "incident-0001-slo-p-99-burn-.jsonl"
+        lines = (tmp_path / "inc" / name).read_text().splitlines()
+        head = json.loads(lines[0])["incident"]
+        assert head["reason"] == "slo:p/99 burn!"  # reason unsanitized inside
+        assert head["n_frames"] == 3 == len(lines) - 1
+
+    def test_render_marks_triggering_trace(self):
+        rec = FlightRecorder(capacity=8)
+        _fill(rec, 4)
+        out = rec.dump("slo:p", trace_id=0).render(last=2)
+        assert "incident #1: slo:p" in out
+        assert "... 2 older frames" in out
+        # Frame with trace 0 is outside the shown tail -> no marker.
+        assert ">>" not in out
+        assert ">>" in rec.incidents[0].render(last=0)
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip_preserves_everything(self):
+        rec = FlightRecorder(capacity=4)
+        _fill(rec, 6, method="row-block", outcome="ok", digest="2l/1k")
+        inc = rec.dump("slo:p", trace_id=6, detail={"seq": 6})
+        back = Incident.from_jsonl(inc.to_jsonl())
+        assert back.incident_id == inc.incident_id
+        assert back.reason == inc.reason
+        assert back.trace_id == inc.trace_id
+        assert back.total_recorded == inc.total_recorded
+        assert back.detail == inc.detail
+        assert list(back.frames) == [dict(f) for f in inc.frames]
+
+    def test_from_jsonl_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            Incident.from_jsonl("")
+        with pytest.raises(ValueError):
+            Incident.from_jsonl('{"not_incident": {}}')
+
+    def test_load_incidents_sorted_from_disk(self, tmp_path):
+        rec = FlightRecorder(capacity=4, incident_dir=tmp_path)
+        _fill(rec, 3)
+        rec.dump("first", trace_id=1)
+        rec.dump("second", trace_id=2)
+        loaded = FlightRecorder.load_incidents(tmp_path)
+        assert [i.incident_id for i in loaded] == [1, 2]
+        assert [i.reason for i in loaded] == ["first", "second"]
+        assert all(i.path for i in loaded)
+        assert FlightRecorder.load_incidents(tmp_path / "empty") == []

@@ -1,0 +1,185 @@
+"""Units for the SLO engine: policy validation, incremental burn-rate
+math, edge-triggered multi-window alerting, and the alert sink."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    AlertSink,
+    MetricsRegistry,
+    SLOEngine,
+    SLOPolicy,
+)
+
+
+def _policy(**kw) -> SLOPolicy:
+    base = dict(name="p", objective_s=0.01, target=0.9,
+                window=10, fast_window=2)
+    base.update(kw)
+    return SLOPolicy(**base)
+
+
+class TestSLOPolicy:
+    def test_budget_and_matches(self):
+        p = _policy(target=0.95, tenant="acme")
+        assert p.budget == pytest.approx(0.05)
+        assert p.matches("acme") and not p.matches("beta")
+        assert _policy(tenant=None).matches("anyone")
+
+    @pytest.mark.parametrize("kw", [
+        dict(name=""),
+        dict(objective_s=0.0),
+        dict(objective_s=-1.0),
+        dict(target=0.0),
+        dict(target=1.0),
+        dict(window=0),
+        dict(fast_window=0),
+        dict(fast_window=11),       # exceeds window=10
+        dict(burn_threshold=0.0),
+        dict(latency="cpu"),
+    ])
+    def test_rejects_bad_parameters(self, kw):
+        with pytest.raises(ValueError):
+            _policy(**kw)
+
+    def test_duplicate_policy_names_rejected(self):
+        with pytest.raises(ValueError):
+            SLOEngine([_policy(), _policy()])
+
+
+class TestBurnRate:
+    def test_burn_is_bad_fraction_over_budget(self):
+        engine = SLOEngine([_policy(target=0.9, window=10, fast_window=10)])
+        for bad in (True, False, False, True):
+            engine.observe(tenant="t", wall_s=0.1 if bad else 0.0,
+                           sim_s=0.0)
+        s = engine.status()[0]
+        # 2 bad of 4 observed, budget 0.1 -> burn 5.0 on both windows.
+        assert s["slow_burn"] == pytest.approx(5.0)
+        assert s["fast_burn"] == pytest.approx(5.0)
+        assert s["n_breaches"] == 2
+
+    def test_windows_slide_incrementally(self):
+        engine = SLOEngine([_policy(target=0.5, window=4, fast_window=2)])
+        # Two breaches, then four good requests push them out entirely.
+        for wall in (0.1, 0.1, 0.0, 0.0, 0.0, 0.0):
+            engine.observe(tenant="t", wall_s=wall, sim_s=0.0)
+        s = engine.status()[0]
+        assert s["slow_burn"] == 0.0 and s["fast_burn"] == 0.0
+        assert s["budget_remaining"] == 1.0
+        assert s["n_breaches"] == 2  # lifetime count is not windowed
+
+    def test_budget_remaining_clamps_at_zero(self):
+        engine = SLOEngine([_policy(target=0.9, window=4, fast_window=4)])
+        for _ in range(4):
+            engine.observe(tenant="t", wall_s=1.0, sim_s=0.0)
+        assert engine.status()[0]["budget_remaining"] == 0.0
+
+    def test_sim_latency_policy_judges_sim_time(self):
+        engine = SLOEngine([_policy(latency="sim", objective_s=1e-4)])
+        engine.observe(tenant="t", wall_s=10.0, sim_s=1e-6)  # wall ignored
+        assert engine.status()[0]["n_breaches"] == 0
+        engine.observe(tenant="t", wall_s=0.0, sim_s=1e-3)
+        assert engine.status()[0]["n_breaches"] == 1
+
+    def test_failed_request_breaches_regardless_of_latency(self):
+        engine = SLOEngine([_policy()])
+        engine.observe(tenant="t", wall_s=0.0, sim_s=0.0, ok=False)
+        assert engine.status()[0]["n_breaches"] == 1
+
+
+class TestAlerting:
+    def test_alert_fires_once_per_excursion_and_rearms(self):
+        engine = SLOEngine(
+            [_policy(target=0.5, window=8, fast_window=2)]
+        )
+        fired = []
+        # Two breaches -> one alert at the second observation (the fast
+        # window must fill first), not one alert per breaching request.
+        for i, wall in enumerate((0.1, 0.1, 0.1)):
+            fired += engine.observe(tenant="t", wall_s=wall, sim_s=0.0,
+                                    trace_id=100 + i)
+        assert len(fired) == 1
+        alert = fired[0]
+        assert alert.seq == 2 and alert.n_observed == 2
+        assert alert.trace_id == 101
+        assert alert.fast_burn >= 1.0 and alert.slow_burn >= 1.0
+        # Two good requests clear the fast window: the policy re-arms...
+        for _ in range(2):
+            assert engine.observe(tenant="t", wall_s=0.0, sim_s=0.0) == []
+        # ...and a fresh excursion fires a second alert.
+        fired2 = []
+        for _ in range(2):
+            fired2 += engine.observe(tenant="t", wall_s=0.1, sim_s=0.0)
+        assert len(fired2) == 1
+        assert engine.status()[0]["alerts_fired"] == 2
+
+    def test_no_alert_before_fast_window_fills(self):
+        engine = SLOEngine([_policy(target=0.5, window=8, fast_window=4)])
+        # A single catastrophic first request must not page anyone.
+        assert engine.observe(tenant="t", wall_s=9.0, sim_s=0.0) == []
+
+    def test_tenant_scoping(self):
+        engine = SLOEngine([
+            _policy(name="acme", tenant="acme", target=0.5,
+                    window=4, fast_window=2),
+            _policy(name="all", target=0.5, window=4, fast_window=2),
+        ])
+        for _ in range(2):
+            fired = engine.observe(tenant="beta", wall_s=0.1, sim_s=0.0)
+        # beta traffic trips the global policy but never the acme one.
+        assert [a.policy for a in fired] == ["all"]
+        by_name = {s["policy"]: s for s in engine.status()}
+        assert by_name["acme"]["n_observed"] == 0
+        assert by_name["all"]["n_observed"] == 2
+
+    def test_metrics_bound_registry_updates(self):
+        reg = MetricsRegistry()
+        engine = SLOEngine(
+            [_policy(target=0.5, window=4, fast_window=2)]
+        ).bind(reg)
+        engine.bind(reg)  # idempotent: no duplicate registration
+        for wall in (0.1, 0.0, 0.0):
+            engine.observe(tenant="t", wall_s=wall, sim_s=0.0)
+        assert reg.get("repro_slo_requests_total").value(
+            policy="p", verdict="breach") == 1
+        assert reg.get("repro_slo_requests_total").value(
+            policy="p", verdict="good") == 2
+        assert reg.get("repro_slo_alerts_total").value(policy="p") == 1
+        assert reg.get("repro_slo_burn_rate").value(
+            policy="p", window="fast") == 0.0  # both breaches slid out
+        assert reg.get("repro_slo_burn_rate").value(
+            policy="p", window="slow") == pytest.approx((1 / 3) / 0.5)
+        # 1 breach of 3 retained against a 0.5 budget: 1/3 unspent.
+        assert reg.get("repro_slo_budget_remaining").value(
+            policy="p") == pytest.approx(1.0 - (1 / 3) / 0.5)
+
+    def test_render_marks_firing_policies(self):
+        engine = SLOEngine([_policy(target=0.5, window=4, fast_window=2)])
+        for _ in range(2):
+            engine.observe(tenant="t", wall_s=0.1, sim_s=0.0)
+        assert "FIRING" in engine.render()
+
+
+class TestAlertSink:
+    def test_sink_appends_jsonl_and_calls_back(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        seen = []
+        sink = AlertSink(callback=seen.append, jsonl_path=path)
+        engine = SLOEngine(
+            [_policy(target=0.5, window=4, fast_window=2)], sink=sink
+        )
+        for i in range(2):
+            engine.observe(tenant="t", wall_s=0.1, sim_s=0.0, trace_id=i)
+        assert len(sink) == 1 and seen == sink.alerts
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        rec = json.loads(lines[0])
+        assert rec["policy"] == "p" and rec["seq"] == 2
+        assert rec["trace_id"] == 1
+        assert "ALERT p" in sink.alerts[0].render()
+        sink.clear()
+        assert len(sink) == 0

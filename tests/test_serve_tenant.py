@@ -1,0 +1,172 @@
+"""Tenant attribution end-to-end (workload -> service -> records ->
+metrics -> stats) and the bounded stats-retention semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import Observability
+from repro.serve import ServiceConfig, SolveService
+from repro.serve.stats import RequestRecord, ServiceStats
+from repro.serve.workload import mixed_workload, replay, revalued_workload
+from repro.validate import FaultInjector, InjectedFaultError
+
+from conftest import random_lower
+
+
+def _matrix(n=96, seed=0):
+    return random_lower(n, density=0.08, seed=seed)
+
+
+class TestWorkloadTenants:
+    def test_round_robin_assignment_is_index_deterministic(self):
+        w = revalued_workload(7, tenants=("acme", "beta", "core"))
+        assert w.tenants == ["acme", "beta", "core", "acme", "beta",
+                             "core", "acme"]
+        assert [w.tenant_of(i) for i in range(7)] == w.tenants
+        assert [r.tenant for r in w.requests()] == w.tenants
+
+    def test_default_is_single_default_tenant(self):
+        w = mixed_workload(4, n_matrices=2, hot_matrices=2)
+        assert w.tenants == []
+        assert w.tenant_of(3) == "default"
+        assert all(r.tenant == "default" for r in w.requests())
+
+    def test_tenants_do_not_perturb_traffic_shape(self):
+        # Tenancy is attribution only: the matrix/RHS stream must be
+        # byte-identical with and without tenant labels.
+        plain = revalued_workload(10, seed=3)
+        labelled = revalued_workload(10, seed=3, tenants=("a", "b"))
+        assert [name for name, _ in plain.stream] == \
+            [name for name, _ in labelled.stream]
+        for (_, b0), (_, b1) in zip(plain.stream, labelled.stream):
+            assert np.array_equal(b0, b1)
+
+
+class TestServiceTenantThreading:
+    def test_submit_records_and_metrics_carry_tenant(self):
+        L = _matrix()
+        obs = Observability()
+        with SolveService(ServiceConfig(obs=obs, max_workers=1)) as svc:
+            for tenant in ("acme", "beta", "acme"):
+                svc.solve(L, np.ones(L.n_rows), tenant=tenant)
+            records = svc.records()
+            stats = svc.stats()
+        assert [r.tenant for r in records] == ["acme", "beta", "acme"]
+        assert all(r.trace_id is not None for r in records)
+        m = obs.serve_metrics
+        assert m.requests_total.value(status="ok", tenant="acme") == 2
+        assert m.requests_total.value(status="ok", tenant="beta") == 1
+        assert m.request_latency.snapshot(tenant="acme")["count"] == 2
+        assert m.queue_wait.snapshot(tenant="beta")["count"] == 1
+        assert stats.per_tenant["acme"]["requests"] == 2
+        assert stats.per_tenant["beta"]["requests"] == 1
+        # Flight recorder frames carry the same attribution.
+        tenants = [f["tenant"] for f in obs.recorder.frames()]
+        assert sorted(tenants) == ["acme", "acme", "beta"]
+
+    def test_batch_buckets_are_tenant_homogeneous(self):
+        L = _matrix()
+        rng = np.random.default_rng(5)
+        with SolveService(ServiceConfig(max_workers=2)) as svc:
+            from repro.serve.service import SolveRequest
+
+            reqs = [
+                SolveRequest(A=L, b=rng.standard_normal(L.n_rows),
+                             tenant=t)
+                for t in ("a", "b", "a", "b")
+            ]
+            results = svc.solve_batch(reqs)
+            records = svc.records()
+        assert len(results) == 4
+        by_tenant: dict = {}
+        for r in records:
+            by_tenant.setdefault(r.tenant, []).append(r)
+        assert sorted(by_tenant) == ["a", "b"]
+        # Same structure + same tenant coalesce; tenants never mix, so
+        # each tenant's requests share one bucket of exactly its two.
+        for rs in by_tenant.values():
+            assert len(rs) == 2
+
+    def test_default_tenant_everywhere_when_unspecified(self):
+        L = _matrix()
+        with SolveService(ServiceConfig()) as svc:
+            svc.solve(L, np.ones(L.n_rows))
+            stats = svc.stats()
+        assert set(stats.per_tenant) == {"default"}
+        # A lone default tenant is elided from the rendered snapshot...
+        assert "tenant default" not in stats.render()
+        # ...but stays in the machine-readable dict.
+        assert stats.as_dict()["per_tenant"]["default"]["requests"] == 1
+
+    def test_failure_path_attributes_tenant_and_dumps_incident(self):
+        L = _matrix()
+        obs = Observability()
+        inj = FaultInjector(build_error=True, max_faults=1)
+        config = ServiceConfig(obs=obs, fallback=False, max_workers=1)
+        with SolveService(config, fault_injector=inj) as svc:
+            with pytest.raises(InjectedFaultError):
+                svc.solve(L, np.ones(L.n_rows), tenant="acme")
+            records = svc.records()
+            stats = svc.stats()
+        assert records[0].tenant == "acme"
+        assert records[0].error is not None
+        assert stats.failed == 1 and stats.completed == 0
+        m = obs.serve_metrics
+        assert m.requests_total.value(status="error", tenant="acme") == 1
+        # The recorder dumped one incident for the failed request.
+        assert [i.reason for i in obs.recorder.incidents] == ["error"]
+        frames = obs.recorder.frames()
+        assert frames[-1]["outcome"] == "error"
+        assert frames[-1]["tenant"] == "acme"
+
+
+class TestRetentionCap:
+    def test_history_limit_bounds_ring_but_not_lifetime_counts(self):
+        L = _matrix()
+        with SolveService(ServiceConfig(history_limit=5,
+                                        max_workers=1)) as svc:
+            for _ in range(8):
+                svc.solve(L, np.ones(L.n_rows))
+            records = svc.records()
+            stats = svc.stats()
+        # Ring keeps the newest 5; lifetime counters stay exact.
+        assert len(records) == 5
+        assert [r.request_id for r in records] == [3, 4, 5, 6, 7]
+        assert stats.retained == 5
+        assert stats.requests == 8
+        assert stats.completed == 8
+        assert stats.failed == 0 and stats.timeouts == 0
+        # Distributions describe the retained window only.
+        assert stats.per_tenant["default"]["requests"] == 5
+        walls = sorted(r.wall_time_s for r in records)
+        assert stats.p50_wall_time_s == walls[2]
+        assert "(5 retained for percentiles)" in stats.render()
+
+    def test_below_cap_lifetime_and_retained_views_coincide(self):
+        L = _matrix()
+        with SolveService(ServiceConfig(history_limit=100)) as svc:
+            for _ in range(4):
+                svc.solve(L, np.ones(L.n_rows))
+            stats = svc.stats()
+        assert stats.requests == stats.retained == stats.completed == 4
+        assert "retained for percentiles" not in stats.render()
+
+    def test_rejects_nonpositive_history_limit(self):
+        with pytest.raises(ValueError):
+            SolveService(ServiceConfig(history_limit=0))
+
+    def test_from_records_without_lifetime_derives_from_ring(self):
+        records = [
+            RequestRecord(request_id=i, fingerprint="f", method="m",
+                          n=1, nnz=1, n_rhs=1, wall_time_s=float(i))
+            for i in range(3)
+        ]
+        stats = ServiceStats.from_records(records)
+        assert stats.requests == 3 and stats.retained == 3
+        life = {"requests": 10, "completed": 9, "failed": 1, "timeouts": 0}
+        stats = ServiceStats.from_records(records, lifetime=life)
+        assert stats.requests == 10 and stats.completed == 9
+        assert stats.failed == 1
+        assert stats.retained == 3
