@@ -1,0 +1,241 @@
+"""Async ingress under overload: EDF + shedding vs the FIFO baseline.
+
+Replays one seeded synthetic trace — diurnal + bursty Poisson arrivals
+at ~2x the service's deterministic capacity, a latency-sensitive
+``gold`` tenant on the ``interactive`` class riding alongside four
+equal-weight ``batch``-class tenants — through two fronts over
+identical backends:
+
+* the :class:`~repro.serve.ingress.AsyncSolveService` (priority
+  classes, earliest-deadline-first dispatch, load shedding with
+  per-tenant fairness), and
+* the plain thread-pool :class:`~repro.serve.service.SolveService`
+  (one FIFO queue, same per-request deadlines, overflow rejection as
+  its only relief valve).
+
+Capacity is pinned by a :class:`~repro.validate.faults.FaultInjector`
+solve delay, so "2x overload" means the same thing on every machine.
+
+Acceptance gates:
+
+* gold-class p99 wall latency under the ingress beats FIFO by
+  >= ``P99_FLOOR``x,
+* absolute shed-rate spread across the four equal-weight batch tenants
+  <= ``FAIRNESS_SPREAD_CEIL``,
+* zero admission-permit leaks in either backend once drained.
+
+Writes ``BENCH_ingress.json`` at the repository root (and the rendered
+table to ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.ingress import AsyncSolveService, IngressConfig, PriorityClass
+from repro.serve.service import ServiceConfig, SolveService
+from repro.serve.traffic import TrafficSpec, generate_traffic, replay_async, replay_fifo
+from repro.serve.workload import mixed_workload
+from repro.validate.faults import FaultInjector
+
+from conftest import publish
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_ingress.json"
+
+#: injected per-solve service time — pins capacity machine-independently
+SERVICE_DELAY_S = 0.02
+WORKERS = 2
+#: deterministic backend capacity, requests/second
+CAPACITY_RPS = WORKERS / SERVICE_DELAY_S
+#: offered load multiple of capacity (the overload the gates run at)
+OVERLOAD = 2.0
+
+DURATION_S = 4.0
+GOLD_DEADLINE_S = 0.30
+BATCH_DEADLINE_S = 0.60
+BATCH_TENANTS = ("acme", "bolt", "crux", "dyne")
+SEED = 42
+
+#: acceptance floor: FIFO gold p99 / ingress gold p99
+P99_FLOOR = 1.5
+#: acceptance ceiling: max - min shed rate across the batch tenants
+FAIRNESS_SPREAD_CEIL = 0.10
+
+CLASSES = (
+    PriorityClass("interactive", rank=0, queue_limit=64,
+                  deadline_s=GOLD_DEADLINE_S),
+    PriorityClass("batch", rank=1, queue_limit=64,
+                  deadline_s=BATCH_DEADLINE_S),
+)
+DEADLINES = {"interactive": GOLD_DEADLINE_S, "batch": BATCH_DEADLINE_S}
+
+
+def _trace(matrices: list[str]) -> list:
+    spec = TrafficSpec(
+        duration_s=DURATION_S,
+        base_rate=CAPACITY_RPS * OVERLOAD,
+        diurnal_amplitude=0.3,
+        diurnal_period_s=1.5,
+        burst_rate=CAPACITY_RPS * OVERLOAD * 0.5,
+        burst_every_s=0.4,
+        burst_duration_s=0.1,
+        hot_key_skew=1.0,
+        tenants=("gold",) + BATCH_TENANTS,
+        tenant_weights=(1, 1, 1, 1, 1),
+        tenant_classes=("interactive",) + ("batch",) * len(BATCH_TENANTS),
+        seed=SEED,
+    )
+    return generate_traffic(spec, matrices)
+
+
+def _backend() -> SolveService:
+    return SolveService(
+        ServiceConfig(max_workers=WORKERS, cache_capacity=8),
+        fault_injector=FaultInjector(solve_delay_s=SERVICE_DELAY_S),
+    )
+
+
+def _warm(svc: SolveService, matrices: dict) -> None:
+    # Build every plan before the clock starts: the trace measures
+    # queueing policy, not preprocessing.
+    for A in matrices.values():
+        svc.solve(A, np.ones(A.n_rows))
+
+
+def run() -> dict:
+    pool = mixed_workload(4, scale=0.05, n_matrices=4, seed=SEED).matrices
+    trace = _trace(list(pool))
+
+    # --- EDF + shedding ingress ------------------------------------
+    svc_edf = _backend()
+    _warm(svc_edf, pool)
+
+    async def edf_run():
+        async with AsyncSolveService(
+            svc_edf,
+            config=IngressConfig(
+                classes=CLASSES, default_class="batch", backpressure_s=0.02,
+            ),
+        ) as ingress:
+            report = await replay_async(ingress, pool, trace)
+            return report, ingress.stats()
+
+    edf_report, edf_stats = asyncio.run(edf_run())
+    edf_leak = svc_edf.config.queue_limit - svc_edf.admission_available
+    svc_edf.close()
+
+    # --- FIFO baseline ----------------------------------------------
+    svc_fifo = _backend()
+    _warm(svc_fifo, pool)
+    fifo_report = replay_fifo(svc_fifo, pool, trace, deadlines=DEADLINES)
+    fifo_leak = svc_fifo.config.queue_limit - svc_fifo.admission_available
+    svc_fifo.close()
+
+    gold_edf_p99 = edf_report.percentile(99, tenant="gold")
+    gold_fifo_p99 = fifo_report.percentile(99, tenant="gold")
+    spread = edf_stats.shed_rate_spread(list(BATCH_TENANTS))
+
+    return {
+        "trace": {
+            "arrivals": len(trace),
+            "duration_s": DURATION_S,
+            "capacity_rps": CAPACITY_RPS,
+            "offered_over_capacity": len(trace) / DURATION_S / CAPACITY_RPS,
+            "service_delay_s": SERVICE_DELAY_S,
+            "workers": WORKERS,
+            "seed": SEED,
+        },
+        "edf": {
+            "outcomes": edf_report.outcomes(),
+            "gold_p99_s": gold_edf_p99,
+            "gold_p50_s": edf_report.percentile(50, tenant="gold"),
+            "gold_ok": len(edf_report.latencies(tenant="gold")),
+            "batch_ok": len(edf_report.latencies(klass="batch")),
+            "elapsed_s": edf_report.elapsed_s,
+            "stats": edf_stats.as_dict(),
+            "shed_rates": {
+                t: edf_report.shed_rate(t) for t in ("gold",) + BATCH_TENANTS
+            },
+            "permit_leak": edf_leak,
+        },
+        "fifo": {
+            "outcomes": fifo_report.outcomes(),
+            "gold_p99_s": gold_fifo_p99,
+            "gold_p50_s": fifo_report.percentile(50, tenant="gold"),
+            "gold_ok": len(fifo_report.latencies(tenant="gold")),
+            "batch_ok": len(fifo_report.latencies(klass="batch")),
+            "elapsed_s": fifo_report.elapsed_s,
+            "permit_leak": fifo_leak,
+        },
+        "gold_p99_speedup": gold_fifo_p99 / gold_edf_p99,
+        "batch_shed_spread": spread,
+        "p99_floor": P99_FLOOR,
+        "fairness_spread_ceil": FAIRNESS_SPREAD_CEIL,
+    }
+
+
+def render(result: dict) -> str:
+    t = result["trace"]
+    e, f = result["edf"], result["fifo"]
+    lines = [
+        "async ingress under overload (EDF + shedding vs FIFO baseline)",
+        f"  trace: {t['arrivals']} arrivals over {t['duration_s']}s = "
+        f"{t['offered_over_capacity']:.2f}x capacity "
+        f"({t['capacity_rps']:.0f} req/s, {t['workers']} workers x "
+        f"{t['service_delay_s'] * 1e3:.0f} ms)",
+        f"  gold p99: ingress {e['gold_p99_s'] * 1e3:8.2f} ms   "
+        f"fifo {f['gold_p99_s'] * 1e3:8.2f} ms   "
+        f"speedup {result['gold_p99_speedup']:.2f}x "
+        f"(acceptance: >= {result['p99_floor']}x)",
+        f"  gold served: ingress {e['gold_ok']}   fifo {f['gold_ok']}",
+        f"  batch served: ingress {e['batch_ok']}   fifo {f['batch_ok']}",
+        f"  ingress outcomes: {e['outcomes']}",
+        f"  fifo outcomes: {f['outcomes']}",
+        f"  batch shed rates: "
+        + ", ".join(
+            f"{k} {v:.1%}" for k, v in e["shed_rates"].items() if k != "gold"
+        ),
+        f"  shed spread {result['batch_shed_spread']:.3f} "
+        f"(acceptance: <= {result['fairness_spread_ceil']})",
+        f"  permit leaks at drain: ingress {e['permit_leak']}, "
+        f"fifo {f['permit_leak']} (acceptance: 0)",
+    ]
+    return "\n".join(lines)
+
+
+def check(result: dict) -> None:
+    e, f = result["edf"], result["fifo"]
+    # The headline: priority + EDF + shedding protects the gold class.
+    assert result["gold_p99_speedup"] >= P99_FLOOR, result["gold_p99_speedup"]
+    # Shedding is fair: equal-weight tenants shed at equal rates.
+    assert result["batch_shed_spread"] <= FAIRNESS_SPREAD_CEIL, (
+        result["batch_shed_spread"]
+    )
+    # Overload actually happened and the ingress shed rather than queued.
+    assert result["trace"]["offered_over_capacity"] >= 1.5, result["trace"]
+    assert sum(
+        v for k, v in e["outcomes"].items() if k.startswith("shed:")
+    ) > 0, e["outcomes"]
+    # Gold keeps flowing under the ingress.
+    assert e["gold_ok"] > 0, e
+    # Nothing leaked an admission permit.
+    assert e["permit_leak"] == 0 and f["permit_leak"] == 0, (e, f)
+
+
+def test_ingress_overload(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(result)
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    publish("ingress", render(result))
+
+
+if __name__ == "__main__":
+    result = run()
+    check(result)
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    publish("ingress", render(result))
+    print(f"wrote {BENCH_JSON}")

@@ -43,6 +43,7 @@ from repro.core.solver import (
 )
 from repro.errors import (
     DuplicateMetricError,
+    IngressShedError,
     NotTriangularError,
     ObservabilityError,
     ReproError,
@@ -82,13 +83,19 @@ from repro.obs import (
     Tracer,
 )
 from repro.serve import (
+    AsyncSolveService,
     BatchResult,
+    IngressConfig,
+    IngressStats,
     PlanStore,
+    PriorityClass,
     ServiceConfig,
     ServiceStats,
     ServiceTimeoutError,
     SolveRequest,
     SolveService,
+    TrafficSpec,
+    generate_traffic,
     matrix_fingerprint,
     structure_fingerprint,
     values_fingerprint,
@@ -142,6 +149,14 @@ __all__ = [
     "matrix_fingerprint",
     "structure_fingerprint",
     "values_fingerprint",
+    # async ingress
+    "AsyncSolveService",
+    "IngressConfig",
+    "IngressStats",
+    "PriorityClass",
+    "IngressShedError",
+    "TrafficSpec",
+    "generate_traffic",
     # adaptive selection
     "AdaptiveSelector",
     "SelectionThresholds",

@@ -11,6 +11,7 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceClosedError",
+    "IngressShedError",
     "ValidationError",
     "ObservabilityError",
     "DuplicateMetricError",
@@ -47,6 +48,30 @@ class ServiceOverloadedError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """A request was submitted to a service that has been shut down."""
+
+
+class IngressShedError(ServiceOverloadedError):
+    """The async ingress shed a request instead of running it.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable shed category: ``"admission"`` (the class
+        queue stayed full past the backpressure budget), ``"evicted"``
+        (a queued request was dropped to admit a tenant with fewer
+        queued requests — the per-tenant fairness rule), ``"expired"``
+        (the deadline passed while the request sat in queue), or
+        ``"shutdown"`` (the ingress closed without draining).
+    tenant:
+        Submitting tenant, for attribution in logs and retries.
+    """
+
+    def __init__(
+        self, message: str, *, reason: str = "admission", tenant: str = "default"
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.tenant = tenant
 
 
 class ObservabilityError(ReproError):

@@ -109,7 +109,9 @@ class ServeMetrics:
         )
         self.rejected_total = registry.counter(
             "repro_rejected_total",
-            "submissions refused at the admission gate (queue full)",
+            "requests refused at the admission gate (queue full), by "
+            "submitting tenant",
+            labelnames=("tenant",),
         )
         self.cache_lookups = registry.counter(
             "repro_cache_lookups_total",
@@ -135,6 +137,48 @@ class ServeMetrics:
             "repro_overlay_evictions_total",
             "values overlays evicted from cached patterns under "
             "overlay_capacity pressure",
+        )
+        # Async-ingress families (repro.serve.ingress).  The sheds
+        # counter is shared with the sync service, which increments it
+        # with reason="expired" when a queued request's deadline has
+        # already passed at worker pickup.
+        self.ingress_queue_depth = registry.gauge(
+            "repro_ingress_queue_depth",
+            "requests currently queued in the async ingress, per "
+            "priority class",
+            labelnames=("class",),
+        )
+        self.ingress_sheds = registry.counter(
+            "repro_ingress_sheds_total",
+            "requests shed instead of solved, by reason "
+            "(admission/evicted/expired/shutdown) and tenant",
+            labelnames=("reason", "tenant"),
+        )
+        self.ingress_admitted = registry.counter(
+            "repro_ingress_admitted_total",
+            "requests admitted into an ingress queue, by priority class "
+            "and tenant",
+            labelnames=("class", "tenant"),
+        )
+        self.ingress_dispatched = registry.counter(
+            "repro_ingress_dispatched_total",
+            "requests handed to the backend service by the EDF "
+            "dispatcher, per priority class",
+            labelnames=("class",),
+        )
+        self.ingress_admission_latency = registry.histogram(
+            "repro_ingress_admission_latency_seconds",
+            "wall-clock an admitted submit() spent awaiting queue space "
+            "(cooperative backpressure), per priority class",
+            labelnames=("class",),
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        self.ingress_queue_delay = registry.histogram(
+            "repro_ingress_queue_delay_seconds",
+            "wall-clock between ingress enqueue and dispatch, per "
+            "priority class",
+            labelnames=("class",),
+            buckets=DEFAULT_TIME_BUCKETS,
         )
         self.kernel_launches = registry.counter(
             "repro_kernel_launches_total",

@@ -8,6 +8,13 @@ of solve requests at kernel speed.
 
 from repro.serve.batch import BatchResult, BucketInfo
 from repro.serve.cache import CacheStats, PlanCache
+from repro.serve.ingress import (
+    DEFAULT_CLASSES,
+    AsyncSolveService,
+    IngressConfig,
+    IngressStats,
+    PriorityClass,
+)
 from repro.serve.fingerprint import (
     fingerprints,
     matrix_fingerprint,
@@ -24,6 +31,15 @@ from repro.serve.service import (
 )
 from repro.serve.stats import RequestRecord, ServiceStats
 from repro.serve.store import PlanStore, StoreStats
+from repro.serve.traffic import (
+    Arrival,
+    ReplayReport,
+    TrafficSpec,
+    generate_traffic,
+    make_rhs,
+    replay_async,
+    replay_fifo,
+)
 from repro.serve.workload import (
     Workload,
     mixed_workload,
@@ -54,4 +70,16 @@ __all__ = [
     "SolveService",
     "RequestRecord",
     "ServiceStats",
+    "AsyncSolveService",
+    "IngressConfig",
+    "IngressStats",
+    "PriorityClass",
+    "DEFAULT_CLASSES",
+    "Arrival",
+    "ReplayReport",
+    "TrafficSpec",
+    "generate_traffic",
+    "make_rhs",
+    "replay_async",
+    "replay_fifo",
 ]

@@ -381,10 +381,12 @@ class SolveService:
         # the ring above starts dropping its oldest records.
         self._lifetime = {
             "requests": 0, "completed": 0, "failed": 0, "timeouts": 0,
+            "shed_expired": 0,
         }
         self._id_lock = threading.Lock()
         self._next_id = 0
         self._rejected = 0
+        self._rejected_by_tenant: dict[str, int] = {}
         self._closed = False
         self._fault_injector = fault_injector
         self._obs = cfg.obs
@@ -446,18 +448,31 @@ class SolveService:
             self._next_id += k
         return ids
 
-    def _admit(self, k: int) -> None:
+    def _admit(self, tenants: list[str]) -> None:
+        """Acquire one admission permit per request, all-or-nothing.
+
+        On overflow every already-acquired permit is released (no
+        leaks) and *every* request in the submission is counted as
+        rejected under its own tenant — the attribution the shed
+        fairness view needs.
+        """
         acquired = 0
-        for _ in range(k):
+        for _ in tenants:
             if self._admission.acquire(blocking=False):
                 acquired += 1
             else:
                 for _ in range(acquired):
                     self._admission.release()
                 with self._records_lock:
-                    self._rejected += 1
+                    self._rejected += len(tenants)
+                    for t in tenants:
+                        self._rejected_by_tenant[t] = (
+                            self._rejected_by_tenant.get(t, 0) + 1
+                        )
                 if self._obs is not None:
-                    self._obs.serve_metrics.rejected_total.inc()
+                    counter = self._obs.serve_metrics.rejected_total
+                    for t in set(tenants):
+                        counter.inc(tenants.count(t), tenant=t)
                 raise ServiceOverloadedError(
                     f"admission queue full ({self.config.queue_limit} in flight); "
                     "retry later or raise queue_limit"
@@ -466,6 +481,13 @@ class SolveService:
     def _release(self, k: int) -> None:
         for _ in range(k):
             self._admission.release()
+
+    @property
+    def admission_available(self) -> int:
+        """Free admission permits right now.  Equals
+        ``config.queue_limit`` when the service is fully drained — the
+        invariant the permit-leak regression tests assert."""
+        return self._admission._value
 
     def _deadline(self, timeout_s: float | None) -> float | None:
         t = self.config.timeout_s if timeout_s is None else timeout_s
@@ -490,7 +512,7 @@ class SolveService:
         """
         if self._closed:
             raise ServiceClosedError("service has been shut down")
-        self._admit(1)
+        self._admit([tenant])
         rid = self._take_ids(1)[0]
         deadline = self._deadline(timeout_s)
         job = _GroupJob(
@@ -547,7 +569,7 @@ class SolveService:
         if not reqs:
             return BatchResult([])
         t_batch = monotonic()
-        self._admit(len(reqs))
+        self._admit([r.tenant for r in reqs])
         ids = self._take_ids(len(reqs))
         deadline = self._deadline(timeout_s)
         structural = self.config.structural_batching
@@ -619,6 +641,8 @@ class SolveService:
             life["requests"] += 1
             if rec.timed_out:
                 life["timeouts"] += 1
+                if rec.shed_expired:
+                    life["shed_expired"] += 1
             elif rec.error is not None:
                 life["failed"] += 1
             else:
@@ -1241,11 +1265,34 @@ class SolveService:
         coalesced = len(job.rids)
         n_dev = cfg.n_devices
         dev_label = "0" if n_dev == 1 else f"0-{n_dev - 1}"
+        ncols0 = [1 if b.ndim == 1 else b.shape[1] for b in job.bs]
+        if deadline is not None and monotonic() > deadline:
+            # The deadline expired while the request sat in queue: shed
+            # it *now*, before paying the fingerprint, cache lookup, and
+            # solve it can no longer use.  Recorded as shed_expired — a
+            # sub-category of timeouts distinct from mid-solve expiry
+            # (the queue wait was already measured by the caller).
+            wall = monotonic() - t0
+            for rid, k in zip(job.rids, ncols0):
+                self._record(RequestRecord(
+                    request_id=rid, fingerprint=job.fp or "", method=method,
+                    n=A.n_rows, nnz=A.nnz, n_rhs=k, tenant=job.tenant,
+                    coalesced=coalesced, fused=fused, bucket=bucket_n,
+                    wall_time_s=wall, device=dev_label,
+                    timed_out=True, shed_expired=True,
+                ))
+            if obs is not None:
+                obs.serve_metrics.ingress_sheds.inc(
+                    len(job.rids), reason="expired", tenant=job.tenant
+                )
+            raise ServiceTimeoutError(
+                "request deadline expired while queued (shed before solve)"
+            )
         if job.fp is None:  # submit path: fingerprints not yet computed
             job.orient = triangle_orientation(A)
             job.fp, job.sfp, job.vfp = fingerprints(A, orientation=job.orient)
         fp = job.fp
-        ncols = [1 if b.ndim == 1 else b.shape[1] for b in job.bs]
+        ncols = ncols0
         trace_id: int | None = None
         if obs is not None:
             current = obs.tracer.current()
@@ -1428,6 +1475,7 @@ class SolveService:
         with self._records_lock:
             records = list(self._records)
             rejected = self._rejected
+            rejected_by_tenant = dict(self._rejected_by_tenant)
             lifetime = dict(self._lifetime)
         with self._counter_lock:
             overlay_evictions = self._overlay_evictions
@@ -1436,6 +1484,7 @@ class SolveService:
             records,
             self.cache.stats(),
             rejected=rejected,
+            rejected_by_tenant=rejected_by_tenant,
             store=self.store.stats() if self.store is not None else None,
             overlay_evictions=overlay_evictions,
             pattern_builds=pattern_builds,

@@ -59,6 +59,11 @@ class RequestRecord:
     trace_id: int | None = None
     error: str | None = None
     timed_out: bool = False
+    #: the deadline had already expired when a worker picked the
+    #: request up, so it was shed before paying the cache lookup or
+    #: solve (a sub-category of ``timed_out``; mid-solve timeouts have
+    #: ``timed_out=True, shed_expired=False``)
+    shed_expired: bool = False
 
     @property
     def ok(self) -> bool:
@@ -95,6 +100,7 @@ class RequestRecord:
             "trace_id": self.trace_id,
             "error": self.error,
             "timed_out": self.timed_out,
+            "shed_expired": self.shed_expired,
         }
 
 
@@ -140,6 +146,10 @@ class ServiceStats:
     completed: int = 0
     failed: int = 0
     timeouts: int = 0
+    #: timeouts whose deadline had already expired at worker pickup, so
+    #: the request was shed before the cache lookup and solve (a subset
+    #: of ``timeouts``; mid-solve timeouts are ``timeouts`` minus this)
+    shed_expired: int = 0
     #: records currently retained in the ring (percentile sample size)
     retained: int = 0
     #: submissions refused at the admission gate (no record is created
@@ -196,6 +206,7 @@ class ServiceStats:
         cache: CacheStats | None = None,
         *,
         rejected: int = 0,
+        rejected_by_tenant: dict | None = None,
         store: StoreStats | None = None,
         overlay_evictions: int = 0,
         pattern_builds: int = 0,
@@ -234,9 +245,19 @@ class ServiceStats:
         per_device = {
             dev: _latency_summary(rs) for dev, rs in sorted(by_device.items())
         }
-        per_tenant = {
-            t: _latency_summary(rs) for t, rs in sorted(by_tenant.items())
+        # Per-tenant blocks carry the admission-gate rejections too: a
+        # tenant whose every submission bounced still gets a block (with
+        # requests=0), otherwise shed fairness across tenants cannot be
+        # measured from the snapshot.
+        rej_by_tenant = {
+            str(t): int(n) for t, n in (rejected_by_tenant or {}).items()
         }
+        per_tenant = {
+            t: _latency_summary(by_tenant.get(t, []))
+            for t in sorted(set(by_tenant) | set(rej_by_tenant))
+        }
+        for t, block in per_tenant.items():
+            block["rejected"] = rej_by_tenant.get(t, 0)
         life = lifetime or {}
         return cls(
             requests=life.get("requests", len(records)),
@@ -246,6 +267,9 @@ class ServiceStats:
             ),
             timeouts=life.get(
                 "timeouts", sum(1 for r in records if r.timed_out)
+            ),
+            shed_expired=life.get(
+                "shed_expired", sum(1 for r in records if r.shed_expired)
             ),
             retained=len(records),
             rejected=rejected,
@@ -293,6 +317,7 @@ class ServiceStats:
             "completed": self.completed,
             "failed": self.failed,
             "timeouts": self.timeouts,
+            "shed_expired": self.shed_expired,
             "retained": self.retained,
             "rejected": self.rejected,
             "cache_hits": self.cache_hits,
@@ -337,7 +362,8 @@ class ServiceStats:
         lines = [
             "service stats",
             f"  requests      {self.requests:6d}   completed {self.completed}, "
-            f"failed {self.failed}, timeouts {self.timeouts}, "
+            f"failed {self.failed}, timeouts {self.timeouts} "
+            f"({self.shed_expired} shed in queue), "
             f"rejected {self.rejected}"
             + (
                 f"   ({self.retained} retained for percentiles)"
@@ -398,6 +424,7 @@ class ServiceStats:
                     f"{d['p99_wall_time_s'] * 1e3:.4f} ms   "
                     f"sim p50/95/99 {d['p50_sim_latency_s'] * 1e3:.4f} / "
                     f"{d['p95_sim_latency_s'] * 1e3:.4f} / "
-                    f"{d['p99_sim_latency_s'] * 1e3:.4f} ms"
+                    f"{d['p99_sim_latency_s'] * 1e3:.4f} ms   "
+                    f"rejected {d.get('rejected', 0)}"
                 )
         return "\n".join(lines)

@@ -1,0 +1,372 @@
+"""Replayable synthetic traffic for the async ingress.
+
+:func:`generate_traffic` draws a timestamped arrival sequence from an
+inhomogeneous Poisson process — a diurnal sinusoid over the base rate
+plus randomly placed burst episodes — with Zipf hot-key skew over the
+matrix pool and weighted tenant attribution.  Everything is driven by
+one seeded :class:`numpy.random.Generator`, so a (spec, matrix list)
+pair always produces the identical trace: benchmarks and regression
+tests replay the same overload, byte for byte.
+
+:func:`replay_async` paces a trace through an
+:class:`~repro.serve.ingress.AsyncSolveService`;
+:func:`replay_fifo` paces the same trace straight into the thread-pool
+:class:`~repro.serve.service.SolveService` — the no-priority,
+no-shedding baseline the benchmark compares against.  Both return a
+:class:`ReplayReport` with per-request outcomes and wall latencies
+measured from the *scheduled* arrival time (queueing delay included).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.obs.clock import monotonic
+
+__all__ = [
+    "Arrival",
+    "ReplayReport",
+    "TrafficSpec",
+    "generate_traffic",
+    "make_rhs",
+    "replay_async",
+    "replay_fifo",
+]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request of a synthetic trace."""
+
+    #: arrival offset from trace start, seconds
+    t: float
+    #: matrix name (key into the workload's matrix pool)
+    matrix: str
+    tenant: str
+    #: priority class the request is submitted under
+    klass: str
+    #: seed for the request's right-hand side (see :func:`make_rhs`)
+    rhs_seed: int
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Shape of a synthetic arrival process (all times in seconds)."""
+
+    duration_s: float = 2.0
+    #: mean arrival rate before modulation, requests/second
+    base_rate: float = 50.0
+    #: diurnal modulation: rate swings ±this fraction of ``base_rate``
+    #: over one ``diurnal_period_s`` sinusoid (0 = flat)
+    diurnal_amplitude: float = 0.5
+    diurnal_period_s: float = 1.0
+    #: extra arrival rate during burst episodes (0 = no bursts)
+    burst_rate: float = 0.0
+    #: mean gap between burst episode starts (exponential)
+    burst_every_s: float = 0.5
+    burst_duration_s: float = 0.1
+    #: Zipf exponent for matrix popularity: request i of the pool gets
+    #: weight ``1 / (i+1)**hot_key_skew`` (0 = uniform)
+    hot_key_skew: float = 1.0
+    #: tenant labels; requests are attributed by ``tenant_weights``
+    tenants: tuple = ("default",)
+    #: relative request share per tenant (empty = equal shares)
+    tenant_weights: tuple = ()
+    #: priority class per tenant, aligned with ``tenants`` (empty =
+    #: every tenant submits under the ingress default class)
+    tenant_classes: tuple = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.base_rate <= 0:
+            raise ValueError(f"base_rate must be > 0, got {self.base_rate}")
+        if not 0 <= self.diurnal_amplitude <= 1:
+            raise ValueError(
+                "diurnal_amplitude must be in [0, 1], got "
+                f"{self.diurnal_amplitude}"
+            )
+        if self.burst_rate < 0:
+            raise ValueError(f"burst_rate must be >= 0, got {self.burst_rate}")
+        if not self.tenants:
+            raise ValueError("at least one tenant is required")
+        if self.tenant_weights and len(self.tenant_weights) != len(self.tenants):
+            raise ValueError(
+                f"{len(self.tenant_weights)} weights for "
+                f"{len(self.tenants)} tenants"
+            )
+        if self.tenant_classes and len(self.tenant_classes) != len(self.tenants):
+            raise ValueError(
+                f"{len(self.tenant_classes)} classes for "
+                f"{len(self.tenants)} tenants"
+            )
+
+    def rate_at(self, t: float, bursts: list[tuple] | None = None) -> float:
+        """Instantaneous arrival rate at offset ``t``."""
+        rate = self.base_rate * (
+            1.0
+            + self.diurnal_amplitude
+            * np.sin(2.0 * np.pi * t / self.diurnal_period_s)
+        )
+        if bursts:
+            for start, end in bursts:
+                if start <= t < end:
+                    rate += self.burst_rate
+                    break
+        return float(rate)
+
+
+def _burst_episodes(spec: TrafficSpec, rng: np.random.Generator) -> list[tuple]:
+    if spec.burst_rate <= 0:
+        return []
+    episodes = []
+    t = float(rng.exponential(spec.burst_every_s))
+    while t < spec.duration_s:
+        episodes.append((t, t + spec.burst_duration_s))
+        t += spec.burst_duration_s + float(rng.exponential(spec.burst_every_s))
+    return episodes
+
+
+def generate_traffic(spec: TrafficSpec, matrices: list[str]) -> list[Arrival]:
+    """Draw the arrival trace for ``spec`` over the named matrix pool.
+
+    Arrival times come from thinning a homogeneous Poisson process at
+    the peak rate; matrix choice is Zipf-skewed toward the front of
+    ``matrices``; tenants are weighted-categorical with their class
+    riding along.  Deterministic for a given (spec, matrices) pair.
+    """
+    if not matrices:
+        raise ValueError("matrix pool must be non-empty")
+    rng = np.random.default_rng(spec.seed)
+    bursts = _burst_episodes(spec, rng)
+    peak = spec.base_rate * (1.0 + spec.diurnal_amplitude) + spec.burst_rate
+
+    # Zipf weights over the pool (rank = position in `matrices`)
+    ranks = np.arange(1, len(matrices) + 1, dtype=np.float64)
+    mat_w = ranks ** (-float(spec.hot_key_skew))
+    mat_w /= mat_w.sum()
+
+    if spec.tenant_weights:
+        ten_w = np.asarray(spec.tenant_weights, dtype=np.float64)
+        ten_w /= ten_w.sum()
+    else:
+        ten_w = np.full(len(spec.tenants), 1.0 / len(spec.tenants))
+    classes = spec.tenant_classes or (None,) * len(spec.tenants)
+
+    arrivals: list[Arrival] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        if t >= spec.duration_s:
+            break
+        # thinning: keep the candidate with probability rate(t) / peak
+        if rng.uniform() * peak > spec.rate_at(t, bursts):
+            continue
+        mi = int(rng.choice(len(matrices), p=mat_w))
+        ti = int(rng.choice(len(spec.tenants), p=ten_w))
+        arrivals.append(
+            Arrival(
+                t=t,
+                matrix=matrices[mi],
+                tenant=spec.tenants[ti],
+                klass=classes[ti],
+                rhs_seed=int(rng.integers(2**31 - 1)),
+            )
+        )
+    return arrivals
+
+
+def make_rhs(n: int, seed: int, n_rhs: int = 1) -> np.ndarray:
+    """The right-hand side an :class:`Arrival` stands for — derived from
+    its ``rhs_seed`` so replays regenerate identical numerics."""
+    rng = np.random.default_rng(seed)
+    if n_rhs == 1:
+        return rng.standard_normal(n)
+    return rng.standard_normal((n, n_rhs))
+
+
+@dataclass
+class ReplayReport:
+    """Per-request outcomes of one trace replay.
+
+    Each record is a dict with keys ``t`` (scheduled arrival offset),
+    ``matrix``, ``tenant``, ``klass``, ``outcome`` (``"ok"`` or an
+    error label like ``"shed:expired"`` / ``"timeout"`` /
+    ``"rejected"``), and ``wall_s`` (scheduled arrival → terminal
+    state, queueing included).
+    """
+
+    records: list = field(default_factory=list)
+    #: replay wall time, trace start to last terminal state
+    elapsed_s: float = 0.0
+
+    def outcomes(self) -> dict:
+        counts: dict[str, int] = {}
+        for r in self.records:
+            counts[r["outcome"]] = counts.get(r["outcome"], 0) + 1
+        return counts
+
+    def latencies(
+        self,
+        *,
+        tenant: str | None = None,
+        klass: str | None = None,
+        outcome: str = "ok",
+    ) -> list[float]:
+        return [
+            r["wall_s"]
+            for r in self.records
+            if (tenant is None or r["tenant"] == tenant)
+            and (klass is None or r["klass"] == klass)
+            and (outcome is None or r["outcome"] == outcome)
+        ]
+
+    def percentile(self, q: float, **filters) -> float:
+        lats = self.latencies(**filters)
+        if not lats:
+            return float("nan")
+        return float(np.percentile(np.asarray(lats), q))
+
+    def shed_rate(self, tenant: str) -> float:
+        mine = [r for r in self.records if r["tenant"] == tenant]
+        if not mine:
+            return 0.0
+        shed = sum(
+            1 for r in mine
+            if r["outcome"].startswith("shed:") or r["outcome"] == "rejected"
+        )
+        return shed / len(mine)
+
+
+def _outcome_of(exc: BaseException | None) -> str:
+    from repro.errors import IngressShedError
+    from repro.serve.service import ServiceTimeoutError
+
+    if exc is None:
+        return "ok"
+    if isinstance(exc, IngressShedError):
+        return f"shed:{exc.reason}"
+    if isinstance(exc, ServiceTimeoutError):
+        return "timeout"
+    if isinstance(exc, ServiceError):
+        return "rejected"
+    return f"error:{type(exc).__name__}"
+
+
+async def replay_async(
+    ingress,
+    matrices: dict,
+    arrivals: list[Arrival],
+    *,
+    speed: float = 1.0,
+    n_rhs: int = 1,
+) -> ReplayReport:
+    """Pace ``arrivals`` through an :class:`AsyncSolveService`.
+
+    ``speed > 1`` compresses the trace (arrival offsets divided by
+    ``speed``).  Latencies are measured from each request's scheduled
+    arrival, so dispatch lag counts against the served percentiles.
+    """
+    if speed <= 0:
+        raise ValueError(f"speed must be > 0, got {speed}")
+    report = ReplayReport()
+    epoch = monotonic()
+
+    async def one(a: Arrival) -> dict:
+        due = epoch + a.t / speed
+        delay = due - monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        t0 = monotonic()
+        exc = None
+        try:
+            A = matrices[a.matrix]
+            await ingress.submit(
+                A, make_rhs(A.n_rows, a.rhs_seed, n_rhs),
+                tenant=a.tenant, priority=a.klass,
+            )
+        except BaseException as e:  # noqa: BLE001 — every outcome is a record
+            exc = e
+        return {
+            "t": a.t, "matrix": a.matrix, "tenant": a.tenant,
+            "klass": a.klass, "outcome": _outcome_of(exc),
+            "wall_s": monotonic() - t0,
+        }
+
+    report.records = list(
+        await asyncio.gather(*(one(a) for a in arrivals))
+    )
+    report.elapsed_s = monotonic() - epoch
+    return report
+
+
+def replay_fifo(
+    service,
+    matrices: dict,
+    arrivals: list[Arrival],
+    *,
+    speed: float = 1.0,
+    n_rhs: int = 1,
+    deadlines: dict | None = None,
+) -> ReplayReport:
+    """Pace the same trace straight into the thread-pool service — the
+    FIFO baseline: no priorities, no EDF, no queue-expiry shedding.
+
+    ``deadlines`` maps class name → relative deadline so the baseline
+    carries the same per-request timeout budget as the ingress (its
+    only defense is the mid-solve deadline check and the bounded
+    admission queue).
+    """
+    if speed <= 0:
+        raise ValueError(f"speed must be > 0, got {speed}")
+    deadlines = deadlines or {}
+    report = ReplayReport()
+    entries = []
+    epoch = monotonic()
+    for a in arrivals:
+        due = epoch + a.t / speed
+        delay = due - monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        t0 = monotonic()
+        A = matrices[a.matrix]
+        try:
+            fut = service.submit(
+                A, make_rhs(A.n_rows, a.rhs_seed, n_rhs),
+                tenant=a.tenant,
+                timeout_s=deadlines.get(a.klass),
+            )
+        except ServiceError as e:
+            report.records.append({
+                "t": a.t, "matrix": a.matrix, "tenant": a.tenant,
+                "klass": a.klass, "outcome": _outcome_of(e),
+                "wall_s": monotonic() - t0,
+            })
+            continue
+        # stamp completion when the future resolves, not when this
+        # thread gets around to reading it
+        done_at = {"t": None}
+        fut.add_done_callback(
+            lambda f, d=done_at: d.__setitem__("t", monotonic())
+        )
+        entries.append((a, t0, fut, done_at))
+    for a, t0, fut, done_at in entries:
+        exc = None
+        try:
+            fut.result()
+        except BaseException as e:  # noqa: BLE001
+            exc = e
+        end = done_at["t"] if done_at["t"] is not None else monotonic()
+        report.records.append({
+            "t": a.t, "matrix": a.matrix, "tenant": a.tenant,
+            "klass": a.klass, "outcome": _outcome_of(exc),
+            "wall_s": end - t0,
+        })
+    report.elapsed_s = monotonic() - epoch
+    return report

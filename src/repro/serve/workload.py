@@ -32,12 +32,33 @@ class Workload:
     #: request belongs to the "default" tenant)
     tenants: list[str] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # A tenant list shorter than the stream used to IndexError on
+        # first use past its end; normalize to full alignment by
+        # extending with the same round-robin rule _assign_tenants
+        # applies (cycle the given labels), and trim any excess.
+        if self.tenants and len(self.tenants) != len(self.stream):
+            given = [str(t) for t in self.tenants]
+            self.tenants = [
+                given[i % len(given)] for i in range(len(self.stream))
+            ]
+
     @property
     def n_requests(self) -> int:
         return len(self.stream)
 
     def tenant_of(self, i: int) -> str:
-        return self.tenants[i] if self.tenants else "default"
+        if not self.tenants:
+            return "default"
+        if not 0 <= i < len(self.stream):
+            raise ValueError(
+                f"request index {i} out of range for a "
+                f"{len(self.stream)}-request stream"
+            )
+        # Cycle rather than index directly: a stream appended to after
+        # construction keeps the round-robin assignment instead of
+        # raising IndexError.
+        return self.tenants[i % len(self.tenants)]
 
     def requests(self) -> list[SolveRequest]:
         return [

@@ -5,7 +5,17 @@
 * ``ExecutionPlan.solve``/``solve_multi`` (and the kernel entry points)
   silently truncated integer right-hand sides;
 * ``astype`` on CSR/CSC/DCSR aliased the index arrays of the source
-  matrix into the converted copy.
+  matrix into the converted copy;
+* the queue-path batch (rode along with the async ingress): requests
+  whose deadline expired while queued paid cache lookup + solve before
+  noticing (now shed at task start, counted as ``shed_expired`` — a
+  sub-category of ``timeouts``); admission rejections carried no tenant
+  attribution (now per-tenant ``rejected`` counts + a tenant label on
+  ``repro_rejected_total``); ``Workload.tenant_of`` raised
+  ``IndexError`` when ``tenants`` was shorter than ``stream`` (now
+  normalized at construction, cycling lookups, ``ValueError`` out of
+  range); and ``_admit`` partial-acquire rollback is pinned under
+  threads (no permit leaks).
 """
 
 import math
@@ -19,10 +29,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import SolveService, solve_triangular
+from repro.errors import ServiceOverloadedError
 from repro.gpu.device import TITAN_RTX_SCALED
+from repro.obs import Observability
+from repro.serve import ServiceConfig, ServiceTimeoutError, SolveRequest
 from repro.serve.fingerprint import plan_key
 from repro.serve.stats import percentile
-from repro.serve.workload import mixed_workload
+from repro.serve.workload import Workload, mixed_workload
+from repro.validate import FaultInjector
 from repro.formats.csc import CSCMatrix
 from repro.formats.csr import CSRMatrix
 from repro.formats.dcsr import DCSRMatrix
@@ -465,3 +479,222 @@ class TestPercentileBoundaries:
     @settings(max_examples=100, deadline=None)
     def test_result_is_an_observed_value(self, xs, q):
         assert percentile(xs, q) in xs
+
+
+@pytest.fixture
+def queue_system():
+    L = random_lower(40, 0.15, seed=2)
+    return L, np.ones(L.n_rows)
+
+
+class TestExpiredInQueueShed:
+    def test_expired_request_skips_solve_and_counts(self, queue_system):
+        """Stack a slow request ahead of an already-expired one; the
+        expired request must shed before its solve runs."""
+        L, b = queue_system
+        inj = FaultInjector(solve_delay_s=0.15)
+        svc = SolveService(ServiceConfig(max_workers=1))
+        svc.solve(L, b)  # plan built, cache warm, no injector yet
+        svc.install_fault_injector(inj)
+        blocker = svc.submit(L, b)  # holds the only worker ~0.15s
+        doomed = svc.submit(L, b, timeout_s=0.01)  # expires in queue
+        blocker.result()
+        with pytest.raises(ServiceTimeoutError, match="shed before solve"):
+            doomed.result()
+        stats = svc.stats()
+        records = svc.records()
+        svc.close()
+        # the doomed request never reached the solver hook
+        assert inj.solves_seen == 1
+        assert stats.shed_expired == 1
+        # shed_expired is a sub-category of timeouts, not a new bucket
+        assert stats.timeouts == 1
+        shed = [r for r in records if r.shed_expired]
+        assert len(shed) == 1 and shed[0].timed_out
+        assert shed[0].as_dict()["shed_expired"] is True
+
+    def test_mid_solve_timeout_is_not_shed_expired(self, queue_system):
+        L, b = queue_system
+        svc = SolveService(
+            ServiceConfig(max_workers=1),
+            fault_injector=FaultInjector(solve_delay_s=0.1),
+        )
+        with pytest.raises(ServiceTimeoutError):
+            svc.solve(L, b, timeout_s=0.05)
+        stats = svc.stats()
+        svc.close()
+        assert stats.timeouts == 1
+        assert stats.shed_expired == 0
+
+    def test_shed_expired_in_render_and_dict(self, queue_system):
+        L, b = queue_system
+        svc = SolveService(ServiceConfig(max_workers=1))
+        svc.solve(L, b)
+        stats = svc.stats()
+        svc.close()
+        assert "shed in queue" in stats.render()
+        assert stats.as_dict()["shed_expired"] == 0
+
+
+class TestTenantAttributedRejections:
+    def _overloaded(self, obs=None):
+        return SolveService(
+            ServiceConfig(max_workers=1, queue_limit=1, obs=obs),
+            fault_injector=FaultInjector(solve_delay_s=0.3),
+        )
+
+    def test_single_submit_rejection_lands_on_tenant(self, queue_system):
+        L, b = queue_system
+        svc = self._overloaded()
+        fut = svc.submit(L, b, tenant="alice")
+        with pytest.raises(ServiceOverloadedError):
+            svc.submit(L, b, tenant="bob")
+        fut.result()
+        stats = svc.stats()
+        svc.close()
+        assert stats.rejected == 1
+        assert stats.per_tenant["bob"]["rejected"] == 1
+        # bob never completed a request but still gets a tenant block
+        assert stats.per_tenant["bob"]["requests"] == 0
+        assert stats.per_tenant["alice"]["rejected"] == 0
+
+    def test_batch_rejection_counts_every_request(self, queue_system):
+        """A rejected batch must attribute one rejection per request,
+        under each request's own tenant."""
+        L, b = queue_system
+        svc = self._overloaded()
+        fut = svc.submit(L, b, tenant="warm")
+        reqs = [
+            SolveRequest(A=L, b=b, tenant=t)
+            for t in ("bob", "bob", "carol")
+        ]
+        with pytest.raises(ServiceOverloadedError):
+            svc.solve_batch(reqs)
+        fut.result()
+        stats = svc.stats()
+        svc.close()
+        assert stats.rejected == 3
+        assert stats.per_tenant["bob"]["rejected"] == 2
+        assert stats.per_tenant["carol"]["rejected"] == 1
+
+    def test_rejection_metric_carries_tenant_label(self, queue_system):
+        L, b = queue_system
+        obs = Observability()
+        svc = self._overloaded(obs=obs)
+        fut = svc.submit(L, b, tenant="alice")
+        with pytest.raises(ServiceOverloadedError):
+            svc.submit(L, b, tenant="bob")
+        fut.result()
+        svc.close()
+        samples = obs.metrics_dict()["repro_rejected_total"]["samples"]
+        assert any(
+            s["labels"] == {"tenant": "bob"} and s["value"] == 1
+            for s in samples
+        )
+
+    def test_tenant_render_includes_rejected(self, queue_system):
+        L, b = queue_system
+        svc = self._overloaded()
+        fut = svc.submit(L, b, tenant="alice")
+        with pytest.raises(ServiceOverloadedError):
+            svc.submit(L, b, tenant="bob")
+        fut.result()
+        stats = svc.stats()
+        svc.close()
+        assert "rejected 1" in stats.render()
+
+
+class TestWorkloadTenantAlignment:
+    def test_short_tenant_list_is_cycled_to_stream_length(self):
+        """tenants shorter than stream used to IndexError on use."""
+        wl = Workload(
+            matrices={"m": None},
+            stream=[("m", None)] * 5,
+            tenants=["a", "b"],
+        )
+        assert wl.tenants == ["a", "b", "a", "b", "a"]
+        assert wl.tenant_of(4) == "a"
+
+    def test_long_tenant_list_is_trimmed(self):
+        wl = Workload(
+            matrices={"m": None},
+            stream=[("m", None)] * 2,
+            tenants=["a", "b", "c", "d"],
+        )
+        assert wl.tenants == ["a", "b"]
+
+    def test_empty_tenants_means_default(self):
+        wl = Workload(matrices={"m": None}, stream=[("m", None)] * 3)
+        assert wl.tenant_of(2) == "default"
+
+    def test_out_of_range_raises_value_error(self):
+        wl = Workload(
+            matrices={"m": None}, stream=[("m", None)] * 3,
+            tenants=["a"],
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            wl.tenant_of(3)
+        with pytest.raises(ValueError, match="out of range"):
+            wl.tenant_of(-1)
+
+    def test_post_construction_append_keeps_cycling(self):
+        wl = Workload(
+            matrices={"m": None}, stream=[("m", None)] * 2,
+            tenants=["a", "b"],
+        )
+        wl.stream.append(("m", None))
+        assert wl.tenant_of(2) == "a"
+
+    def test_requests_use_aligned_tenants(self):
+        wl = mixed_workload(6, n_matrices=2, hot_matrices=2, seed=1,
+                            tenants=("x", "y"))
+        reqs = wl.requests()
+        assert [r.tenant for r in reqs] == ["x", "y", "x", "y", "x", "y"]
+
+
+class TestAdmitRollbackUnderThreads:
+    def test_failed_batch_admissions_leak_no_permits(self, queue_system):
+        """Hammer a tiny admission queue with concurrent batches; every
+        failed _admit must roll back its partial acquires, so once all
+        work drains the full permit count is available again."""
+        L, b = queue_system
+        svc = SolveService(
+            ServiceConfig(max_workers=2, queue_limit=4),
+            fault_injector=FaultInjector(solve_delay_s=0.005),
+        )
+        svc.solve(L, b)  # build the plan once up front
+        barrier = threading.Barrier(8)
+        rejected = []
+        completed = []
+        lock = threading.Lock()
+
+        def worker(i):
+            barrier.wait()
+            for _ in range(10):
+                reqs = [
+                    SolveRequest(A=L, b=b, tenant=f"t{i}")
+                    for _ in range(3)
+                ]
+                try:
+                    res = svc.solve_batch(reqs)
+                    with lock:
+                        completed.append(len(list(res)))
+                except ServiceOverloadedError:
+                    with lock:
+                        rejected.append(3)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # drained: every permit must be back
+        assert svc.admission_available == svc.config.queue_limit
+        stats = svc.stats()
+        svc.close()
+        # sanity: contention actually happened and work actually ran
+        assert rejected, "queue never overflowed"
+        assert completed
+        assert stats.rejected == sum(rejected)

@@ -1,0 +1,245 @@
+"""Tests for the synthetic traffic generator and replay (repro.serve.traffic)."""
+
+import asyncio
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AsyncSolveService,
+    IngressConfig,
+    PriorityClass,
+    ServiceConfig,
+    SolveService,
+    TrafficSpec,
+    generate_traffic,
+    make_rhs,
+    mixed_workload,
+    replay_async,
+    replay_fifo,
+)
+from repro.serve.traffic import ReplayReport
+from repro.validate import FaultInjector
+
+
+MATS = ["a", "b", "c", "d"]
+
+
+class TestSpecValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(duration_s=0)
+        with pytest.raises(ValueError):
+            TrafficSpec(base_rate=0)
+        with pytest.raises(ValueError):
+            TrafficSpec(diurnal_amplitude=1.5)
+        with pytest.raises(ValueError):
+            TrafficSpec(burst_rate=-1)
+        with pytest.raises(ValueError):
+            TrafficSpec(tenants=())
+        with pytest.raises(ValueError):
+            TrafficSpec(tenants=("a", "b"), tenant_weights=(1,))
+        with pytest.raises(ValueError):
+            TrafficSpec(tenants=("a", "b"), tenant_classes=("x",))
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            generate_traffic(TrafficSpec(), [])
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        spec = TrafficSpec(duration_s=1.0, base_rate=80, burst_rate=40,
+                           seed=9)
+        assert generate_traffic(spec, MATS) == generate_traffic(spec, MATS)
+
+    def test_seed_changes_trace(self):
+        a = generate_traffic(TrafficSpec(seed=1), MATS)
+        b = generate_traffic(TrafficSpec(seed=2), MATS)
+        assert a != b
+
+    def test_arrivals_ordered_and_bounded(self):
+        spec = TrafficSpec(duration_s=1.5, base_rate=100, seed=3)
+        trace = generate_traffic(spec, MATS)
+        ts = [a.t for a in trace]
+        assert ts == sorted(ts)
+        assert all(0 <= t < spec.duration_s for t in ts)
+        # rate sanity: mean arrivals near base_rate * duration
+        assert 0.5 * 150 < len(trace) < 1.5 * 150
+
+    def test_hot_key_skew_orders_popularity(self):
+        spec = TrafficSpec(duration_s=4.0, base_rate=200,
+                           hot_key_skew=1.5, seed=5)
+        counts = Counter(a.matrix for a in generate_traffic(spec, MATS))
+        assert counts["a"] > counts["d"]
+
+    def test_zero_skew_is_roughly_uniform(self):
+        spec = TrafficSpec(duration_s=4.0, base_rate=200,
+                           hot_key_skew=0.0, seed=5)
+        counts = Counter(a.matrix for a in generate_traffic(spec, MATS))
+        lo, hi = min(counts.values()), max(counts.values())
+        assert hi < 2 * lo
+
+    def test_tenant_weights_and_classes(self):
+        spec = TrafficSpec(
+            duration_s=4.0, base_rate=200, seed=7,
+            tenants=("big", "small"), tenant_weights=(4, 1),
+            tenant_classes=("batch", "interactive"),
+        )
+        trace = generate_traffic(spec, MATS)
+        counts = Counter(a.tenant for a in trace)
+        assert counts["big"] > 2 * counts["small"]
+        for a in trace:
+            expected = "batch" if a.tenant == "big" else "interactive"
+            assert a.klass == expected
+
+    def test_burst_windows_are_denser(self):
+        quiet = TrafficSpec(duration_s=4.0, base_rate=50,
+                            diurnal_amplitude=0.0, seed=11)
+        bursty = TrafficSpec(duration_s=4.0, base_rate=50,
+                             diurnal_amplitude=0.0, burst_rate=200,
+                             burst_every_s=0.5, burst_duration_s=0.2,
+                             seed=11)
+        assert len(generate_traffic(bursty, MATS)) > len(
+            generate_traffic(quiet, MATS)
+        )
+
+    def test_rate_at_reflects_diurnal_and_bursts(self):
+        spec = TrafficSpec(base_rate=100, diurnal_amplitude=0.5,
+                           diurnal_period_s=1.0, burst_rate=50)
+        assert spec.rate_at(0.25) == pytest.approx(150.0)
+        assert spec.rate_at(0.75) == pytest.approx(50.0)
+        assert spec.rate_at(0.25, [(0.2, 0.3)]) == pytest.approx(200.0)
+
+    def test_make_rhs_deterministic(self):
+        assert np.array_equal(make_rhs(16, 42), make_rhs(16, 42))
+        assert not np.array_equal(make_rhs(16, 42), make_rhs(16, 43))
+        assert make_rhs(16, 1, n_rhs=4).shape == (16, 4)
+
+
+class TestReplay:
+    def setup_method(self):
+        self.pool = mixed_workload(
+            4, n_matrices=2, hot_matrices=2, seed=3
+        ).matrices
+        self.spec = TrafficSpec(
+            duration_s=0.4, base_rate=50, seed=13,
+            tenants=("x", "y"), tenant_classes=("interactive", "batch"),
+        )
+        self.trace = generate_traffic(self.spec, list(self.pool))
+
+    def test_replay_async_serves_everything_uncontended(self):
+        svc = SolveService(max_workers=2)
+
+        async def main():
+            async with AsyncSolveService(svc) as ing:
+                return await replay_async(
+                    ing, self.pool, self.trace, speed=4.0
+                )
+
+        report = asyncio.run(main())
+        svc.close()
+        assert report.outcomes() == {"ok": len(self.trace)}
+        assert len(report.records) == len(self.trace)
+        assert report.percentile(50) > 0
+
+    def test_replay_fifo_matches_trace(self):
+        svc = SolveService(max_workers=2)
+        report = replay_fifo(svc, self.pool, self.trace, speed=4.0)
+        svc.close()
+        assert report.outcomes() == {"ok": len(self.trace)}
+
+    def test_replay_fifo_deadline_maps_to_timeouts(self):
+        svc = SolveService(
+            ServiceConfig(max_workers=1),
+            fault_injector=FaultInjector(solve_delay_s=0.05),
+        )
+        report = replay_fifo(
+            svc, self.pool, self.trace, speed=8.0,
+            deadlines={"interactive": 0.01, "batch": None},
+        )
+        svc.close()
+        outcomes = report.outcomes()
+        assert outcomes.get("timeout", 0) > 0
+        # deadline-free batch requests never time out
+        assert not any(
+            r["outcome"] == "timeout" and r["klass"] == "batch"
+            for r in report.records
+        )
+
+    def test_replay_async_records_sheds(self):
+        svc = SolveService(
+            ServiceConfig(max_workers=1),
+            fault_injector=FaultInjector(solve_delay_s=0.05),
+        )
+        cfg = IngressConfig(
+            classes=(
+                PriorityClass("interactive", rank=0, queue_limit=2,
+                              deadline_s=0.2),
+                PriorityClass("batch", rank=1, queue_limit=2,
+                              deadline_s=0.2),
+            ),
+            default_class="batch", backpressure_s=0.0, max_inflight=1,
+        )
+
+        async def main():
+            async with AsyncSolveService(svc, config=cfg) as ing:
+                return await replay_async(
+                    ing, self.pool, self.trace, speed=8.0
+                )
+
+        report = asyncio.run(main())
+        svc.close()
+        shed_outcomes = {
+            k: v for k, v in report.outcomes().items()
+            if k.startswith("shed:")
+        }
+        assert shed_outcomes
+        assert report.shed_rate("x") + report.shed_rate("y") > 0
+
+    def test_speed_must_be_positive(self):
+        svc = SolveService(max_workers=1)
+        with pytest.raises(ValueError):
+            replay_fifo(svc, self.pool, self.trace, speed=0)
+
+        async def main():
+            async with AsyncSolveService(svc) as ing:
+                with pytest.raises(ValueError):
+                    await replay_async(ing, self.pool, self.trace, speed=-1)
+
+        asyncio.run(main())
+        svc.close()
+
+
+class TestReplayReport:
+    def _report(self):
+        return ReplayReport(records=[
+            {"t": 0.0, "matrix": "a", "tenant": "x", "klass": "i",
+             "outcome": "ok", "wall_s": 0.01},
+            {"t": 0.1, "matrix": "a", "tenant": "x", "klass": "i",
+             "outcome": "shed:expired", "wall_s": 0.2},
+            {"t": 0.2, "matrix": "b", "tenant": "y", "klass": "b",
+             "outcome": "ok", "wall_s": 0.05},
+            {"t": 0.3, "matrix": "b", "tenant": "y", "klass": "b",
+             "outcome": "rejected", "wall_s": 0.0},
+        ])
+
+    def test_filters_and_percentiles(self):
+        r = self._report()
+        assert r.latencies(tenant="x") == [0.01]
+        assert r.latencies(klass="b") == [0.05]
+        assert r.latencies(outcome=None) == [0.01, 0.2, 0.05, 0.0]
+        assert r.percentile(50, tenant="y") == pytest.approx(0.05)
+        assert np.isnan(r.percentile(99, tenant="nobody"))
+
+    def test_shed_rates(self):
+        r = self._report()
+        assert r.shed_rate("x") == pytest.approx(0.5)
+        assert r.shed_rate("y") == pytest.approx(0.5)  # rejected counts
+        assert r.shed_rate("nobody") == 0.0
+
+    def test_outcomes_counts(self):
+        assert self._report().outcomes() == {
+            "ok": 2, "shed:expired": 1, "rejected": 1,
+        }
