@@ -76,6 +76,10 @@ from repro.dist import (
     DistributedPlan,
     DistSchedule,
     Interconnect,
+    Scheduler,
+    available_schedulers,
+    register_scheduler,
+    unregister_scheduler,
 )
 from repro.obs import (
     MetricsRegistry,
@@ -110,7 +114,7 @@ from repro.validate import (
     run_fuzz,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -176,6 +180,10 @@ __all__ = [
     "DistributedPlan",
     "DistSchedule",
     "Interconnect",
+    "Scheduler",
+    "available_schedulers",
+    "register_scheduler",
+    "unregister_scheduler",
     # observability
     "Observability",
     "Tracer",

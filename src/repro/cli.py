@@ -454,13 +454,22 @@ def cmd_trace(args) -> int:
 
 
 def cmd_dist(args) -> int:
-    from repro.dist import DistributedPlan
+    from repro.dist import (
+        DistributedPlan,
+        Interconnect,
+        available_schedulers,
+    )
 
     name, L = _load_matrix(args)
     device = known_devices()[args.device]
     if args.method not in SOLVERS:
         raise SystemExit(
             f"unknown method {args.method!r}; choose from {sorted(SOLVERS)}"
+        )
+    if args.scheduler not in available_schedulers():
+        raise SystemExit(
+            f"unknown scheduler {args.scheduler!r}; "
+            f"choose from {available_schedulers()}"
         )
     options = {}
     if args.nseg:
@@ -470,12 +479,25 @@ def cmd_dist(args) -> int:
             options["depth"] = max(1, args.nseg.bit_length() - 1)
     solver = SOLVERS[args.method](device=device, **options)
     prepared = solver.prepare(L)
-    dp = DistributedPlan.from_prepared(prepared, args.devices)
+    interconnect = (
+        Interconnect.hierarchical(device, node_size=args.node_size)
+        if args.node_size
+        else None
+    )
+    dp = DistributedPlan.from_prepared(
+        prepared,
+        args.devices,
+        interconnect=interconnect,
+        scheduler=args.scheduler,
+        sync=args.sync,
+    )
     b = np.ones(L.n_rows)
     x, report = dp.solve(b)
     print(
         f"matrix {name}: n={L.n_rows}, nnz={L.nnz}; "
-        f"{args.devices} simulated {device.name} device(s)"
+        f"{args.devices} simulated {device.name} device(s), "
+        f"scheduler {args.scheduler}, {args.sync} sync"
+        + (f", {args.node_size}/node hierarchy" if args.node_size else "")
     )
     print(dp.schedule.render())
     d = report.detail
@@ -855,14 +877,24 @@ def build_parser() -> argparse.ArgumentParser:
         "dist",
         help="shard one solve across simulated devices; print the schedule",
         description="Prepare one block plan, shard its segment DAG across "
-        "N simulated devices with the cost-model list scheduler, run the "
-        "sharded solve, and print the per-device timeline, occupancy, and "
-        "transfer volume.  --check additionally validates every scheduler "
-        "invariant and bit-compares against the single-device path.",
+        "N simulated devices with a registered cost-model scheduler, run "
+        "the sharded solve, and print the per-device timeline, occupancy, "
+        "and transfer volume.  --check additionally validates every "
+        "scheduler invariant and bit-compares against the single-device "
+        "path (bit-identity holds for every scheduler and sync mode).",
     )
     p.add_argument("matrix", help="suite/representative name or .mtx path")
     p.add_argument("--devices", type=int, default=2,
                    help="number of simulated devices")
+    p.add_argument("--scheduler", default="eft",
+                   help="placement policy: eft | lookahead-eft | superstep "
+                        "(or any externally registered name)")
+    p.add_argument("--sync", default="p2p", choices=["p2p", "barrier"],
+                   help="dependency sync mode: per-edge p2p notifications "
+                        "or bulk-synchronous barrier rounds")
+    p.add_argument("--node-size", type=int, default=0,
+                   help="devices per node of a two-tier hierarchical "
+                        "interconnect (0 = flat single-tier link)")
     p.add_argument("--method", default="column-block",
                    help="block method to shard (column-block exposes the "
                         "widest DAG)")

@@ -107,6 +107,25 @@ class SegmentDAG:
             finish[j] = ready + costs_s[j]
         return max(finish, default=0.0)
 
+    def levels(self) -> list[list[int]]:
+        """Segments grouped by longest-path depth, ascending.
+
+        Level ``k`` holds every segment whose longest predecessor chain
+        has ``k`` edges.  Segments within one level are mutually
+        independent (an edge strictly increases depth), so a level is
+        exactly one BSP superstep: everything in it may run in
+        parallel, and a barrier between consecutive levels respects
+        every dependency."""
+        depth = [0] * self.n_segments
+        for j in range(self.n_segments):  # plan order is topological
+            depth[j] = 1 + max(
+                (depth[p] for p in self.preds[j]), default=-1
+            )
+        groups: list[list[int]] = [[] for _ in range(max(depth, default=-1) + 1)]
+        for j, d in enumerate(depth):
+            groups[d].append(j)
+        return groups
+
 
 def build_segment_dag(plan: ExecutionPlan) -> SegmentDAG:
     """Derive the segment conflict DAG from a plan's interval bounds.

@@ -5,31 +5,61 @@ across N simulated devices:
 
 * :func:`repro.core.dag.build_segment_dag` derives the segment
   dependency DAG from the plan's interval bounds;
-* :func:`schedule_dag` runs a cost-model-driven list scheduler
-  (earliest-finish-time with deterministic ties) that prices
-  inter-device ``x``-fragment and partial-``b`` transfers with an
+* :func:`schedule_dag` places the DAG with a **pluggable scheduler**
+  from the registry — greedy earliest-finish-time (``"eft"``), one-step
+  critical-child lookahead (``"lookahead-eft"``), or level-aligned BSP
+  partitioning (``"superstep"``); external policies plug in via
+  :func:`register_scheduler` — and prices the timeline under a **sync
+  mode**: per-edge ``"p2p"`` ready notifications or bulk-synchronous
+  ``"barrier"`` rounds, over a flat or two-tier hierarchical
   :class:`Interconnect` model;
 * :class:`DistributedPlan` executes the schedule: numerics run in the
   schedule's topological order through the single-device compiled steps,
-  so the solution is bit-identical to the single-device compiled path,
-  while the simulated timeline accounts per-device queues and explicit
-  communication events.
+  so the solution is bit-identical to the single-device compiled path
+  *whichever scheduler and sync mode timed it*, while the simulated
+  timeline accounts per-device queues and explicit communication events.
 
 >>> prepared = RecursiveBlockSolver(device=dev).prepare(L)   # doctest: +SKIP
->>> dp = DistributedPlan.from_prepared(prepared, n_devices=4)  # doctest: +SKIP
+>>> dp = DistributedPlan.from_prepared(prepared, n_devices=4,  # doctest: +SKIP
+...                                    scheduler="superstep", sync="barrier")
 >>> x, report = dp.solve(b)                                  # doctest: +SKIP
 >>> print(dp.schedule.render())                              # doctest: +SKIP
 """
 
 from repro.dist.partition import tile_plan
-from repro.dist.schedule import DistSchedule, Interconnect, Transfer, schedule_dag
+from repro.dist.schedule import (
+    SCHEDULERS,
+    SYNC_MODES,
+    DistSchedule,
+    GreedyEFTScheduler,
+    Interconnect,
+    LookaheadEFTScheduler,
+    Scheduler,
+    SuperstepScheduler,
+    Transfer,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    schedule_dag,
+    unregister_scheduler,
+)
 from repro.dist.executor import DistributedPlan
 
 __all__ = [
     "DistSchedule",
     "DistributedPlan",
+    "GreedyEFTScheduler",
     "Interconnect",
+    "LookaheadEFTScheduler",
+    "SCHEDULERS",
+    "SYNC_MODES",
+    "Scheduler",
+    "SuperstepScheduler",
     "Transfer",
+    "available_schedulers",
+    "get_scheduler",
+    "register_scheduler",
     "schedule_dag",
     "tile_plan",
+    "unregister_scheduler",
 ]

@@ -33,7 +33,13 @@ from repro.core.dag import build_segment_dag
 from repro.core.executor import CompiledPlan, compile_plan
 from repro.core.plan import ExecutionPlan, TriSegment
 from repro.dist.partition import tile_plan
-from repro.dist.schedule import DistSchedule, Interconnect, schedule_dag
+from repro.dist.schedule import (
+    SYNC_MODES,
+    DistSchedule,
+    Interconnect,
+    get_scheduler,
+    schedule_dag,
+)
 from repro.errors import ShapeMismatchError
 from repro.gpu.device import DeviceModel
 from repro.gpu.report import SolveReport, merge_reports
@@ -65,12 +71,21 @@ class DistributedPlan:
         compiled: CompiledPlan | None = None,
         template: "DistributedPlan | None" = None,
         schedule: DistSchedule | None = None,
+        scheduler: str = "eft",
+        sync: str = "p2p",
     ) -> None:
         if n_devices < 1:
             raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+        if sync not in SYNC_MODES:
+            raise ValueError(
+                f"unknown sync mode {sync!r}; choose from {SYNC_MODES}"
+            )
+        get_scheduler(scheduler)  # fail fast on unknown policy names
         self.source_plan = plan
         self.device = device
         self.n_devices = int(n_devices)
+        self.scheduler = scheduler
+        self.sync = sync
         self.interconnect = interconnect or Interconnect.for_device(device)
         #: the executed plan: the source with every multi-part SpMV split
         #: at triangular boundaries (bitwise-equal refinement) so the
@@ -86,12 +101,31 @@ class DistributedPlan:
         if template is not None:
             # the DAG, probe reports, and schedule read only segment
             # structure and simulated per-segment costs — both are pinned
-            # by the pattern key, so values-only overlays share them
+            # by the pattern key, so values-only overlays share them.
+            # Schedules are policy products: shared only when the
+            # template was scheduled under the same scheduler and sync
+            # mode, else recomputed from the shared probe costs.
             self.dag = template.dag
             self._reports = template._reports
-            self.schedule = template.schedule
-            self._multi = template._multi
-            self._multi_lock = template._multi_lock
+            if (
+                getattr(template, "scheduler", "eft") == scheduler
+                and getattr(template, "sync", "p2p") == sync
+            ):
+                self.schedule = template.schedule
+                self._multi = template._multi
+                self._multi_lock = template._multi_lock
+            else:
+                self.schedule = schedule_dag(
+                    self.dag,
+                    [r.time_s for r in self._reports],
+                    self.n_devices,
+                    self.interconnect,
+                    method=plan.method,
+                    scheduler=scheduler,
+                    sync=sync,
+                )
+                self._multi = {}
+                self._multi_lock = threading.Lock()
         else:
             self.dag = build_segment_dag(self.plan)
             self._reports = self._probe_reports(k=0)
@@ -103,6 +137,8 @@ class DistributedPlan:
                 schedule.n_devices == self.n_devices
                 and schedule.method == self.plan.method
                 and len(schedule.order) == len(self.plan.segments)
+                and getattr(schedule, "scheduler", "eft") == scheduler
+                and getattr(schedule, "sync", "p2p") == sync
             ):
                 self.schedule = schedule
             else:
@@ -112,6 +148,8 @@ class DistributedPlan:
                     self.n_devices,
                     self.interconnect,
                     method=plan.method,
+                    scheduler=scheduler,
+                    sync=sync,
                 )
             #: RHS width -> (schedule, per-segment reports); width 0 = 1-D
             self._multi: dict[int, tuple[DistSchedule, list]] = {}
@@ -126,6 +164,8 @@ class DistributedPlan:
         interconnect: Interconnect | None = None,
         template: "DistributedPlan | None" = None,
         schedule: DistSchedule | None = None,
+        scheduler: str = "eft",
+        sync: str = "p2p",
     ) -> "DistributedPlan":
         """Build from a :class:`repro.PreparedSolve`, reusing (or
         quietly building) its compiled executor for the numerics.
@@ -136,8 +176,10 @@ class DistributedPlan:
         so a values-only overlay pays gather cost rather than a full
         schedule rebuild.  ``schedule`` injects a persisted
         :class:`DistSchedule` (the plan store's warm-start path); it is
-        used only if it matches this plan's method, device count, and
-        tiled segment count, else recomputed.
+        used only if it matches this plan's method, device count,
+        tiled segment count, scheduler, and sync mode, else recomputed.
+        ``scheduler`` names a registered placement policy and ``sync``
+        the dependency-resolution mode (see :mod:`repro.dist.schedule`).
         """
         compile_quiet = getattr(prepared, "_compile_quiet", None)
         compiled = compile_quiet() if callable(compile_quiet) else None
@@ -149,6 +191,8 @@ class DistributedPlan:
             compiled=compiled,
             template=template,
             schedule=schedule,
+            scheduler=scheduler,
+            sync=sync,
         )
 
     def _compile_tiled(
@@ -230,6 +274,8 @@ class DistributedPlan:
             self.n_devices,
             self.interconnect,
             method=self.plan.method,
+            scheduler=self.scheduler,
+            sync=self.sync,
         )
         with self._multi_lock:
             return self._multi.setdefault(k, (sched, reports))
@@ -253,6 +299,8 @@ class DistributedPlan:
             kernels=list(merged.kernels),
             detail={
                 "n_devices": sched.n_devices,
+                "scheduler": sched.scheduler,
+                "sync": sched.sync,
                 "makespan_s": sched.makespan_s,
                 "single_device_s": sched.total_cost_s,
                 "speedup": sched.speedup(),

@@ -253,8 +253,9 @@ class ServeMetrics:
         # Sharded-execution families (repro.dist).
         self.dist_solves = registry.counter(
             "repro_dist_solves_total",
-            "sharded plan executions by method and device count",
-            labelnames=("method", "n_devices"),
+            "sharded plan executions by method, device count, and "
+            "placement policy",
+            labelnames=("method", "n_devices", "scheduler"),
         )
         self.dist_occupancy = registry.gauge(
             "repro_dist_occupancy_ratio",
@@ -270,6 +271,18 @@ class ServeMetrics:
             "repro_dist_transfer_items_total",
             "vector items moved between devices, by fragment kind",
             labelnames=("method", "kind"),
+        )
+        self.dist_sync_solves = registry.counter(
+            "repro_dist_sync_solves_total",
+            "sharded plan executions by dependency-sync mode and "
+            "placement policy",
+            labelnames=("sync", "scheduler"),
+        )
+        self.dist_sync_idle = registry.gauge(
+            "repro_dist_sync_idle_seconds",
+            "summed simulated device idle time of the most recent "
+            "sharded solve (what the sync mode cost on top of the work)",
+            labelnames=("sync",),
         )
 
 
@@ -448,8 +461,19 @@ def record_dist_solve(
 
     m = obs.serve_metrics
     method = plan.method
+    scheduler = getattr(schedule, "scheduler", "eft")
+    sync = getattr(schedule, "sync", "p2p")
     m.solves_total.inc(method=method)
-    m.dist_solves.inc(method=method, n_devices=str(schedule.n_devices))
+    m.dist_solves.inc(
+        method=method,
+        n_devices=str(schedule.n_devices),
+        scheduler=scheduler,
+    )
+    m.dist_sync_solves.inc(sync=sync, scheduler=scheduler)
+    m.dist_sync_idle.set(
+        schedule.n_devices * schedule.makespan_s - sum(schedule.device_busy_s),
+        sync=sync,
+    )
     for dev, (live_b, live_x) in enumerate(
         zip(live_b_per_device, live_x_per_device)
     ):

@@ -116,6 +116,14 @@ class ServiceConfig:
     #: :class:`repro.dist.DistributedPlan` (1 = the single-device
     #: compiled path; results are bit-identical either way)
     n_devices: int = 1
+    #: placement policy for the sharded executor — any name from
+    #: :func:`repro.dist.available_schedulers` (``"eft"``,
+    #: ``"lookahead-eft"``, ``"superstep"``, or externally registered)
+    scheduler: str = "eft"
+    #: dependency-resolution mode the sharded timeline is priced under:
+    #: ``"p2p"`` per-edge ready notifications or ``"barrier"``
+    #: bulk-synchronous rounds.  Numerics are identical either way.
+    sync_mode: str = "p2p"
     #: key the plan cache by sparsity *structure* and rebind values
     #: onto the shared pattern plan; batches additionally fuse
     #: same-pattern requests into one bucket.  False restores the
@@ -348,6 +356,14 @@ class SolveService:
             )
         if cfg.n_devices < 1:
             raise ValueError(f"n_devices must be >= 1, got {cfg.n_devices}")
+        from repro.dist.schedule import SYNC_MODES, get_scheduler
+
+        get_scheduler(cfg.scheduler)  # unknown names raise ValueError
+        if cfg.sync_mode not in SYNC_MODES:
+            raise ValueError(
+                f"unknown sync_mode {cfg.sync_mode!r}; "
+                f"choose from {SYNC_MODES}"
+            )
         if cfg.overlay_capacity < 1:
             raise ValueError(
                 f"overlay_capacity must be >= 1, got {cfg.overlay_capacity}"
@@ -656,7 +672,11 @@ class SolveService:
         from repro.dist import DistributedPlan
 
         return DistributedPlan.from_prepared(
-            prepared, self.config.n_devices, template=template
+            prepared,
+            self.config.n_devices,
+            template=template,
+            scheduler=self.config.scheduler,
+            sync=self.config.sync_mode,
         )
 
     def _build_entry(
@@ -930,8 +950,14 @@ class SolveService:
                 sched = None
             from repro.dist import DistributedPlan
 
+            # the executor itself re-checks scheduler/sync against the
+            # persisted schedule's stamps and recomputes on mismatch
             template_dist = DistributedPlan.from_prepared(
-                prepared_t, cfg.n_devices, schedule=sched
+                prepared_t,
+                cfg.n_devices,
+                schedule=sched,
+                scheduler=cfg.scheduler,
+                sync=cfg.sync_mode,
             )
         return _PatternEntry(
             method=payload["method"],

@@ -150,7 +150,10 @@ _B_DTYPES = ("float64", "float64", "int64", "float64", "int32", "float64")
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class FuzzCase:
-    """A fully deterministic test system: (matrix, rhs) from six fields."""
+    """A fully deterministic test system: (matrix, rhs) from six fields,
+    plus the scheduler/sync axis the sharded (``via="dist"``) arm runs
+    under — also part of the replay token, so a scheduler-specific
+    failure replays under the scheduler that produced it."""
 
     family: str
     seed: int
@@ -158,6 +161,10 @@ class FuzzCase:
     upper: bool = False
     n_rhs: int = 1
     b_dtype: str = "float64"
+    #: placement policy for the dist arm (a registered scheduler name)
+    scheduler: str = "eft"
+    #: dependency-sync mode for the dist arm ("p2p" | "barrier")
+    sync: str = "p2p"
 
     def build(self):
         """Materialize ``(A, b)``; same fields always give same system."""
@@ -177,21 +184,27 @@ class FuzzCase:
         return A, b
 
     def token(self) -> str:
-        """Compact ``--replay`` token: ``family:seed:size:L|U:k:dtype``."""
+        """Compact ``--replay`` token:
+        ``family:seed:size:L|U:k:dtype:scheduler:sync``."""
         return (
             f"{self.family}:{self.seed}:{self.size}:"
-            f"{'U' if self.upper else 'L'}:{self.n_rhs}:{self.b_dtype}"
+            f"{'U' if self.upper else 'L'}:{self.n_rhs}:{self.b_dtype}:"
+            f"{self.scheduler}:{self.sync}"
         )
 
     @classmethod
     def from_token(cls, token: str) -> "FuzzCase":
         parts = token.split(":")
-        if len(parts) != 6:
+        if len(parts) == 6:
+            # pre-1.3 token without the scheduler/sync axis: replays
+            # under the historical eft/p2p defaults
+            parts = parts + ["eft", "p2p"]
+        if len(parts) != 8:
             raise ValueError(
                 f"bad case token {token!r}; expected "
-                "family:seed:size:L|U:n_rhs:b_dtype"
+                "family:seed:size:L|U:n_rhs:b_dtype[:scheduler:sync]"
             )
-        family, seed, size, tri, n_rhs, b_dtype = parts
+        family, seed, size, tri, n_rhs, b_dtype, scheduler, sync = parts
         if family not in FAMILIES:
             raise ValueError(
                 f"unknown family {family!r}; choose from {sorted(FAMILIES)}"
@@ -202,6 +215,18 @@ class FuzzCase:
             np.dtype(b_dtype)
         except TypeError as exc:
             raise ValueError(f"bad b_dtype in token {token!r}: {exc}") from exc
+        from repro.dist.schedule import SYNC_MODES, available_schedulers
+
+        if scheduler not in available_schedulers():
+            raise ValueError(
+                f"unknown scheduler {scheduler!r} in token {token!r}; "
+                f"choose from {available_schedulers()}"
+            )
+        if sync not in SYNC_MODES:
+            raise ValueError(
+                f"unknown sync mode {sync!r} in token {token!r}; "
+                f"choose from {SYNC_MODES}"
+            )
         return cls(
             family=family,
             seed=int(seed),
@@ -209,6 +234,8 @@ class FuzzCase:
             upper=(tri == "U"),
             n_rhs=int(n_rhs),
             b_dtype=b_dtype,
+            scheduler=scheduler,
+            sync=sync,
         )
 
 
@@ -219,14 +246,22 @@ def sample_case(
 
     Families rotate so every round block covers all of them; every third
     case is mirrored upper-triangular, every fourth carries a multi-RHS
-    block, and RHS dtypes rotate through the integer types.
+    block, and RHS dtypes rotate through the integer types.  The dist
+    arm's scheduler and sync mode are drawn uniformly from the registry
+    (*after* the matrix/RHS draws, so the sampled systems are identical
+    to pre-1.3 streams) and recorded in the replay token.
     """
+    from repro.dist.schedule import SYNC_MODES, available_schedulers
+
     case_seed = seed * 1_000_003 + round_no
     rng = np.random.default_rng([_SEED_SALT, case_seed, 0])
     family = families[round_no % len(families)]
     size = int(rng.integers(max(12, base_size // 4), base_size + 1))
     upper = round_no % 3 == 1
     n_rhs = int(rng.integers(2, 5)) if round_no % 4 == 2 else 1
+    schedulers = available_schedulers()
+    scheduler = schedulers[int(rng.integers(len(schedulers)))]
+    sync = SYNC_MODES[int(rng.integers(len(SYNC_MODES)))]
     return FuzzCase(
         family=family,
         seed=case_seed,
@@ -234,6 +269,8 @@ def sample_case(
         upper=upper,
         n_rhs=n_rhs,
         b_dtype=_B_DTYPES[round_no % len(_B_DTYPES)],
+        scheduler=scheduler,
+        sync=sync,
     )
 
 
@@ -399,16 +436,23 @@ def _compiled_solve(
 
 
 def _dist_solve(
-    A, b: np.ndarray, method: str, device: DeviceModel, n_devices: int
+    A,
+    b: np.ndarray,
+    method: str,
+    device: DeviceModel,
+    n_devices: int,
+    scheduler: str = "eft",
+    sync: str = "p2p",
 ) -> tuple[np.ndarray, np.ndarray] | None:
     """Run one case through the :class:`repro.dist.DistributedPlan`
-    sharded executor; ``None`` if the method's prepared form exposes no
-    plan to shard.
+    sharded executor under the named scheduler and sync mode; ``None``
+    if the method's prepared form exposes no plan to shard.
 
     Returns ``(x_dist, x_single)`` — the sharded solution and the *same*
-    prepared plan's single-device solution.  The two must be bit-equal:
-    sharding reorders only commuting segments, so any difference at all
-    is a scheduler or tiling bug, not roundoff.
+    prepared plan's single-device solution.  The two must be bit-equal
+    for *every* registered scheduler and sync mode: scheduling reorders
+    only commuting segments, so any difference at all is a scheduler or
+    tiling bug, not roundoff.
     """
     from repro.dist import DistributedPlan
 
@@ -420,7 +464,9 @@ def _dist_solve(
     prepared = solver.prepare(L)
     if not isinstance(prepared, PreparedSolve):
         return None
-    dp = DistributedPlan.from_prepared(prepared, n_devices)
+    dp = DistributedPlan.from_prepared(
+        prepared, n_devices, scheduler=scheduler, sync=sync
+    )
     b = np.asarray(b)
     w = b if perm is None else b[perm]
     if b.ndim == 1:
@@ -547,9 +593,10 @@ def run_case(
 
     ``check_dist`` additionally runs the case through the sharded
     :class:`repro.dist.DistributedPlan` executor on ``2 + seed % 3``
-    simulated devices (with ``dist_method``, default the first method),
-    checking the result against the oracle *and* — bit for bit — against
-    the same prepared plan's single-device solution.
+    simulated devices (with ``dist_method``, default the first method)
+    under the case's sampled ``scheduler``/``sync`` axis, checking the
+    result against the oracle *and* — bit for bit — against the same
+    prepared plan's single-device solution.
 
     ``check_fused`` additionally runs three values variants of the case
     through a fresh :class:`SolveService` as one structurally-fused
@@ -618,13 +665,18 @@ def run_case(
     if check_dist and methods:
         dmethod = dist_method or methods[0]
         n_devices = 2 + case.seed % 3
+        dist_tag = (
+            f"{n_devices} devices, {case.scheduler}, {case.sync} sync"
+        )
         try:
-            pair = _dist_solve(A, b, dmethod, device, n_devices)
+            pair = _dist_solve(
+                A, b, dmethod, device, n_devices,
+                scheduler=case.scheduler, sync=case.sync,
+            )
         except Exception as exc:  # noqa: BLE001 - any crash is a finding
             failures.append(FuzzFailure(
                 case=case, method=dmethod, kind="exception", via="dist",
-                message=f"{type(exc).__name__}: {exc} "
-                        f"(n_devices={n_devices})",
+                message=f"{type(exc).__name__}: {exc} ({dist_tag})",
             ))
         else:
             if pair is not None:
@@ -635,7 +687,7 @@ def run_case(
                         case=case, method=dmethod, kind="mismatch",
                         via="dist", max_err=err,
                         message=(
-                            f"sharded solve ({n_devices} devices) deviates "
+                            f"sharded solve ({dist_tag}) deviates "
                             f"from the serial reference by {err:.3e}"
                         ),
                     ))
@@ -648,7 +700,7 @@ def run_case(
                         case=case, method=dmethod, kind="mismatch",
                         via="dist", max_err=bit_err,
                         message=(
-                            f"sharded solve ({n_devices} devices) is not "
+                            f"sharded solve ({dist_tag}) is not "
                             "bit-identical to the single-device path "
                             f"(max diff {bit_err:.3e})"
                         ),

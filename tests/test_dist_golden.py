@@ -1,11 +1,14 @@
 """Golden-schedule regression tests.
 
-The scheduler is a deterministic function of (plan, simulated costs,
-n_devices, interconnect), and every input is itself deterministic —
-suite matrices are seeded and costs are simulated, never wall-clock.
-So whole schedules can be pinned: assignment, execution order, and the
-transfer list must match the committed fixture *exactly*, and the
-simulated timeline to float-roundtrip tolerance.
+Every scheduler is a deterministic function of (plan, simulated costs,
+n_devices, interconnect, sync mode), and every input is itself
+deterministic — suite matrices are seeded and costs are simulated,
+never wall-clock.  So whole schedules can be pinned *per policy*:
+assignment, execution order, and the transfer list must match the
+committed fixture exactly, and the simulated timeline to
+float-roundtrip tolerance.  Two suite matrices carry one fixture per
+registered built-in scheduler at 4 devices, so a placement-policy
+change cannot hide inside the aggregate makespan.
 
 Regenerate deliberately after a scheduler/cost-model change with::
 
@@ -27,32 +30,57 @@ DATA_DIR = Path(__file__).parent / "data"
 REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
 TIME_RTOL = 1e-9
 
-#: fixture name -> (suite matrix, method, options, n_devices)
+#: fixture name -> (suite matrix, method, options, n_devices,
+#:                  scheduler, sync)
 GOLDEN_CASES = {
     "dist_schedule_kkt_mid_a_cb16_d4": (
-        "kkt_mid_a", "column-block", {"nseg": 16}, 4,
+        "kkt_mid_a", "column-block", {"nseg": 16}, 4, "eft", "p2p",
     ),
     "dist_schedule_ilu_130x110_rb3_d2": (
         "ilu_factor_130x110", "recursive-block", {"depth": 3}, 2,
+        "eft", "p2p",
     ),
     "dist_schedule_banded_64_0_row8_d3": (
-        "banded_64_0", "row-block", {"nseg": 8}, 3,
+        "banded_64_0", "row-block", {"nseg": 8}, 3, "eft", "p2p",
+    ),
+    # Per-scheduler pinning: the same two plans at 4 devices under
+    # every built-in placement policy (superstep under its natural
+    # barrier sync, the EFT family under p2p).
+    "dist_schedule_kkt_mid_a_cb16_d4_lookahead": (
+        "kkt_mid_a", "column-block", {"nseg": 16}, 4,
+        "lookahead-eft", "p2p",
+    ),
+    "dist_schedule_kkt_mid_a_cb16_d4_superstep": (
+        "kkt_mid_a", "column-block", {"nseg": 16}, 4,
+        "superstep", "barrier",
+    ),
+    "dist_schedule_banded_64_0_row8_d4_eft": (
+        "banded_64_0", "row-block", {"nseg": 8}, 4, "eft", "p2p",
+    ),
+    "dist_schedule_banded_64_0_row8_d4_lookahead": (
+        "banded_64_0", "row-block", {"nseg": 8}, 4,
+        "lookahead-eft", "p2p",
+    ),
+    "dist_schedule_banded_64_0_row8_d4_superstep": (
+        "banded_64_0", "row-block", {"nseg": 8}, 4,
+        "superstep", "barrier",
     ),
 }
 
 
-def _build_schedule(matrix, method, options, n_devices):
+def _build_schedule(matrix, method, options, n_devices, scheduler, sync):
     spec = {s.name: s for s in scaled_suite(0.05)}[matrix]
     prepared = SOLVERS[method](device=TITAN_RTX_SCALED, **options).prepare(
         spec.build()
     )
-    return DistributedPlan.from_prepared(prepared, n_devices).schedule
+    return DistributedPlan.from_prepared(
+        prepared, n_devices, scheduler=scheduler, sync=sync
+    ).schedule
 
 
 @pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
 def test_schedule_matches_golden_fixture(name):
-    matrix, method, options, n_devices = GOLDEN_CASES[name]
-    sched = _build_schedule(matrix, method, options, n_devices)
+    sched = _build_schedule(*GOLDEN_CASES[name])
     got = sched.as_dict()
     path = DATA_DIR / f"{name}.json"
     if REGEN or not path.exists():
@@ -62,8 +90,8 @@ def test_schedule_matches_golden_fixture(name):
     want = json.loads(path.read_text())
 
     # Discrete structure must match exactly.
-    for key in ("method", "n_devices", "assignment", "order",
-                "x_transfer_items", "b_transfer_items"):
+    for key in ("method", "scheduler", "sync", "n_devices", "assignment",
+                "order", "x_transfer_items", "b_transfer_items"):
         assert got[key] == want[key], key
     got_t = [
         {k: t[k] for k in ("producer", "consumer", "src", "dst",

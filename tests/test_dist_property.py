@@ -19,9 +19,21 @@ import pytest
 
 from repro.core.plan import SpMVSegment, TriSegment
 from repro.core.solver import SOLVERS
-from repro.dist import DistributedPlan
+from repro.dist import (
+    SYNC_MODES,
+    DistributedPlan,
+    available_schedulers,
+    schedule_dag,
+)
 from repro.gpu.device import TITAN_RTX_SCALED
 from repro.validate.fuzz import FAMILIES
+
+#: the full conformance axis: every registered scheduler x sync mode.
+#: Built at collection time from the registry, so an externally
+#: registered policy is automatically held to the same invariants.
+SCHED_SYNC = [
+    (s, y) for s in available_schedulers() for y in SYNC_MODES
+]
 
 #: (method, options) rotations — every block partitioner plus level-set
 METHODS = (
@@ -79,28 +91,64 @@ def test_schedule_invariants_on_generated_plan(family, seed, method, mi, options
 
     for n_devices in (1, 2, 3, 4):
         dp = DistributedPlan.from_prepared(prepared, n_devices)
-        sched = dp.schedule
+        costs = [r.time_s for r in dp._reports]
 
-        # All scheduler invariants: unique assignment, DAG-respecting
-        # starts, no same-device overlap, conserved busy time, transfer
-        # accounting equal to the DAG's cross-device payload.
-        sched.validate(dp.dag, dp.interconnect)
-        assert dp.dag.check_topological(sched.order)
+        for scheduler, sync in SCHED_SYNC:
+            if scheduler == "eft" and sync == "p2p":
+                sched = dp.schedule  # the executor's own default
+            else:
+                sched = schedule_dag(
+                    dp.dag, costs, n_devices, dp.interconnect,
+                    method=dp.plan.method, scheduler=scheduler, sync=sync,
+                )
+            tag = (family, seed, method, n_devices, scheduler, sync)
 
-        # Independent recomputation of the cross-shard x reads from the
-        # plan's interval bounds (no DAG involved).
-        assert sched.x_transfer_items == _expected_x_transfers(
-            dp.plan, sched.assignment
-        ), (family, seed, method, n_devices)
+            # All scheduler invariants: unique assignment,
+            # DAG-respecting starts, no same-device overlap, conserved
+            # busy time, transfer accounting equal to the DAG's
+            # cross-device payload — for every registered policy under
+            # every sync mode.
+            sched.validate(dp.dag, dp.interconnect)
+            assert dp.dag.check_topological(sched.order)
+            assert sched.scheduler == scheduler and sched.sync == sync
 
-        if n_devices == 1:
-            assert not sched.transfers
-            assert sched.makespan_s == pytest.approx(
-                sched.total_cost_s, rel=1e-12
-            )
+            # Independent recomputation of the cross-shard x reads from
+            # the plan's interval bounds (no DAG involved).
+            assert sched.x_transfer_items == _expected_x_transfers(
+                dp.plan, sched.assignment
+            ), tag
 
-        # Numerics: bit-identical to the single-device compiled path,
-        # for every device count.
+            if n_devices == 1:
+                assert not sched.transfers
+                if sync == "p2p":
+                    assert sched.makespan_s == pytest.approx(
+                        sched.total_cost_s, rel=1e-12
+                    )
+                else:  # barrier rounds only add latency on one device
+                    assert sched.makespan_s >= sched.total_cost_s - 1e-15
+
+            # Numerics: running *this* schedule's order through the
+            # executor's compiled steps stays bit-identical to the
+            # single-device path — the scheduler/sync choice may move
+            # the simulated clock, never the floating point.
+            if dp.compiled is not None and dp.compiled.pure:
+                x = dp.compiled.solve_ordered(b, sched.order)
+                assert np.array_equal(x, x_single), tag
+
+        # Full executor round trip (schedule + numerics + report) under
+        # the default policy, for every device count.
         x, report = dp.solve(b)
         assert np.array_equal(x, x_single), (family, seed, method, n_devices)
-        assert report.time_s == pytest.approx(sched.makespan_s)
+        assert report.time_s == pytest.approx(dp.schedule.makespan_s)
+
+    # The executor end to end under every non-default combination, at
+    # one representative multi-device count: bit-identity plus the
+    # report's scheduler/sync stamps.
+    for scheduler, sync in SCHED_SYNC:
+        dp = DistributedPlan.from_prepared(
+            prepared, 3, scheduler=scheduler, sync=sync
+        )
+        x, report = dp.solve(b)
+        assert np.array_equal(x, x_single), (family, seed, scheduler, sync)
+        assert report.detail["scheduler"] == scheduler
+        assert report.detail["sync"] == sync

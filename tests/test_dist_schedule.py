@@ -1,5 +1,8 @@
-"""Units for repro.dist: DAG derivation, 2-D tiling, the list
-scheduler, the sharded executor, and the serve/CLI integration."""
+"""Units for repro.dist: DAG derivation, 2-D tiling, the scheduler
+registry and its policies, both sync-mode timelines, the hierarchical
+interconnect, the sharded executor, and the serve/CLI integration."""
+
+import dataclasses
 
 import numpy as np
 import pytest
@@ -8,7 +11,21 @@ from repro.cli import main
 from repro.core.dag import build_segment_dag
 from repro.core.plan import SpMVSegment, TriSegment
 from repro.core.solver import SOLVERS
-from repro.dist import DistributedPlan, Interconnect, schedule_dag, tile_plan
+from repro.dist import (
+    SCHEDULERS,
+    SYNC_MODES,
+    DistributedPlan,
+    GreedyEFTScheduler,
+    Interconnect,
+    Scheduler,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    schedule_dag,
+    tile_plan,
+    unregister_scheduler,
+)
+from repro.errors import ValidationError
 from repro.gpu.device import TITAN_RTX_SCALED
 from repro.obs import Observability
 from repro.serve import ServiceConfig, SolveService
@@ -36,6 +53,44 @@ class TestInterconnect:
         assert link.transfer_time(1000) == pytest.approx(
             1e-6 + 1000 * 8 / 8.0e9
         )
+
+    def test_flat_link_ignores_endpoints(self):
+        link = Interconnect(bandwidth_gbps=8.0, latency_s=1e-6)
+        assert link.same_node(0, 7)
+        assert link.transfer_time(500, 0, 7) == link.transfer_time(500)
+
+    def test_hierarchical_two_tiers(self):
+        link = Interconnect(
+            bandwidth_gbps=8.0, latency_s=1e-6, item_bytes=8,
+            node_size=4, inter_bandwidth_gbps=0.8, inter_latency_s=1e-5,
+        )
+        # devices 0-3 share node 0, 4-7 share node 1
+        assert link.same_node(0, 3) and link.same_node(4, 7)
+        assert not link.same_node(3, 4)
+        intra = link.transfer_time(1000, 0, 3)
+        inter = link.transfer_time(1000, 3, 4)
+        assert intra == pytest.approx(1e-6 + 1000 * 8 / 8.0e9)
+        assert inter == pytest.approx(1e-5 + 1000 * 8 / 0.8e9)
+        assert inter > intra
+        # endpoint-less pricing falls back to the intra tier
+        assert link.transfer_time(1000) == intra
+
+    def test_hierarchical_constructor_and_sync_latency(self):
+        link = Interconnect.hierarchical(TITAN_RTX_SCALED, node_size=4)
+        assert link.node_size == 4
+        assert link.inter_bandwidth_gbps < link.bandwidth_gbps
+        # one node syncs over the fast tier; spanning nodes pays the
+        # slow tier's round trip
+        assert link.sync_latency(4) == pytest.approx(2 * link.latency_s)
+        assert link.sync_latency(8) == pytest.approx(
+            2 * link.inter_latency_s
+        )
+        with pytest.raises(ValueError):
+            Interconnect.hierarchical(TITAN_RTX_SCALED, node_size=0)
+
+    def test_inter_tier_defaults_fall_back_to_intra(self):
+        link = Interconnect(bandwidth_gbps=8.0, latency_s=1e-6, node_size=2)
+        assert link.transfer_time(100, 0, 3) == link.transfer_time(100, 0, 1)
 
 
 class TestSegmentDAG:
@@ -157,6 +212,229 @@ class TestScheduler:
             schedule_dag(dag, costs, 0, Interconnect())
         with pytest.raises(ValueError):
             schedule_dag(dag, costs[:-1], 2, Interconnect())
+        with pytest.raises(ValueError):
+            schedule_dag(dag, costs, 2, Interconnect(), scheduler="nope")
+        with pytest.raises(ValueError):
+            schedule_dag(dag, costs, 2, Interconnect(), sync="nope")
+
+
+def _wide_dag_costs(nseg=8, seed=7):
+    """A tiled DAG with real parallel width plus its probe-free costs."""
+    L = random_lower(300, density=0.05, seed=seed)
+    prepared = SOLVERS["column-block"](
+        device=TITAN_RTX_SCALED, nseg=nseg
+    ).prepare(L)
+    plan = tile_plan(prepared.plan)
+    dag = build_segment_dag(plan)
+    rng = np.random.default_rng(42)
+    costs = (rng.random(dag.n_segments) * 1e-5 + 1e-6).tolist()
+    return dag, costs
+
+
+class TestSchedulerRegistry:
+    def test_builtins_registered(self):
+        assert available_schedulers() == ["eft", "lookahead-eft", "superstep"]
+        for name in available_schedulers():
+            assert get_scheduler(name).name == name
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            get_scheduler("does-not-exist")
+
+    def test_register_and_unregister_external(self):
+        class Favorite(Scheduler):
+            name = "favorite-device"
+
+            def place(self, dag, costs_s, n_devices, interconnect):
+                return [0] * dag.n_segments
+
+        register_scheduler("favorite-device", Favorite())
+        try:
+            assert "favorite-device" in available_schedulers()
+            dag, costs = _wide_dag_costs()
+            sched = schedule_dag(
+                dag, costs, 3, Interconnect(), scheduler="favorite-device"
+            )
+            sched.validate(dag, Interconnect())
+            assert sched.scheduler == "favorite-device"
+            assert set(sched.assignment) == {0}
+        finally:
+            unregister_scheduler("favorite-device")
+        assert "favorite-device" not in SCHEDULERS
+
+    def test_duplicate_requires_replace(self):
+        class Stub(Scheduler):
+            name = "stub"
+
+            def place(self, dag, costs_s, n_devices, interconnect):
+                return [0] * dag.n_segments
+
+        register_scheduler("stub", Stub())
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_scheduler("stub", Stub())
+            register_scheduler("stub", Stub(), replace=True)
+        finally:
+            unregister_scheduler("stub")
+
+    def test_builtin_protected(self):
+        with pytest.raises(ValueError, match="built in"):
+            register_scheduler("eft", GreedyEFTScheduler())
+        with pytest.raises(ValueError, match="built in"):
+            unregister_scheduler("superstep")
+
+    def test_rejects_bad_names_and_interfaces(self):
+        with pytest.raises(ValueError):
+            register_scheduler("", GreedyEFTScheduler())
+        with pytest.raises(TypeError, match="Scheduler interface"):
+            register_scheduler("bad", object())
+        with pytest.raises(KeyError):
+            unregister_scheduler("never-registered")
+
+
+class TestSchedulingPolicies:
+    def test_every_policy_validates_under_every_sync(self):
+        dag, costs = _wide_dag_costs()
+        link = Interconnect.hierarchical(TITAN_RTX_SCALED, node_size=2)
+        for s in available_schedulers():
+            for y in SYNC_MODES:
+                sched = schedule_dag(
+                    dag, costs, 4, link, scheduler=s, sync=y
+                )
+                sched.validate(dag, link)
+                assert sched.scheduler == s and sched.sync == y
+                assert dag.check_topological(sched.order)
+
+    def test_p2p_default_matches_legacy_eft(self):
+        # schedule_dag with no scheduler/sync arguments is the
+        # pre-registry greedy EFT list scheduler, bit for bit.
+        dag, costs = _wide_dag_costs()
+        link = Interconnect()
+        default = schedule_dag(dag, costs, 3, link)
+        explicit = schedule_dag(
+            dag, costs, 3, link, scheduler="eft", sync="p2p"
+        )
+        assert default.as_dict() == explicit.as_dict()
+        assert default.scheduler == "eft" and default.sync == "p2p"
+
+    def test_barrier_timeline_is_level_aligned(self):
+        dag, costs = _wide_dag_costs()
+        link = Interconnect()
+        sched = schedule_dag(dag, costs, 3, link, sync="barrier")
+        sched.validate(dag, link)
+        # every segment starts at or after its level's superstep gate,
+        # and no earlier level finishes after a later one starts on the
+        # same device queue reset
+        start = sched.start_s
+        gates = []
+        for level in dag.levels():
+            gates.append(min(start[j] for j in level))
+        assert gates == sorted(gates)
+        # barrier rounds can only slow the clock relative to p2p
+        p2p = schedule_dag(dag, costs, 3, link, sync="p2p")
+        assert sched.makespan_s >= p2p.makespan_s - 1e-15
+
+    def test_barrier_pays_sync_latency_between_levels(self):
+        dag, costs = _wide_dag_costs()
+        link = Interconnect()
+        sched = schedule_dag(dag, costs, 1, link, sync="barrier")
+        n_levels = len(dag.levels())
+        expected = sum(costs) + (n_levels - 1) * link.sync_latency(1)
+        assert sched.makespan_s == pytest.approx(expected, rel=1e-12)
+
+    def test_superstep_balances_within_levels(self):
+        dag, costs = _wide_dag_costs()
+        sched = schedule_dag(
+            dag, costs, 4, Interconnect(), scheduler="superstep"
+        )
+        # within each level the LPT rule keeps max/min device load tight:
+        # no single reassignment can improve the balance
+        for level in dag.levels():
+            load = [0.0] * 4
+            for j in level:
+                load[sched.assignment[j]] += costs[j]
+            busiest = max(range(4), key=lambda d: load[d])
+            smallest = min(
+                (costs[j] for j in level
+                 if sched.assignment[j] == busiest),
+                default=0.0,
+            )
+            assert load[busiest] - smallest <= min(load) + 1e-15
+
+    def test_lookahead_never_worse_on_chain(self):
+        # On a pure chain both EFT variants must serialize on one device.
+        L = random_lower(150, density=0.04, seed=3)
+        prepared = SOLVERS["column-block"](
+            device=TITAN_RTX_SCALED, nseg=6
+        ).prepare(L)
+        dag = build_segment_dag(prepared.plan)  # untiled: serial chain
+        costs = [1e-6] * dag.n_segments
+        for s in ("eft", "lookahead-eft"):
+            sched = schedule_dag(
+                dag, costs, 4, Interconnect(), scheduler=s
+            )
+            assert len(set(sched.assignment)) == 1, s
+            assert sched.makespan_s == pytest.approx(sum(costs))
+
+    def test_schedulers_are_deterministic(self):
+        dag, costs = _wide_dag_costs()
+        link = Interconnect.hierarchical(TITAN_RTX_SCALED, node_size=2)
+        for s in available_schedulers():
+            for y in SYNC_MODES:
+                a = schedule_dag(dag, costs, 4, link, scheduler=s, sync=y)
+                b = schedule_dag(dag, costs, 4, link, scheduler=s, sync=y)
+                assert a.as_dict() == b.as_dict(), (s, y)
+
+
+class TestValidateStructuredErrors:
+    def _valid_schedule(self):
+        dag, costs = _wide_dag_costs()
+        link = Interconnect()
+        return dag, link, schedule_dag(dag, costs, 3, link)
+
+    def test_assignment_device_out_of_range(self):
+        dag, link, sched = self._valid_schedule()
+        bad = dataclasses.replace(sched)
+        bad.assignment = list(sched.assignment)
+        bad.assignment[0] = 3  # devices are range(3)
+        with pytest.raises(ValidationError) as exc_info:
+            bad.validate(dag, link)
+        err = exc_info.value
+        assert err.kind == "schedule-devices"
+        assert err.detail["n_devices"] == 3
+        assert err.detail["bad_devices"] == [3]
+
+    def test_negative_assignment_rejected(self):
+        dag, link, sched = self._valid_schedule()
+        bad = dataclasses.replace(sched)
+        bad.assignment = list(sched.assignment)
+        bad.assignment[-1] = -1
+        with pytest.raises(ValidationError) as exc_info:
+            bad.validate(dag, link)
+        assert exc_info.value.detail["bad_devices"] == [-1]
+
+    def test_transfer_endpoint_out_of_range(self):
+        # A hand-built schedule whose transfer references a phantom
+        # device must fail with the structured error, not an assert
+        # (or worse, pass and explode inside the executor).
+        dag, link, sched = self._valid_schedule()
+        assert sched.transfers, "fixture needs at least one transfer"
+        bad = dataclasses.replace(sched)
+        bad.transfers = list(sched.transfers)
+        t = bad.transfers[0]
+        bad.transfers[0] = dataclasses.replace(t, dst=17)
+        with pytest.raises(ValidationError) as exc_info:
+            bad.validate(dag, link)
+        err = exc_info.value
+        assert err.kind == "schedule-devices"
+        entry = err.detail["bad_transfers"][0]
+        assert entry["dst"] == 17
+        assert entry["producer"] == t.producer
+        assert entry["consumer"] == t.consumer
+
+    def test_valid_schedule_passes(self):
+        dag, link, sched = self._valid_schedule()
+        sched.validate(dag, link)  # no exception
 
 
 class TestDistributedPlan:
@@ -226,7 +504,10 @@ class TestDistributedPlan:
         assert np.array_equal(x, x1)
         m = obs.serve_metrics
         method = prepared.plan.method
-        assert m.dist_solves.value(method=method, n_devices="3") == 1
+        assert m.dist_solves.value(
+            method=method, n_devices="3", scheduler="eft"
+        ) == 1
+        assert m.dist_sync_solves.value(sync="p2p", scheduler="eft") == 1
         assert m.traffic_mismatch.total() == 0
         # Per-device live counters sum to the plan-level accounting.
         from repro.analysis.traffic import measured_traffic
@@ -279,8 +560,41 @@ class TestServiceIntegration:
                           n_devices=2, obs=obs) as svc:
             svc.solve(L, np.ones(L.n_rows))
         m = obs.serve_metrics
-        assert m.dist_solves.value(method="column-block", n_devices="2") == 1
+        assert m.dist_solves.value(
+            method="column-block", n_devices="2", scheduler="eft"
+        ) == 1
         assert m.requests_total.value(status="ok", tenant="default") == 1
+
+    def test_service_scheduler_and_sync_route_through(self):
+        L = random_lower(200, density=0.06, seed=14)
+        b = np.random.default_rng(5).standard_normal(L.n_rows)
+        obs = Observability()
+        with SolveService(method="column-block",
+                          solver_options={"nseg": 8},
+                          n_devices=3, scheduler="superstep",
+                          sync_mode="barrier", obs=obs) as svc:
+            res = svc.solve(L, b)
+            entry = next(iter(svc.cache._entries.values()))
+        assert entry.dist.schedule.scheduler == "superstep"
+        assert entry.dist.schedule.sync == "barrier"
+        assert res.report.detail["scheduler"] == "superstep"
+        assert res.report.detail["sync"] == "barrier"
+        # still bit-identical to the single-device path
+        x1, _ = entry.prepared.solve(b)
+        assert np.array_equal(res.x, x1)
+        m = obs.serve_metrics
+        assert m.dist_solves.value(
+            method="column-block", n_devices="3", scheduler="superstep"
+        ) == 1
+        assert m.dist_sync_solves.value(
+            sync="barrier", scheduler="superstep"
+        ) == 1
+
+    def test_service_rejects_unknown_scheduler_and_sync(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            SolveService(ServiceConfig(n_devices=2, scheduler="nope"))
+        with pytest.raises(ValueError, match="unknown sync_mode"):
+            SolveService(ServiceConfig(n_devices=2, sync_mode="nope"))
 
 
 class TestCLI:

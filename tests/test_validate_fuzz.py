@@ -58,6 +58,21 @@ class TestFuzzCase:
         )
         assert FuzzCase.from_token(case.token()) == case
 
+    def test_token_carries_scheduler_and_sync(self):
+        case = FuzzCase(
+            family="banded", seed=9, size=40,
+            scheduler="superstep", sync="barrier",
+        )
+        token = case.token()
+        assert token.endswith(":superstep:barrier")
+        assert FuzzCase.from_token(token) == case
+
+    def test_legacy_six_field_token_defaults_scheduler(self):
+        # pre-1.3 tokens (no scheduler/sync fields) still replay, under
+        # the historical eft/p2p defaults
+        case = FuzzCase.from_token("uniform:1:10:L:1:float64")
+        assert case.scheduler == "eft" and case.sync == "p2p"
+
     @pytest.mark.parametrize(
         "token",
         [
@@ -65,6 +80,9 @@ class TestFuzzCase:
             "nofamily:1:10:L:1:float64",
             "uniform:1:10:X:1:float64",
             "uniform:1:10:L:1:notadtype",
+            "uniform:1:10:L:1:float64:notasched:p2p",
+            "uniform:1:10:L:1:float64:eft:notasync",
+            "uniform:1:10:L:1:float64:eft",
         ],
     )
     def test_bad_tokens_rejected(self, token):
@@ -81,6 +99,14 @@ class TestFuzzCase:
         # Same (seed, round) -> same case.
         assert cases[5] == sample_case(0, 5, fams, 100)
         assert cases[5] != sample_case(1, 5, fams, 100)
+
+    def test_sampler_covers_scheduler_sync_axis(self):
+        from repro.dist import SYNC_MODES, available_schedulers
+
+        fams = list(FAMILIES)
+        cases = [sample_case(3, r, fams, 100) for r in range(60)]
+        assert {c.scheduler for c in cases} == set(available_schedulers())
+        assert {c.sync for c in cases} == set(SYNC_MODES)
 
 
 class TestRunFuzz:
